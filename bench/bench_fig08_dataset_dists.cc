@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Regenerates Fig. 8: reasoning/answering token-count distributions
+ * for AlpacaEval 2.0 and Arena-Hard, with the per-dataset means the
+ * paper prints in the figure legends.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "src/common/histogram.hh"
+
+namespace
+{
+
+using namespace pascal;
+using namespace pascal::bench;
+
+void
+show(const workload::DatasetProfile& profile, double paper_reasoning,
+     double paper_answering, double axis_max)
+{
+    Rng rng(8);
+    stats::Histogram reasoning(0.0, axis_max, 24);
+    stats::Histogram answering(0.0, axis_max, 24);
+    const int samples = 20000;
+    for (int i = 0; i < samples; ++i) {
+        reasoning.add(
+            static_cast<double>(profile.reasoning.sample(rng)));
+        answering.add(
+            static_cast<double>(profile.answering.sample(rng)));
+    }
+
+    std::printf("\n%s (%d samples)\n", profile.name.c_str(), samples);
+    std::printf("  reasoning mean: %8.2f  (paper: %.2f)\n",
+                reasoning.mean(), paper_reasoning);
+    std::printf("  answering mean: %8.2f  (paper: %.2f)\n",
+                answering.mean(), paper_answering);
+    std::printf("  P(reasoning < 1000) = %.1f%% (Fig. 10 caption: "
+                ">70%% for the chat datasets)\n",
+                100.0 * profile.reasoning.cdf(1000.0));
+    std::printf("  reasoning-token density:\n%s",
+                reasoning.render(46).c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Fig. 8", "Reasoning/answering token distributions "
+                     "(AlpacaEval 2.0, Arena-Hard)");
+    show(workload::DatasetProfile::alpacaEval(), 557.75, 566.85,
+         6000.0);
+    show(workload::DatasetProfile::arenaHard(), 968.35, 824.02,
+         15000.0);
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: event
+ * queue throughput, performance-model evaluation, KV pool operations,
+ * scheduler planning, and end-to-end simulation rate. These guard the
+ * harness's own performance (the paper's experiments need millions of
+ * iterations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/cluster/serving_system.hh"
+#include "src/common/rng.hh"
+#include "src/core/pascal_scheduler.hh"
+#include "src/model/kv_pool.hh"
+#include "src/model/perf_model.hh"
+#include "src/sim/simulator.hh"
+#include "src/workload/generator.hh"
+
+namespace
+{
+
+using namespace pascal;
+
+void
+BM_EventQueueScheduleAndPop(benchmark::State& state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        for (int i = 0; i < 1000; ++i)
+            q.schedule(static_cast<Time>(i % 97), [] {});
+        while (!q.empty())
+            benchmark::DoNotOptimize(q.pop().when);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void
+BM_DecodeStepLatency(benchmark::State& state)
+{
+    model::PerfModel pm(model::ModelConfig::deepseekR1Distill32B(),
+                        model::HardwareConfig::h100());
+    std::int64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pm.decodeStepLatency(64, 100000 + (i++ % 1000)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecodeStepLatency);
+
+void
+BM_KvPoolChurn(benchmark::State& state)
+{
+    for (auto _ : state) {
+        model::KvPool pool(1000000);
+        for (RequestId id = 0; id < 200; ++id)
+            pool.allocGpu(id, 500);
+        for (RequestId id = 0; id < 200; ++id)
+            pool.growGpu(id, 1);
+        for (RequestId id = 0; id < 100; ++id)
+            pool.moveToCpu(id);
+        for (RequestId id = 0; id < 100; ++id)
+            pool.moveToGpu(id);
+        for (RequestId id = 0; id < 200; ++id)
+            pool.release(id);
+    }
+    state.SetItemsProcessed(state.iterations() * 700);
+}
+BENCHMARK(BM_KvPoolChurn);
+
+void
+BM_PascalPlan(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    model::KvPool pool(1000000);
+    core::SchedLimits limits;
+    core::PascalScheduler sched(limits);
+    std::vector<std::unique_ptr<workload::Request>> owned;
+    for (int i = 0; i < n; ++i) {
+        workload::RequestSpec s;
+        s.id = i;
+        s.arrival = 0.01 * i;
+        s.promptTokens = 128;
+        s.reasoningTokens = 500;
+        s.answerTokens = 200;
+        owned.push_back(std::make_unique<workload::Request>(s));
+        auto* r = owned.back().get();
+        r->completePrefill(s.arrival, limits.quantum);
+        pool.allocGpu(r->id(), r->kvTokens());
+        r->exec = workload::ExecState::ResidentGpu;
+        sched.add(r);
+    }
+    for (auto _ : state) {
+        auto plan = sched.plan(pool);
+        benchmark::DoNotOptimize(plan.decode.size());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PascalPlan)->Arg(32)->Arg(128)->Arg(512);
+
+void
+BM_EndToEndSimulation(benchmark::State& state)
+{
+    Rng rng(77);
+    auto profile = workload::DatasetProfile::alpacaEval();
+    profile.reasoning = {200.0, 0.8, 16, 1000};
+    profile.answering = {150.0, 0.8, 16, 1000};
+    auto trace = workload::generateTrace(
+        profile, static_cast<int>(state.range(0)), 20.0, rng);
+
+    cluster::SystemConfig cfg = cluster::SystemConfig::pascal(4);
+    TokenCount tokens = 0;
+    for (auto _ : state) {
+        cluster::ServingSystem system(cfg);
+        auto result = system.run(trace);
+        benchmark::DoNotOptimize(result.aggregate.meanTtft);
+        tokens += trace.totalGeneratedTokens();
+    }
+    state.SetItemsProcessed(tokens); // Simulated tokens per second.
+}
+BENCHMARK(BM_EndToEndSimulation)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

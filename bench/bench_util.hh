@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Shared harness utilities for the per-figure benchmark binaries.
+ *
+ * Each bench regenerates one table/figure of the paper (see DESIGN.md
+ * "Experiment index"). The utilities here pin down the common
+ * experimental recipe: the 8-instance H100 cluster of Section V-A,
+ * per-dataset low/medium/high arrival rates calibrated against the
+ * simulated cluster's saturation throughput, and the Section III
+ * oracle-then-50 % capacity recipe.
+ */
+
+#ifndef PASCAL_BENCH_BENCH_UTIL_HH
+#define PASCAL_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/cluster/serving_system.hh"
+#include "src/common/rng.hh"
+#include "src/common/stats.hh"
+#include "src/workload/generator.hh"
+
+namespace pascal
+{
+namespace bench
+{
+
+/** A dataset plus the arrival rates used by the cluster experiments. */
+struct DatasetBench
+{
+    workload::DatasetProfile profile;
+    double lowRate;    //!< Requests/s, comfortably below saturation.
+    double mediumRate; //!< Requests/s, moderate pressure.
+    double highRate;   //!< Requests/s, at/over saturation.
+    int numRequests;   //!< Trace length for cluster runs.
+};
+
+/**
+ * AlpacaEval 2.0 cluster recipe. Rates were calibrated against the
+ * simulated cluster: ~20 req/s leaves KV headroom, ~28 req/s starts
+ * saturating the KV pool (blocking/preemption appear), ~34 req/s runs
+ * at the memory cliff where the paper's "high" phenomena live.
+ */
+inline DatasetBench
+alpacaBench()
+{
+    return {workload::DatasetProfile::alpacaEval(), 20.0, 28.0, 32.0,
+            2400};
+}
+
+/** Arena-Hard cluster recipe (longer requests saturate the KV pool at
+ *  lower rates: ~6/9/12 req/s for low/medium/high). */
+inline DatasetBench
+arenaBench()
+{
+    return {workload::DatasetProfile::arenaHard(), 6.0, 9.0, 12.0,
+            1500};
+}
+
+/** Scheduler/placement combos the paper compares. */
+struct PolicyUnderTest
+{
+    std::string label;
+    cluster::SchedulerType scheduler;
+    cluster::PlacementType placement;
+};
+
+inline std::vector<PolicyUnderTest>
+mainPolicies()
+{
+    using cluster::PlacementType;
+    using cluster::SchedulerType;
+    return {
+        {"FCFS", SchedulerType::Fcfs, PlacementType::Baseline},
+        {"RR", SchedulerType::Rr, PlacementType::Baseline},
+        {"PASCAL", SchedulerType::Pascal, PlacementType::Pascal},
+    };
+}
+
+/** Cluster config of Section V-A (8 instances, derived capacity). */
+inline cluster::SystemConfig
+clusterConfig(const PolicyUnderTest& policy, int num_instances = 8)
+{
+    cluster::SystemConfig cfg;
+    cfg.scheduler = policy.scheduler;
+    cfg.placement = policy.placement;
+    cfg.numInstances = num_instances;
+    return cfg;
+}
+
+/** Generate a dataset trace at one of the calibrated rates. */
+inline workload::Trace
+makeTrace(const DatasetBench& bench, double rate, std::uint64_t seed)
+{
+    Rng rng(seed);
+    return workload::generateTrace(bench.profile, bench.numRequests,
+                                   rate, rng);
+}
+
+/**
+ * The Section III memory recipe: run the trace on an oracle-capacity
+ * single instance, then return 50 % of the peak KV usage observed.
+ */
+inline TokenCount
+constrainedCapacityFromOracle(const workload::Trace& trace,
+                              const cluster::SystemConfig& oracle_cfg)
+{
+    cluster::ServingSystem oracle(oracle_cfg);
+    auto result = oracle.run(trace);
+    return std::max<TokenCount>(1, result.peakGpuKvTokens / 2);
+}
+
+/** Print a horizontal rule sized for our tables. */
+inline void
+rule(int width = 78)
+{
+    for (int i = 0; i < width; ++i)
+        std::fputc('-', stdout);
+    std::fputc('\n', stdout);
+}
+
+/** Print the standard bench header. */
+inline void
+header(const std::string& id, const std::string& title)
+{
+    std::printf("\n");
+    rule();
+    std::printf("%s  --  %s\n", id.c_str(), title.c_str());
+    rule();
+}
+
+/** Mean of a vector (0 when empty). */
+inline double
+meanOf(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+} // namespace bench
+} // namespace pascal
+
+#endif // PASCAL_BENCH_BENCH_UTIL_HH

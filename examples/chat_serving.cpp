@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Chat-serving scenario: the workload the paper's introduction
+ * motivates. An AlpacaEval-style request stream hits an 8-instance
+ * cluster at increasing load; the example compares FCFS, RR, and
+ * PASCAL side by side on the user-experience metrics (TTFT, QoE/SLO)
+ * and on throughput.
+ *
+ * Run: ./build/examples/chat_serving [requests] [rate_req_per_s]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/cluster/serving_system.hh"
+#include "src/common/rng.hh"
+#include "src/common/stats.hh"
+#include "src/workload/generator.hh"
+
+namespace
+{
+
+using namespace pascal;
+
+struct PolicyRow
+{
+    const char* label;
+    cluster::SchedulerType sched;
+    cluster::PlacementType place;
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    int n = argc > 1 ? std::atoi(argv[1]) : 1200;
+    double rate = argc > 2 ? std::atof(argv[2]) : 30.0;
+    if (n <= 0 || rate <= 0.0) {
+        std::fprintf(stderr,
+                     "usage: %s [requests > 0] [rate > 0]\n", argv[0]);
+        return 1;
+    }
+
+    Rng rng(7);
+    auto trace = workload::generateTrace(
+        workload::DatasetProfile::alpacaEval(), n, rate, rng);
+
+    std::printf("chat serving: %d AlpacaEval-style requests at %.1f "
+                "req/s on 8 instances\n\n",
+                n, rate);
+    std::printf("%-8s %10s %10s %10s %9s %11s %10s\n", "policy",
+                "mean TTFT", "p50 TTFT", "p99 TTFT", "SLO-vio",
+                "throughput", "migrations");
+
+    std::vector<PolicyRow> policies = {
+        {"FCFS", cluster::SchedulerType::Fcfs,
+         cluster::PlacementType::Baseline},
+        {"RR", cluster::SchedulerType::Rr,
+         cluster::PlacementType::Baseline},
+        {"PASCAL", cluster::SchedulerType::Pascal,
+         cluster::PlacementType::Pascal},
+    };
+
+    for (const auto& p : policies) {
+        cluster::SystemConfig cfg;
+        cfg.scheduler = p.sched;
+        cfg.placement = p.place;
+        cfg.numInstances = 8;
+        cluster::ServingSystem system(cfg);
+        auto result = system.run(trace);
+
+        std::printf("%-8s %9.2fs %9.2fs %9.2fs %8.2f%% %7.0f tok/s "
+                    "%10d\n",
+                    p.label, result.aggregate.meanTtft,
+                    result.aggregate.p50Ttft, result.aggregate.p99Ttft,
+                    100.0 * result.aggregate.sloViolationRate,
+                    result.aggregate.throughputTokensPerSec,
+                    result.totalMigrations);
+    }
+
+    std::printf("\nReading the table: PASCAL should hold the lowest "
+                "TTFT without losing throughput; FCFS degrades first "
+                "as the arrival rate approaches the cluster's "
+                "KV-memory saturation point (~34 req/s here).\n");
+    return 0;
+}

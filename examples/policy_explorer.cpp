@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Design-space explorer: sweeps PASCAL's tunables — token quantum,
+ * demotion threshold, and the answering-memory reserve extension —
+ * over a fixed stressed workload and prints how tail TTFT and SLO
+ * violations move. This is the programmatic companion to the paper's
+ * parameter choices (quantum 500, demotion 5000).
+ *
+ * Run: ./build/examples/policy_explorer
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "src/cluster/serving_system.hh"
+#include "src/common/rng.hh"
+#include "src/workload/generator.hh"
+
+namespace
+{
+
+using namespace pascal;
+
+struct Outcome
+{
+    double p99Ttft;
+    double sloViolation;
+    double throughput;
+};
+
+Outcome
+run(const workload::Trace& trace, TokenCount quantum,
+    TokenCount demote, double reserve)
+{
+    cluster::SystemConfig cfg = cluster::SystemConfig::pascal(8);
+    cfg.limits.quantum = quantum;
+    cfg.limits.demoteThresholdTokens = demote;
+    cfg.limits.answeringReserveFraction = reserve;
+    cluster::ServingSystem system(cfg);
+    auto result = system.run(trace);
+    return {result.aggregate.p99Ttft,
+            100.0 * result.aggregate.sloViolationRate,
+            result.aggregate.throughputTokensPerSec};
+}
+
+} // namespace
+
+int
+main()
+{
+    Rng rng(23);
+    auto trace = workload::generateTrace(
+        workload::DatasetProfile::alpacaEval(), 1600, 34.0, rng);
+
+    std::printf("workload: 1600 AlpacaEval requests at 34 req/s "
+                "(KV-saturating load)\n");
+
+    std::printf("\n-- token quantum sweep (demotion 5000, reserve 0) "
+                "--\n");
+    std::printf("%10s %10s %9s %12s\n", "quantum", "p99 TTFT",
+                "SLO-vio", "throughput");
+    for (TokenCount q : {100, 250, 500, 1000, 2000}) {
+        auto o = run(trace, q, 5000, 0.0);
+        std::printf("%10lld %9.1fs %8.2f%% %7.0f tok/s\n",
+                    static_cast<long long>(q), o.p99Ttft,
+                    o.sloViolation, o.throughput);
+    }
+
+    std::printf("\n-- demotion threshold sweep (quantum 500, reserve "
+                "0) --\n");
+    std::printf("%10s %10s %9s %12s\n", "demote@", "p99 TTFT",
+                "SLO-vio", "throughput");
+    for (TokenCount d : {1000, 2500, 5000, 10000, 100000}) {
+        auto o = run(trace, 500, d, 0.0);
+        std::printf("%10lld %9.1fs %8.2f%% %7.0f tok/s\n",
+                    static_cast<long long>(d), o.p99Ttft,
+                    o.sloViolation, o.throughput);
+    }
+
+    std::printf("\n-- answering reserve sweep (quantum 500, demotion "
+                "5000) --\n");
+    std::printf("%10s %10s %9s %12s\n", "reserve", "p99 TTFT",
+                "SLO-vio", "throughput");
+    for (double r : {0.0, 0.1, 0.2, 0.3}) {
+        auto o = run(trace, 500, 5000, r);
+        std::printf("%9.0f%% %9.1fs %8.2f%% %7.0f tok/s\n", 100.0 * r,
+                    o.p99Ttft, o.sloViolation, o.throughput);
+    }
+
+    std::printf("\nThe paper's defaults (quantum 500, demotion 5000) "
+                "should sit near the knee of each curve; the reserve "
+                "extension trades reasoning-phase TTFT for answering "
+                "SLO headroom.\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Problem-solving scenario (Section V-D): long chains of thought with
+ * short final answers (MATH-500 / GPQA / LiveCodeBench mix). Shows how
+ * PASCAL's demotion rule handles monster reasoning requests and where
+ * phase-aware scheduling helps less (short answering phases create
+ * little contention).
+ *
+ * Run: ./build/examples/reasoning_heavy [requests] [rate_req_per_s]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/cluster/serving_system.hh"
+#include "src/common/rng.hh"
+#include "src/common/stats.hh"
+#include "src/workload/generator.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace pascal;
+
+    int n = argc > 1 ? std::atoi(argv[1]) : 900;
+    double rate = argc > 2 ? std::atof(argv[2]) : 10.0;
+    if (n <= 0 || rate <= 0.0) {
+        std::fprintf(stderr,
+                     "usage: %s [requests > 0] [rate > 0]\n", argv[0]);
+        return 1;
+    }
+
+    std::vector<workload::MixComponent> mix = {
+        {workload::DatasetProfile::math500(), 1.0},
+        {workload::DatasetProfile::gpqa(), 1.0},
+        {workload::DatasetProfile::liveCodeBench(), 1.0},
+    };
+    Rng rng(17);
+    auto trace = workload::generateMixedTrace(mix, n, rate, rng);
+
+    TokenCount monsters = 0;
+    for (const auto& s : trace.requests) {
+        if (s.promptTokens + s.reasoningTokens > 5000)
+            ++monsters;
+    }
+    std::printf("reasoning-heavy mix: %d requests at %.1f req/s; %lld "
+                "requests exceed the 5000-token demotion threshold\n\n",
+                n, rate, static_cast<long long>(monsters));
+
+    for (auto policy :
+         {cluster::SchedulerType::Rr, cluster::SchedulerType::Pascal}) {
+        cluster::SystemConfig cfg;
+        cfg.scheduler = policy;
+        cfg.placement = policy == cluster::SchedulerType::Pascal
+                            ? cluster::PlacementType::Pascal
+                            : cluster::PlacementType::Baseline;
+        cluster::ServingSystem system(cfg);
+        auto result = system.run(trace);
+
+        // Split TTFT by reasoning length to show where the benefit
+        // concentrates.
+        stats::Summary short_ttft, long_ttft;
+        for (const auto& m : result.perRequest) {
+            if (!m.finished)
+                continue;
+            (m.reasoningTokens < 1500 ? short_ttft : long_ttft)
+                .add(m.ttft);
+        }
+
+        std::printf("%-8s mean TTFT %6.2fs (short-r %6.2fs / long-r "
+                    "%6.2fs)  SLO-vio %5.2f%%  throughput %6.0f "
+                    "tok/s\n",
+                    cfg.schedulerName().c_str(),
+                    result.aggregate.meanTtft, short_ttft.mean(),
+                    long_ttft.mean(),
+                    100.0 * result.aggregate.sloViolationRate,
+                    result.aggregate.throughputTokensPerSec);
+    }
+
+    std::printf("\nAs Section V-D observes, the short answering phases "
+                "of problem-solving workloads leave little scheduling "
+                "contention for PASCAL to remove, so the gap to RR is "
+                "smaller than on chat workloads.\n");
+    return 0;
+}

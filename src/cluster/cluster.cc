@@ -1,0 +1,171 @@
+#include "src/cluster/cluster.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace cluster
+{
+
+Cluster::Cluster(sim::Simulator& sim, const SystemConfig& cfg)
+    : sim(sim), cfg(cfg), perf(cfg.model, cfg.hardware)
+{
+    this->cfg.validate();
+
+    TokenCount base = cfg.gpuKvCapacityTokens > 0
+                          ? cfg.gpuKvCapacityTokens
+                          : perf.gpuKvCapacityTokens();
+    kvCapacity = static_cast<TokenCount>(
+        std::llround(static_cast<double>(base) * cfg.kvCapacityFraction));
+    if (kvCapacity <= 0)
+        fatal("Cluster: resolved KV capacity is not positive");
+
+    placement = makePlacement(cfg.placement);
+
+    InstanceCallbacks callbacks;
+    callbacks.onPhaseTransition = [this](workload::Request* r,
+                                         InstanceId from) {
+        onPhaseTransition(r, from);
+    };
+    callbacks.onFinished = [](workload::Request*, InstanceId) {};
+
+    instances.reserve(cfg.numInstances);
+    ingress.reserve(cfg.numInstances);
+    for (InstanceId i = 0; i < cfg.numInstances; ++i) {
+        instances.push_back(std::make_unique<Instance>(
+            i, sim, perf, makeScheduler(cfg.scheduler, cfg.limits),
+            kvCapacity, cfg.slo, callbacks, cfg.kvBlockSizeTokens));
+        ingress.push_back(std::make_unique<model::Link>(
+            sim, cfg.hardware.effFabricBandwidth(),
+            "fabric-ingress-" + std::to_string(i)));
+    }
+}
+
+void
+Cluster::submitTrace(const workload::Trace& trace)
+{
+    trace.validate();
+    requests.reserve(requests.size() + trace.size());
+    for (const auto& spec : trace.requests) {
+        requests.push_back(std::make_unique<workload::Request>(spec));
+        workload::Request* req = requests.back().get();
+        sim.at(spec.arrival, [this, req]() { onArrival(req); });
+    }
+}
+
+core::ClusterView
+Cluster::buildView(Time now) const
+{
+    core::ClusterView view;
+    view.reserve(instances.size());
+    for (const auto& inst : instances)
+        view.push_back(inst->snapshot(now));
+    return view;
+}
+
+void
+Cluster::onArrival(workload::Request* req)
+{
+    core::ClusterView view = buildView(sim.now());
+    InstanceId target = placement->placeNew(view, *req);
+    if (target < 0 || target >= static_cast<InstanceId>(instances.size()))
+        panic("placement returned invalid instance " +
+              std::to_string(target));
+    instances[target]->addRequest(req);
+}
+
+void
+Cluster::onPhaseTransition(workload::Request* req, InstanceId from)
+{
+    core::ClusterView view = buildView(sim.now());
+    InstanceId target = placement->placeTransition(view, *req, from);
+    if (target < 0 || target >= static_cast<InstanceId>(instances.size()))
+        panic("placement returned invalid instance " +
+              std::to_string(target));
+
+    if (target == from) {
+        // Stay home: the intra-instance scheduler requeues the request
+        // into its answering-phase (low-priority) machinery.
+        instances[from]->scheduler().onPhaseTransition(req);
+        return;
+    }
+    migrate(req, from, target);
+}
+
+void
+Cluster::migrate(workload::Request* req, InstanceId from, InstanceId to)
+{
+    Time start = sim.now();
+    instances[from]->detach(req);
+    // Entering the answering phase restarts quantum accounting
+    // regardless of which instance it lands on.
+    req->resetQuantum();
+    ++migrations;
+
+    Bytes bytes = perf.kvBytes(req->kvTokens());
+    ingress[to]->submit(bytes, [this, req, to, start]() {
+        req->kvTransferLatencies.push_back(sim.now() - start);
+        ++req->migrationCount;
+        instances[to]->landMigration(req);
+    });
+
+    // The source may have capacity freed up; let it reschedule.
+    instances[from]->kick();
+}
+
+std::vector<qoe::RequestMetrics>
+Cluster::collectMetrics() const
+{
+    std::vector<qoe::RequestMetrics> out;
+    out.reserve(requests.size());
+    for (const auto& req : requests)
+        out.push_back(qoe::computeRequestMetrics(*req, cfg.slo));
+    return out;
+}
+
+std::size_t
+Cluster::numUnfinished() const
+{
+    std::size_t n = 0;
+    for (const auto& req : requests) {
+        if (!req->finished())
+            ++n;
+    }
+    return n;
+}
+
+TokenCount
+Cluster::maxPeakGpuKv() const
+{
+    TokenCount peak = 0;
+    for (const auto& inst : instances)
+        peak = std::max(peak, inst->pool().peakGpuUsed());
+    return peak;
+}
+
+std::uint64_t
+Cluster::totalIterations() const
+{
+    std::uint64_t n = 0;
+    for (const auto& inst : instances)
+        n += inst->numIterations();
+    return n;
+}
+
+std::vector<double>
+Cluster::allKvTransferLatencies() const
+{
+    std::vector<double> out;
+    for (const auto& link : ingress) {
+        const auto& lat = link->transferLatencies();
+        out.insert(out.end(), lat.begin(), lat.end());
+    }
+    return out;
+}
+
+} // namespace cluster
+} // namespace pascal

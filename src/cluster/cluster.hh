@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The multi-instance serving cluster (Fig. 6): a pool of instances, an
+ * instance-level scheduler routing arrivals and phase transitions, and
+ * the 100 Gbps fabric carrying KV migrations.
+ *
+ * Fabric contention is modeled per target node: each instance owns an
+ * ingress Link, so simultaneous migrations into the same node queue
+ * behind each other (the Section V-C scenario).
+ */
+
+#ifndef PASCAL_CLUSTER_CLUSTER_HH
+#define PASCAL_CLUSTER_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/instance.hh"
+#include "src/cluster/system_config.hh"
+#include "src/core/placement.hh"
+#include "src/qoe/metrics.hh"
+#include "src/sim/simulator.hh"
+#include "src/workload/trace.hh"
+
+namespace pascal
+{
+namespace cluster
+{
+
+/** The complete simulated deployment. */
+class Cluster
+{
+  public:
+    /**
+     * @param sim Shared simulator (must outlive the cluster).
+     * @param cfg Validated system configuration.
+     */
+    Cluster(sim::Simulator& sim, const SystemConfig& cfg);
+
+    /** Schedule every request of @p trace as an arrival event. */
+    void submitTrace(const workload::Trace& trace);
+
+    /** Resolved per-instance GPU KV capacity (tokens). */
+    TokenCount kvCapacityTokens() const { return kvCapacity; }
+
+    /** Score all requests against the configured SLO. */
+    std::vector<qoe::RequestMetrics> collectMetrics() const;
+
+    /** Requests that never finished (trace infeasible or horizon
+     *  hit). */
+    std::size_t numUnfinished() const;
+
+    /** Largest GPU KV occupancy seen on any instance. */
+    TokenCount maxPeakGpuKv() const;
+
+    /** Sum of iteration counts across instances. */
+    std::uint64_t totalIterations() const;
+
+    /** Every KV migration's end-to-end latency (Section V-C). */
+    std::vector<double> allKvTransferLatencies() const;
+
+    int totalMigrations() const { return migrations; }
+
+    const std::vector<std::unique_ptr<Instance>>&
+    getInstances() const
+    {
+        return instances;
+    }
+
+    const SystemConfig& config() const { return cfg; }
+
+  private:
+    /** Route a new arrival via Placement::placeNew (Algorithm 1). */
+    void onArrival(workload::Request* req);
+
+    /** Handle a reasoning->answering transition (Algorithm 2 +
+     *  adaptive override). */
+    void onPhaseTransition(workload::Request* req, InstanceId from);
+
+    /** Start a KV migration over the target's fabric ingress link. */
+    void migrate(workload::Request* req, InstanceId from,
+                 InstanceId to);
+
+    core::ClusterView buildView(Time now) const;
+
+    sim::Simulator& sim;
+    SystemConfig cfg;
+    model::PerfModel perf;
+    TokenCount kvCapacity;
+    std::unique_ptr<core::Placement> placement;
+    std::vector<std::unique_ptr<Instance>> instances;
+    std::vector<std::unique_ptr<model::Link>> ingress;
+    std::vector<std::unique_ptr<workload::Request>> requests;
+    int migrations = 0;
+};
+
+} // namespace cluster
+} // namespace pascal
+
+#endif // PASCAL_CLUSTER_CLUSTER_HH

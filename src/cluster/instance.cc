@@ -1,0 +1,282 @@
+#include "src/cluster/instance.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace cluster
+{
+
+using workload::BucketKind;
+using workload::ExecState;
+using workload::Phase;
+using workload::Request;
+
+Instance::Instance(InstanceId id, sim::Simulator& sim,
+                   const model::PerfModel& perf,
+                   std::unique_ptr<core::IntraScheduler> sched,
+                   TokenCount kv_capacity_tokens,
+                   const qoe::SloConfig& slo, InstanceCallbacks callbacks,
+                   TokenCount kv_block_size_tokens)
+    : instanceId(id),
+      sim(sim),
+      perf(perf),
+      sched(std::move(sched)),
+      kvPool(kv_capacity_tokens, kv_block_size_tokens),
+      slo(slo),
+      callbacks(std::move(callbacks)),
+      pcie(sim, perf.hardwareConfig().effPcieBandwidth(),
+           "pcie-" + std::to_string(id))
+{
+    if (this->sched == nullptr)
+        panic("Instance needs a scheduler");
+}
+
+void
+Instance::addRequest(Request* req)
+{
+    req->exec = ExecState::WaitingNew;
+    req->home = instanceId;
+    req->resetAccrual(sim.now());
+    sched->add(req);
+    kick();
+}
+
+void
+Instance::landMigration(Request* req)
+{
+    // The in-transit interval counts as answering-phase preemption.
+    req->accrue(sim.now(), BucketKind::Preempted);
+    req->home = instanceId;
+    if (kvPool.canAllocGpu(req->kvTokens())) {
+        kvPool.allocGpu(req->id(), req->kvTokens());
+        req->exec = ExecState::ResidentGpu;
+    } else {
+        kvPool.allocCpu(req->id(), req->kvTokens());
+        req->exec = ExecState::SwappedCpu;
+    }
+    sched->add(req);
+    kick();
+}
+
+void
+Instance::detach(Request* req)
+{
+    if (req->home != instanceId)
+        panic("detach: request " + std::to_string(req->id()) +
+              " not homed here");
+    req->accrue(sim.now(), BucketKind::Preempted);
+    if (kvPool.hasRequest(req->id()))
+        kvPool.release(req->id());
+    sched->remove(req);
+    req->exec = ExecState::InTransit;
+}
+
+void
+Instance::kick()
+{
+    if (!stepInFlight)
+        startIteration();
+}
+
+void
+Instance::startIteration()
+{
+    core::IterationPlan plan = sched->plan(kvPool);
+    if (plan.idle())
+        return;
+
+    stepInFlight = true;
+    Time t0 = sim.now();
+    Time swaps_done = t0;
+
+    // Evictions free GPU memory; the KV rides the PCIe link to host
+    // DRAM. The iteration's compute cannot start until swap traffic
+    // completes.
+    for (auto* r : plan.swapOut) {
+        r->accrue(t0, BucketKind::Preempted);
+        kvPool.moveToCpu(r->id());
+        r->exec = ExecState::SwappedCpu;
+        Time done = pcie.submit(perf.kvBytes(r->kvTokens()), nullptr);
+        swaps_done = std::max(swaps_done, done);
+        ++swapOuts;
+    }
+    for (auto* r : plan.swapIn) {
+        r->accrue(t0, BucketKind::Preempted);
+        kvPool.moveToGpu(r->id());
+        r->exec = ExecState::ResidentGpu;
+        Time done = pcie.submit(perf.kvBytes(r->kvTokens()), nullptr);
+        swaps_done = std::max(swaps_done, done);
+        ++swapIns;
+    }
+
+    // Pre-generated KV (Fig. 5 characterization) appears without
+    // prefill cost.
+    for (auto* r : plan.prewarm) {
+        r->accrue(t0, BucketKind::Blocked);
+        kvPool.allocGpu(r->id(), r->spec().promptTokens);
+        r->exec = ExecState::ResidentGpu;
+        r->prefillDone = true;
+        if (r->firstScheduled < 0.0)
+            r->firstScheduled = t0;
+    }
+
+    runningSet.clear();
+
+    TokenCount prompt_tokens = 0;
+    for (auto* r : plan.prefill) {
+        r->accrue(t0, BucketKind::Blocked);
+        // Prompt KV plus the slot for the first reasoning token the
+        // prefill pass emits.
+        kvPool.allocGpu(r->id(), r->spec().promptTokens + 1);
+        r->exec = ExecState::ResidentGpu;
+        if (r->firstScheduled < 0.0)
+            r->firstScheduled = t0;
+        prompt_tokens += r->spec().promptTokens;
+        runningSet.insert(r->id());
+        ++prefills;
+    }
+
+    TokenCount batch_kv = 0;
+    for (auto* r : plan.decode) {
+        kvPool.growGpu(r->id(), 1);
+        batch_kv += r->kvTokens();
+        if (r->firstScheduled < 0.0)
+            r->firstScheduled = t0;
+        if (r->phase() == Phase::Answering &&
+            r->firstAnswerScheduled < 0.0) {
+            r->firstAnswerScheduled = t0;
+        }
+        runningSet.insert(r->id());
+    }
+
+    // Scheduler contract: prefill and decode only coexist in chunked
+    // mode (the default vLLM-style planner clears decode otherwise).
+    Time latency = perf.mixedStepLatency(
+        prompt_tokens, static_cast<int>(plan.decode.size()), batch_kv);
+
+    Time step_end = std::max(swaps_done, t0 + latency);
+    ++iterations;
+    sim.at(step_end, [this, plan = std::move(plan), t0]() mutable {
+        completeIteration(std::move(plan), t0);
+    });
+}
+
+void
+Instance::accrueAll(Time now, bool prefill_iteration)
+{
+    for (auto* r : sched->hosted()) {
+        if (runningSet.count(r->id())) {
+            r->accrue(now, BucketKind::Executed);
+        } else if (r->exec == ExecState::WaitingNew) {
+            r->accrue(now, BucketKind::Blocked);
+        } else if (r->exec == ExecState::ResidentGpu &&
+                   prefill_iteration) {
+            // Stalling resident decodes for a prefill pass is inherent
+            // continuous-batching overhead, not a scheduling decision:
+            // even the oracle pays it.
+            r->accrue(now, BucketKind::Executed);
+        } else {
+            // Excluded from a decode batch or swapped out: preempted.
+            r->accrue(now, BucketKind::Preempted);
+        }
+    }
+}
+
+void
+Instance::completeIteration(core::IterationPlan plan, Time step_start)
+{
+    (void)step_start;
+    Time now = sim.now();
+
+    // Book the step's wall time for every hosted request before
+    // mutating progress, so the interval lands in the phase it was
+    // actually spent in.
+    accrueAll(now, plan.isPrefillIteration());
+
+    TokenCount quantum = sched->schedLimits().quantum;
+
+    for (auto* r : plan.prefill)
+        r->completePrefill(now, quantum);
+    for (auto* r : plan.decode) {
+        r->emitToken(now, quantum);
+        ++decodeTokens;
+    }
+
+    // Handle completions and phase transitions after all emissions.
+    std::vector<Request*> emitted;
+    emitted.reserve(plan.prefill.size() + plan.decode.size());
+    emitted.insert(emitted.end(), plan.prefill.begin(),
+                   plan.prefill.end());
+    emitted.insert(emitted.end(), plan.decode.begin(), plan.decode.end());
+
+    for (auto* r : emitted) {
+        if (r->finished()) {
+            kvPool.release(r->id());
+            r->exec = ExecState::Done;
+            sched->remove(r);
+            if (callbacks.onFinished)
+                callbacks.onFinished(r, instanceId);
+        } else if (r->reasoningEnd == now &&
+                   !r->spec().startInAnswering &&
+                   r->phase() == Phase::Answering) {
+            // The </think> token was just observed: let the
+            // instance-level scheduler place the answering phase. The
+            // callback may detach the request for migration.
+            if (callbacks.onPhaseTransition)
+                callbacks.onPhaseTransition(r, instanceId);
+        }
+    }
+
+    runningSet.clear();
+    stepInFlight = false;
+    startIteration();
+}
+
+bool
+Instance::answeringSloOk(Time now) const
+{
+    for (const auto* r : sched->hosted()) {
+        if (r->phase() != Phase::Answering || r->finished())
+            continue;
+        if (r->firstAnswer >= 0.0) {
+            // The user digests one token per tpot from the first
+            // answering token; the monitor flags the request once the
+            // pacer buffer (generated minus digested) runs below the
+            // early-warning margin.
+            auto expected = static_cast<TokenCount>(
+                std::floor((now - r->firstAnswer) / slo.tpotTarget)) + 1;
+            expected = std::min(expected + slo.monitorBufferMarginTokens,
+                                r->spec().answerTokens);
+            if (r->answerGenerated() < expected)
+                return false;
+        } else if (r->reasoningEnd >= 0.0) {
+            // Transitioned but no first answering token yet: failing
+            // once the TTFAT budget is exhausted.
+            if (now - r->reasoningEnd > slo.ttfatTarget)
+                return false;
+        }
+    }
+    return true;
+}
+
+core::InstanceSnapshot
+Instance::snapshot(Time now) const
+{
+    core::InstanceSnapshot snap;
+    snap.id = instanceId;
+    snap.answeringSloOk = answeringSloOk(now);
+    snap.kvFootprintTokens = kvPool.totalFootprintTokens();
+    snap.numReasoning = sched->numReasoning();
+    snap.numFreshAnswering = sched->numFreshAnswering();
+    snap.gpuFreeTokens = kvPool.gpuFree();
+    snap.gpuCapacityTokens = kvPool.gpuCapacity();
+    return snap;
+}
+
+} // namespace cluster
+} // namespace pascal

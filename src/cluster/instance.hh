@@ -1,0 +1,141 @@
+/**
+ * @file
+ * One serving instance: the continuous-batching execution engine that
+ * turns scheduler IterationPlans into simulated iterations.
+ *
+ * An instance owns a model replica (represented by the shared
+ * PerfModel), a KV pool, a PCIe host link for swap traffic, and an
+ * intra-instance scheduler. At every iteration boundary it asks the
+ * scheduler for a plan, applies the swaps (PCIe latency), then runs
+ * either one prefill pass or one decode step and reports emissions,
+ * phase transitions, and completions to the cluster.
+ */
+
+#ifndef PASCAL_CLUSTER_INSTANCE_HH
+#define PASCAL_CLUSTER_INSTANCE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+
+#include "src/core/cluster_view.hh"
+#include "src/core/intra_scheduler.hh"
+#include "src/model/kv_pool.hh"
+#include "src/model/link.hh"
+#include "src/model/perf_model.hh"
+#include "src/qoe/slo.hh"
+#include "src/sim/simulator.hh"
+#include "src/workload/request.hh"
+
+namespace pascal
+{
+namespace cluster
+{
+
+/** Cluster-side hooks invoked at iteration completion. */
+struct InstanceCallbacks
+{
+    /** The request just emitted its final reasoning token; the
+     *  instance-level scheduler decides where it answers. */
+    std::function<void(workload::Request*, InstanceId)> onPhaseTransition;
+
+    /** The request generated all its tokens and released its KV. */
+    std::function<void(workload::Request*, InstanceId)> onFinished;
+};
+
+/** Continuous-batching serving instance. */
+class Instance
+{
+  public:
+    /**
+     * @param id Cluster-unique instance id.
+     * @param sim Shared simulator (must outlive the instance).
+     * @param perf Shared performance model.
+     * @param sched Intra-instance scheduling policy (owned).
+     * @param kv_capacity_tokens GPU KV capacity in tokens.
+     * @param slo SLO targets for the t_i monitor condition.
+     * @param callbacks Cluster hooks.
+     * @param kv_block_size_tokens Paged-KV block size (>= 1).
+     */
+    Instance(InstanceId id, sim::Simulator& sim,
+             const model::PerfModel& perf,
+             std::unique_ptr<core::IntraScheduler> sched,
+             TokenCount kv_capacity_tokens, const qoe::SloConfig& slo,
+             InstanceCallbacks callbacks,
+             TokenCount kv_block_size_tokens = 1);
+
+    InstanceId id() const { return instanceId; }
+
+    /** Route a newly arrived request here (no KV yet). */
+    void addRequest(workload::Request* req);
+
+    /** A migrated request's KV just landed over the fabric. */
+    void landMigration(workload::Request* req);
+
+    /** Remove a request that migrates away; releases its KV. */
+    void detach(workload::Request* req);
+
+    /** Ensure an iteration is scheduled if there is runnable work. */
+    void kick();
+
+    /** Paper t_i: all answering requests are keeping the user's
+     *  expected pace (token pacer not starved). */
+    bool answeringSloOk(Time now) const;
+
+    /** Monitor snapshot for the placement algorithms. */
+    core::InstanceSnapshot snapshot(Time now) const;
+
+    const model::KvPool& pool() const { return kvPool; }
+    core::IntraScheduler& scheduler() { return *sched; }
+    const core::IntraScheduler& scheduler() const { return *sched; }
+    model::Link& pcieLink() { return pcie; }
+
+    /** @name Engine statistics */
+    /** @{ */
+    std::uint64_t numIterations() const { return iterations; }
+    std::uint64_t numDecodeTokens() const { return decodeTokens; }
+    std::uint64_t numPrefills() const { return prefills; }
+    std::uint64_t numSwapOuts() const { return swapOuts; }
+    std::uint64_t numSwapIns() const { return swapIns; }
+    /** @} */
+
+  private:
+    void startIteration();
+    void completeIteration(core::IterationPlan plan, Time step_start);
+
+    /**
+     * Accrue waiting/executing time for every hosted request.
+     *
+     * @param now End of the completed iteration.
+     * @param prefill_iteration True if the iteration ran prefills:
+     *        residents pausing for a prefill pass are normal
+     *        continuous-batching pipeline overhead (booked as
+     *        executed), whereas residents excluded from a decode batch
+     *        were preempted by the scheduling policy.
+     */
+    void accrueAll(Time now, bool prefill_iteration);
+
+    InstanceId instanceId;
+    sim::Simulator& sim;
+    const model::PerfModel& perf;
+    std::unique_ptr<core::IntraScheduler> sched;
+    model::KvPool kvPool;
+    qoe::SloConfig slo;
+    InstanceCallbacks callbacks;
+    model::Link pcie;
+
+    bool stepInFlight = false;
+    std::unordered_set<RequestId> runningSet; //!< Current step batch.
+
+    std::uint64_t iterations = 0;
+    std::uint64_t decodeTokens = 0;
+    std::uint64_t prefills = 0;
+    std::uint64_t swapOuts = 0;
+    std::uint64_t swapIns = 0;
+};
+
+} // namespace cluster
+} // namespace pascal
+
+#endif // PASCAL_CLUSTER_INSTANCE_HH

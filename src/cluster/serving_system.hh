@@ -1,0 +1,70 @@
+/**
+ * @file
+ * ServingSystem: the library's top-level facade.
+ *
+ * Construct it from a SystemConfig, hand it a Trace, and it runs the
+ * whole discrete-event simulation and returns scored metrics. Each
+ * run() builds a fresh simulator and cluster, so one ServingSystem can
+ * evaluate many traces (and runs are independent and reproducible).
+ */
+
+#ifndef PASCAL_CLUSTER_SERVING_SYSTEM_HH
+#define PASCAL_CLUSTER_SERVING_SYSTEM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cluster/system_config.hh"
+#include "src/qoe/metrics.hh"
+#include "src/workload/trace.hh"
+
+namespace pascal
+{
+namespace cluster
+{
+
+/** Everything a harness needs from one simulated run. */
+struct RunResult
+{
+    std::vector<qoe::RequestMetrics> perRequest;
+    qoe::AggregateMetrics aggregate;
+
+    /** Largest GPU KV occupancy on any instance (tokens); feeds the
+     *  Section III "50 % of oracle" capacity recipe. */
+    TokenCount peakGpuKvTokens = 0;
+
+    /** Per-instance KV capacity the run used (tokens). */
+    TokenCount kvCapacityTokens = 0;
+
+    std::uint64_t totalIterations = 0;
+    std::size_t numUnfinished = 0;
+    int totalMigrations = 0;
+
+    /** All KV migration latencies (Section V-C). */
+    std::vector<double> kvTransferLatencies;
+
+    std::string schedulerName;
+    std::string placementName;
+};
+
+/** Facade running complete serving simulations. */
+class ServingSystem
+{
+  public:
+    /** @param cfg Validated deployment configuration (copied). */
+    explicit ServingSystem(SystemConfig cfg);
+
+    /** Simulate @p trace to completion and score it. */
+    RunResult run(const workload::Trace& trace) const;
+
+    const SystemConfig& config() const { return cfg; }
+
+  private:
+    SystemConfig cfg;
+};
+
+} // namespace cluster
+} // namespace pascal
+
+#endif // PASCAL_CLUSTER_SERVING_SYSTEM_HH

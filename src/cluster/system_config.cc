@@ -1,0 +1,117 @@
+#include "src/cluster/system_config.hh"
+
+#include "src/common/log.hh"
+#include "src/core/fcfs_scheduler.hh"
+#include "src/core/pascal_placement.hh"
+#include "src/core/pascal_scheduler.hh"
+#include "src/core/rr_scheduler.hh"
+
+namespace pascal
+{
+namespace cluster
+{
+
+void
+SystemConfig::validate() const
+{
+    model.validate();
+    hardware.validate();
+    limits.validate();
+    slo.validate();
+    if (numInstances <= 0)
+        fatal("SystemConfig: numInstances must be positive");
+    if (gpuKvCapacityTokens < 0)
+        fatal("SystemConfig: negative KV capacity");
+    if (kvCapacityFraction <= 0.0)
+        fatal("SystemConfig: kvCapacityFraction must be positive");
+    if (kvBlockSizeTokens <= 0)
+        fatal("SystemConfig: kvBlockSizeTokens must be positive");
+    if (maxSimTime <= 0.0)
+        fatal("SystemConfig: maxSimTime must be positive");
+}
+
+std::string
+SystemConfig::schedulerName() const
+{
+    switch (scheduler) {
+      case SchedulerType::Fcfs:
+        return "FCFS";
+      case SchedulerType::Rr:
+        return "RR";
+      case SchedulerType::Pascal:
+        return "PASCAL";
+    }
+    return "?";
+}
+
+std::string
+SystemConfig::placementName() const
+{
+    switch (placement) {
+      case PlacementType::Baseline:
+        return "min-kv/no-migration";
+      case PlacementType::Pascal:
+        return "PASCAL";
+      case PlacementType::PascalNonAdaptive:
+        return "PASCAL(NonAdaptive)";
+      case PlacementType::PascalNoMigration:
+        return "PASCAL(NoMigration)";
+    }
+    return "?";
+}
+
+SystemConfig
+SystemConfig::baseline(SchedulerType sched, int num_instances)
+{
+    SystemConfig cfg;
+    cfg.scheduler = sched;
+    cfg.placement = PlacementType::Baseline;
+    cfg.numInstances = num_instances;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::pascal(int num_instances)
+{
+    SystemConfig cfg;
+    cfg.scheduler = SchedulerType::Pascal;
+    cfg.placement = PlacementType::Pascal;
+    cfg.numInstances = num_instances;
+    return cfg;
+}
+
+std::unique_ptr<core::IntraScheduler>
+makeScheduler(SchedulerType type, const core::SchedLimits& limits)
+{
+    switch (type) {
+      case SchedulerType::Fcfs:
+        return std::make_unique<core::FcfsScheduler>(limits);
+      case SchedulerType::Rr:
+        return std::make_unique<core::RrScheduler>(limits);
+      case SchedulerType::Pascal:
+        return std::make_unique<core::PascalScheduler>(limits);
+    }
+    fatal("makeScheduler: unknown scheduler type");
+}
+
+std::unique_ptr<core::Placement>
+makePlacement(PlacementType type)
+{
+    using Variant = core::PascalPlacement::Variant;
+    switch (type) {
+      case PlacementType::Baseline:
+        return std::make_unique<core::BaselinePlacement>();
+      case PlacementType::Pascal:
+        return std::make_unique<core::PascalPlacement>(Variant::Full);
+      case PlacementType::PascalNonAdaptive:
+        return std::make_unique<core::PascalPlacement>(
+            Variant::NonAdaptive);
+      case PlacementType::PascalNoMigration:
+        return std::make_unique<core::PascalPlacement>(
+            Variant::NoMigration);
+    }
+    fatal("makePlacement: unknown placement type");
+}
+
+} // namespace cluster
+} // namespace pascal

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Top-level configuration of a simulated serving deployment, plus
+ * factories mapping enum knobs to scheduler/placement objects.
+ */
+
+#ifndef PASCAL_CLUSTER_SYSTEM_CONFIG_HH
+#define PASCAL_CLUSTER_SYSTEM_CONFIG_HH
+
+#include <memory>
+#include <string>
+
+#include "src/core/intra_scheduler.hh"
+#include "src/core/placement.hh"
+#include "src/model/hardware_config.hh"
+#include "src/model/model_config.hh"
+#include "src/qoe/slo.hh"
+
+namespace pascal
+{
+namespace cluster
+{
+
+/** Intra-instance scheduling policy selector. */
+enum class SchedulerType
+{
+    Fcfs,   //!< vLLM default (Section II-C).
+    Rr,     //!< Token-quantum round robin.
+    Pascal, //!< Hierarchical phase-aware queues (Section IV-C).
+};
+
+/** Instance-level placement policy selector. */
+enum class PlacementType
+{
+    Baseline,          //!< Min-KV routing, never migrates.
+    Pascal,            //!< Algorithms 1+2 with adaptive migration.
+    PascalNonAdaptive, //!< Always follow Algorithm 2 (Section V-D).
+    PascalNoMigration, //!< Pin to the Algorithm-1 instance (V-D).
+};
+
+/** Everything needed to build a ServingSystem. */
+struct SystemConfig
+{
+    model::ModelConfig model = model::ModelConfig::deepseekR1Distill32B();
+    model::HardwareConfig hardware = model::HardwareConfig::h100();
+
+    int numInstances = 8; //!< The paper's cluster size (Section V-A).
+
+    SchedulerType scheduler = SchedulerType::Pascal;
+    PlacementType placement = PlacementType::Pascal;
+
+    core::SchedLimits limits; //!< Quantum 500, demotion 5000, caps.
+    qoe::SloConfig slo;
+
+    /**
+     * Explicit per-instance GPU KV capacity in tokens; 0 derives it
+     * from the hardware/model configs (memory left after weights).
+     */
+    TokenCount gpuKvCapacityTokens = 0;
+
+    /** Scale factor applied to the (derived or explicit) capacity;
+     *  Section III uses 0.5 for the memory-constrained runs. */
+    double kvCapacityFraction = 1.0;
+
+    /** Paged-KV block size in tokens (vLLM default: 16). 1 gives
+     *  exact token-granular accounting. */
+    TokenCount kvBlockSizeTokens = 16;
+
+    /** Simulation safety horizon in seconds. */
+    Time maxSimTime = 1e7;
+
+    void validate() const;
+
+    std::string schedulerName() const;
+    std::string placementName() const;
+
+    /** Baseline deployment: FCFS or RR with min-KV routing. */
+    static SystemConfig baseline(SchedulerType sched,
+                                 int num_instances = 8);
+
+    /** Full PASCAL deployment. */
+    static SystemConfig pascal(int num_instances = 8);
+};
+
+/** Build the intra-instance scheduler for one instance. */
+std::unique_ptr<core::IntraScheduler>
+makeScheduler(SchedulerType type, const core::SchedLimits& limits);
+
+/** Build the cluster-level placement policy. */
+std::unique_ptr<core::Placement> makePlacement(PlacementType type);
+
+} // namespace cluster
+} // namespace pascal
+
+#endif // PASCAL_CLUSTER_SYSTEM_CONFIG_HH

@@ -1,0 +1,75 @@
+#include "src/common/histogram.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace stats
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t num_bins)
+    : lo(lo), hi(hi), counts(num_bins, 0)
+{
+    if (hi <= lo)
+        fatal("Histogram range must satisfy hi > lo");
+    if (num_bins == 0)
+        fatal("Histogram needs at least one bin");
+    width = (hi - lo) / static_cast<double>(num_bins);
+}
+
+void
+Histogram::add(double x)
+{
+    sum += x;
+    ++total;
+    double clamped = std::clamp(x, lo, hi - width * 1e-9);
+    auto idx = static_cast<std::size_t>((clamped - lo) / width);
+    idx = std::min(idx, counts.size() - 1);
+    ++counts[idx];
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return lo + (static_cast<double>(i) + 0.5) * width;
+}
+
+double
+Histogram::density(std::size_t i) const
+{
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(counts.at(i)) / static_cast<double>(total);
+}
+
+double
+Histogram::mean() const
+{
+    return total ? sum / static_cast<double>(total) : 0.0;
+}
+
+std::string
+Histogram::render(std::size_t max_width) const
+{
+    std::size_t peak = 0;
+    for (auto c : counts)
+        peak = std::max(peak, c);
+
+    std::string out;
+    char line[160];
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        std::size_t bar = peak == 0 ? 0 : counts[i] * max_width / peak;
+        std::snprintf(line, sizeof(line), "%10.0f | %-6zu ",
+                      binCenter(i), counts[i]);
+        out += line;
+        out.append(bar, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace stats
+} // namespace pascal

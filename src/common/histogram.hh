@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fixed-width histogram used by the dataset-distribution benches
+ * (Fig. 8 and Fig. 14) and by tests that check distribution shape.
+ */
+
+#ifndef PASCAL_COMMON_HISTOGRAM_HH
+#define PASCAL_COMMON_HISTOGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pascal
+{
+namespace stats
+{
+
+/**
+ * Histogram over [lo, hi) with a fixed number of equal-width bins.
+ * Samples outside the range are clamped into the first/last bin so no
+ * mass is silently dropped.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Inclusive lower edge of the histogram range.
+     * @param hi Exclusive upper edge; must be > lo.
+     * @param num_bins Number of equal-width bins; must be >= 1.
+     */
+    Histogram(double lo, double hi, std::size_t num_bins);
+
+    /** Insert one sample (clamped into range). */
+    void add(double x);
+
+    /** Total number of samples. */
+    std::size_t count() const { return total; }
+
+    /** Number of samples in bin @p i. */
+    std::size_t binCount(std::size_t i) const { return counts.at(i); }
+
+    /** Number of bins. */
+    std::size_t numBins() const { return counts.size(); }
+
+    /** Center of bin @p i. */
+    double binCenter(std::size_t i) const;
+
+    /** Fraction of mass in bin @p i (0 when empty). */
+    double density(std::size_t i) const;
+
+    /** Mean of the raw samples (not binned). */
+    double mean() const;
+
+    /**
+     * Render an ASCII bar chart, one line per bin, for bench output.
+     * @param max_width Width in characters of the largest bar.
+     */
+    std::string render(std::size_t max_width = 50) const;
+
+  private:
+    double lo;
+    double hi;
+    double width;
+    std::vector<std::size_t> counts;
+    std::size_t total = 0;
+    double sum = 0.0;
+};
+
+} // namespace stats
+} // namespace pascal
+
+#endif // PASCAL_COMMON_HISTOGRAM_HH

@@ -1,0 +1,49 @@
+#include "src/common/log.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pascal
+{
+
+namespace
+{
+std::atomic<bool> quietFlag{false};
+} // namespace
+
+void
+fatal(const std::string& msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+inform(const std::string& msg)
+{
+    if (!quietFlag.load(std::memory_order_relaxed))
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+warn(const std::string& msg)
+{
+    if (!quietFlag.load(std::memory_order_relaxed))
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag.store(quiet, std::memory_order_relaxed);
+}
+
+} // namespace pascal

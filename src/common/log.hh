@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal status/error reporting in the gem5 spirit.
+ *
+ * fatal() is for user errors (bad configuration, malformed trace): it
+ * throws FatalError so that library embedders and tests can recover.
+ * panic() is for internal invariant violations (simulator bugs): it
+ * aborts. inform()/warn() print status without stopping the run.
+ */
+
+#ifndef PASCAL_COMMON_LOG_HH
+#define PASCAL_COMMON_LOG_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace pascal
+{
+
+/** Exception thrown by fatal(): a user-correctable configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/**
+ * Report an unrecoverable user error (bad config, invalid arguments).
+ *
+ * @param msg Description of what the user did wrong.
+ * @throws FatalError always.
+ */
+[[noreturn]] void fatal(const std::string& msg);
+
+/**
+ * Report an internal simulator bug and abort.
+ *
+ * @param msg Description of the violated invariant.
+ */
+[[noreturn]] void panic(const std::string& msg);
+
+/** Print an informational status line to stderr. */
+void inform(const std::string& msg);
+
+/** Print a warning line to stderr. */
+void warn(const std::string& msg);
+
+/** Globally silence inform()/warn() output (used by benches/tests). */
+void setQuiet(bool quiet);
+
+} // namespace pascal
+
+#endif // PASCAL_COMMON_LOG_HH

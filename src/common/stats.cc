@@ -1,0 +1,127 @@
+#include "src/common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace stats
+{
+
+void
+Summary::add(double x)
+{
+    ++n;
+    double delta = x - meanAcc;
+    meanAcc += delta / static_cast<double>(n);
+    m2 += delta * (x - meanAcc);
+    minAcc = std::min(minAcc, x);
+    maxAcc = std::max(maxAcc, x);
+}
+
+double
+Summary::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    if (p < 0.0 || p > 100.0)
+        fatal("percentile p must be in [0,100], got " + std::to_string(p));
+
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values.front();
+
+    double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    auto lo = static_cast<std::size_t>(std::floor(rank));
+    auto hi = static_cast<std::size_t>(std::ceil(rank));
+    double frac = rank - static_cast<double>(lo);
+    return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+std::optional<double>
+adaptiveTail(const std::vector<double>& values)
+{
+    std::size_t n = values.size();
+    if (n < 5)
+        return std::nullopt;
+    if (n < 10)
+        return *std::max_element(values.begin(), values.end());
+    if (n < 20)
+        return percentile(values, 90.0);
+    if (n < 100)
+        return percentile(values, 95.0);
+    return percentile(values, 99.0);
+}
+
+std::string
+adaptiveTailName(std::size_t n)
+{
+    if (n < 5)
+        return "omitted";
+    if (n < 10)
+        return "max";
+    if (n < 20)
+        return "P90";
+    if (n < 100)
+        return "P95";
+    return "P99";
+}
+
+const std::vector<double> BinnedTail::emptyBin{};
+
+BinnedTail::BinnedTail(double bin_width) : width(bin_width)
+{
+    if (bin_width <= 0.0)
+        fatal("BinnedTail bin width must be positive");
+}
+
+void
+BinnedTail::add(double key, double value)
+{
+    auto idx = static_cast<std::int64_t>(std::floor(key / width));
+    bins[idx].push_back(value);
+}
+
+std::vector<BinnedTail::Bin>
+BinnedTail::reduce() const
+{
+    std::vector<Bin> out;
+    out.reserve(bins.size());
+    for (const auto& [idx, values] : bins) {
+        Bin b;
+        b.lo = static_cast<double>(idx) * width;
+        b.hi = b.lo + width;
+        b.count = values.size();
+        b.tail = adaptiveTail(values);
+        b.statName = adaptiveTailName(values.size());
+        out.push_back(std::move(b));
+    }
+    return out;
+}
+
+const std::vector<double>&
+BinnedTail::binValues(double key) const
+{
+    auto idx = static_cast<std::int64_t>(std::floor(key / width));
+    auto it = bins.find(idx);
+    return it == bins.end() ? emptyBin : it->second;
+}
+
+} // namespace stats
+} // namespace pascal

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Summary statistics, percentiles, and the paper's adaptive tail-latency
+ * rule (Fig. 10 caption).
+ */
+
+#ifndef PASCAL_COMMON_STATS_HH
+#define PASCAL_COMMON_STATS_HH
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hh"
+
+namespace pascal
+{
+namespace stats
+{
+
+/**
+ * Streaming accumulator for count/mean/variance/min/max.
+ *
+ * Uses Welford's online algorithm so it is numerically stable for long
+ * runs.
+ */
+class Summary
+{
+  public:
+    /** Fold one sample into the summary. */
+    void add(double x);
+
+    /** Number of samples seen. */
+    std::size_t count() const { return n; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return n ? meanAcc : 0.0; }
+
+    /** Population variance (0 when fewer than 2 samples). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample (+inf when empty). */
+    double min() const { return minAcc; }
+
+    /** Largest sample (-inf when empty). */
+    double max() const { return maxAcc; }
+
+    /** Sum of all samples. */
+    double sum() const { return meanAcc * static_cast<double>(n); }
+
+  private:
+    std::size_t n = 0;
+    double meanAcc = 0.0;
+    double m2 = 0.0;
+    double minAcc = kTimeInfinity;
+    double maxAcc = -kTimeInfinity;
+};
+
+/**
+ * Percentile with linear interpolation between closest ranks.
+ *
+ * @param values Samples; copied and sorted internally.
+ * @param p Percentile in [0, 100].
+ * @return The interpolated percentile, or 0 for an empty input.
+ */
+double percentile(std::vector<double> values, double p);
+
+/**
+ * The paper's adaptive tail statistic (Fig. 10 caption): maximum for
+ * bins with fewer than 10 samples, P90 below 20, P95 below 100, and P99
+ * otherwise. Returns nullopt for bins with fewer than 5 samples, which
+ * the paper omits as statistically meaningless.
+ */
+std::optional<double> adaptiveTail(const std::vector<double>& values);
+
+/** Human-readable name of the adaptive statistic used for a bin size. */
+std::string adaptiveTailName(std::size_t n);
+
+/**
+ * Group (key, value) samples into fixed-width key bins and reduce each
+ * bin with the adaptive tail rule.
+ *
+ * Used to regenerate Fig. 10/13/16: key = reasoning token length, value
+ * = TTFT, width = 256.
+ */
+class BinnedTail
+{
+  public:
+    /** @param bin_width Width of each key bin (must be positive). */
+    explicit BinnedTail(double bin_width);
+
+    /** Insert one (key, value) sample. */
+    void add(double key, double value);
+
+    /** One reduced bin. */
+    struct Bin
+    {
+        double lo;               //!< Inclusive lower key edge.
+        double hi;               //!< Exclusive upper key edge.
+        std::size_t count;       //!< Samples in the bin.
+        std::optional<double> tail; //!< Adaptive tail (nullopt if n<5).
+        std::string statName;    //!< Which statistic tail used.
+    };
+
+    /** Reduce all bins in ascending key order. */
+    std::vector<Bin> reduce() const;
+
+    /** Raw values of the bin containing @p key (empty if none). */
+    const std::vector<double>& binValues(double key) const;
+
+  private:
+    double width;
+    std::map<std::int64_t, std::vector<double>> bins;
+    static const std::vector<double> emptyBin;
+};
+
+} // namespace stats
+} // namespace pascal
+
+#endif // PASCAL_COMMON_STATS_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers shared by every PASCAL
+ * module.
+ *
+ * Simulation time is kept in double-precision seconds. Token counts and
+ * byte counts are signed 64-bit so that intermediate arithmetic
+ * (differences, scaled sums) cannot overflow for any realistic trace.
+ */
+
+#ifndef PASCAL_COMMON_TYPES_HH
+#define PASCAL_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace pascal
+{
+
+/** Simulation time in seconds. */
+using Time = double;
+
+/** Number of tokens (prompt, KV, generated...). */
+using TokenCount = std::int64_t;
+
+/** Byte quantity (KV footprints, transfer sizes). */
+using Bytes = std::int64_t;
+
+/** Globally unique request identifier, assigned by the trace. */
+using RequestId = std::int64_t;
+
+/** Index of a serving instance inside a cluster. */
+using InstanceId = int;
+
+/** Sentinel for "no instance". */
+inline constexpr InstanceId kNoInstance = -1;
+
+/** Sentinel for "no request". */
+inline constexpr RequestId kNoRequest = -1;
+
+/** A time far beyond any simulated horizon. */
+inline constexpr Time kTimeInfinity =
+    std::numeric_limits<Time>::infinity();
+
+/** Convert milliseconds to simulation seconds. */
+constexpr Time
+milliseconds(double ms)
+{
+    return ms * 1e-3;
+}
+
+/** Convert microseconds to simulation seconds. */
+constexpr Time
+microseconds(double us)
+{
+    return us * 1e-6;
+}
+
+/** Convert gigabytes (decimal) to bytes. */
+constexpr Bytes
+gigabytes(double gb)
+{
+    return static_cast<Bytes>(gb * 1e9);
+}
+
+/** Convert mebibytes (binary) to bytes. */
+constexpr Bytes
+mebibytes(double mib)
+{
+    return static_cast<Bytes>(mib * 1024.0 * 1024.0);
+}
+
+/** Convert a gigabit-per-second link rate to bytes per second. */
+constexpr double
+gbpsToBytesPerSec(double gbps)
+{
+    return gbps * 1e9 / 8.0;
+}
+
+} // namespace pascal
+
+#endif // PASCAL_COMMON_TYPES_HH

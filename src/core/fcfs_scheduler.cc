@@ -1,0 +1,44 @@
+#include "src/core/fcfs_scheduler.hh"
+
+#include <algorithm>
+
+namespace pascal
+{
+namespace core
+{
+
+FcfsScheduler::FcfsScheduler(SchedLimits limits)
+    : IntraScheduler(limits)
+{
+    // FCFS has no quantum; disable quantum accounting so the RR
+    // priority key never changes.
+    this->limits.quantum = 0;
+}
+
+IterationPlan
+FcfsScheduler::plan(const model::KvPool& pool)
+{
+    // Strict arrival order across all states. Swapped requests are
+    // older than waiting ones by construction, so one ordered walk
+    // with stop-at-first-unfit semantics reproduces vLLM FCFS:
+    // resume-before-admit, block new arrivals behind the first
+    // request that does not fit, and evict from the back (the most
+    // recently arrived) when the decode batch cannot grow.
+    std::vector<workload::Request*> order;
+    order.reserve(requests.size());
+    for (auto* r : requests) {
+        if (schedulable(r))
+            order.push_back(r);
+    }
+    std::sort(order.begin(), order.end(),
+        [](const workload::Request* a, const workload::Request* b) {
+            if (a->spec().arrival != b->spec().arrival)
+                return a->spec().arrival < b->spec().arrival;
+            return a->id() < b->id();
+        });
+
+    return greedySelect(order, pool, /*stop_at_unfit=*/true);
+}
+
+} // namespace core
+} // namespace pascal

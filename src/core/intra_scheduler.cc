@@ -1,0 +1,223 @@
+#include "src/core/intra_scheduler.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace core
+{
+
+void
+SchedLimits::validate() const
+{
+    if (maxBatchSize <= 0)
+        fatal("SchedLimits: maxBatchSize must be positive");
+    if (maxPrefillTokens <= 0 || maxPrefillSeqs <= 0)
+        fatal("SchedLimits: prefill limits must be positive");
+    if (demoteThresholdTokens <= 0)
+        fatal("SchedLimits: demoteThresholdTokens must be positive");
+    if (answeringReserveFraction < 0.0 ||
+        answeringReserveFraction >= 1.0) {
+        fatal("SchedLimits: answeringReserveFraction must be in "
+              "[0, 1)");
+    }
+}
+
+IntraScheduler::IntraScheduler(SchedLimits limits) : limits(limits)
+{
+    limits.validate();
+}
+
+void
+IntraScheduler::add(workload::Request* req)
+{
+    if (req == nullptr)
+        panic("IntraScheduler::add(nullptr)");
+    requests.push_back(req);
+}
+
+void
+IntraScheduler::remove(workload::Request* req)
+{
+    auto it = std::find(requests.begin(), requests.end(), req);
+    if (it == requests.end())
+        panic("IntraScheduler::remove: request " +
+              std::to_string(req->id()) + " not hosted");
+    requests.erase(it);
+}
+
+void
+IntraScheduler::onPhaseTransition(workload::Request*)
+{
+    // Phase-unaware baselines need no bookkeeping.
+}
+
+int
+IntraScheduler::numReasoning() const
+{
+    int n = 0;
+    for (const auto* r : requests) {
+        if (r->phase() == workload::Phase::Reasoning && !r->demoted)
+            ++n;
+    }
+    return n;
+}
+
+int
+IntraScheduler::numFreshAnswering() const
+{
+    int n = 0;
+    for (const auto* r : requests) {
+        if (r->phase() == workload::Phase::Answering && !r->finished()
+            && r->quantaConsumed == 0) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+bool
+IntraScheduler::schedulable(const workload::Request* req)
+{
+    if (req->finished())
+        return false;
+    switch (req->exec) {
+      case workload::ExecState::WaitingNew:
+      case workload::ExecState::ResidentGpu:
+      case workload::ExecState::SwappedCpu:
+        return true;
+      default:
+        return false;
+    }
+}
+
+IterationPlan
+IntraScheduler::greedySelect(const std::vector<workload::Request*>& order,
+                             const model::KvPool& pool,
+                             bool stop_at_unfit,
+                             std::size_t high_prefix_len,
+                             TokenCount high_budget_cap) const
+{
+    IterationPlan plan;
+    TokenCount budget = pool.gpuCapacity();
+    TokenCount high_budget =
+        high_prefix_len > 0 ? high_budget_cap : budget;
+    TokenCount prefill_tokens = 0;
+    int batch = 0;
+    bool stopped = false;
+    std::vector<workload::Request*> unselected_residents;
+
+    for (std::size_t idx = 0; idx < order.size(); ++idx) {
+        auto* r = order[idx];
+        if (!schedulable(r))
+            continue;
+        bool resident = r->exec == workload::ExecState::ResidentGpu;
+        bool capped = idx < high_prefix_len;
+
+        if (stopped || batch >= limits.maxBatchSize) {
+            if (resident)
+                unselected_residents.push_back(r);
+            continue;
+        }
+
+        // Effective budget: capped (high-queue) candidates may not eat
+        // into the memory reserved for the low queue.
+        TokenCount avail = capped ? std::min(budget, high_budget)
+                                  : budget;
+        auto charge = [&](TokenCount cost) {
+            budget -= cost;
+            if (capped)
+                high_budget -= cost;
+        };
+
+        switch (r->exec) {
+          case workload::ExecState::WaitingNew: {
+            TokenCount cost =
+                pool.chargeFor(r->spec().promptTokens + 1);
+            bool prewarm = r->spec().startInAnswering;
+            bool caps_ok = prewarm ||
+                (static_cast<int>(plan.prefill.size()) <
+                     limits.maxPrefillSeqs &&
+                 prefill_tokens + r->spec().promptTokens <=
+                     limits.maxPrefillTokens);
+            if (!caps_ok || cost > avail) {
+                if (stop_at_unfit)
+                    stopped = true;
+                continue;
+            }
+            charge(cost);
+            ++batch;
+            if (prewarm) {
+                plan.prewarm.push_back(r);
+            } else {
+                plan.prefill.push_back(r);
+                prefill_tokens += r->spec().promptTokens;
+            }
+            break;
+          }
+          case workload::ExecState::ResidentGpu: {
+            TokenCount cost = pool.chargeFor(r->kvTokens() + 1);
+            if (cost > avail) {
+                unselected_residents.push_back(r);
+                if (stop_at_unfit)
+                    stopped = true;
+                continue;
+            }
+            charge(cost);
+            ++batch;
+            plan.decode.push_back(r);
+            break;
+          }
+          case workload::ExecState::SwappedCpu: {
+            TokenCount cost = pool.chargeFor(r->kvTokens() + 1);
+            if (cost > avail) {
+                if (stop_at_unfit)
+                    stopped = true;
+                continue;
+            }
+            charge(cost);
+            ++batch;
+            plan.swapIn.push_back(r);
+            plan.decode.push_back(r);
+            break;
+          }
+          default:
+            panic("greedySelect: unexpected exec state");
+        }
+    }
+
+    // Unselected residents stay resident while the leftover budget
+    // covers them (they simply skip this iteration); the rest are
+    // evicted, lowest priority first because the walk preserved
+    // priority order and we evict from the back.
+    TokenCount keep_budget = budget;
+    std::vector<workload::Request*> evict;
+    for (auto* r : unselected_residents) {
+        TokenCount keep_cost = pool.chargeFor(r->kvTokens());
+        if (keep_cost <= keep_budget)
+            keep_budget -= keep_cost;
+        else
+            evict.push_back(r);
+    }
+    plan.swapOut = std::move(evict);
+
+    if (!plan.prefill.empty() && !limits.chunkedPrefill) {
+        // Prefill iterations do not decode (vLLM prefill priority).
+        // Selected decode candidates stay resident and run next
+        // iteration; swap-ins still execute so they are ready.
+        plan.decode.clear();
+    } else {
+        // Prewarmed requests join the decode batch immediately: their
+        // KV allocation is free of charge. Under chunked prefill the
+        // decode batch additionally runs alongside the prefills.
+        for (auto* r : plan.prewarm)
+            plan.decode.push_back(r);
+    }
+    return plan;
+}
+
+} // namespace core
+} // namespace pascal

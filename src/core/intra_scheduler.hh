@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Base class for intra-instance schedulers (Section II-C / IV-C).
+ *
+ * A scheduler owns the set of requests hosted on its instance and, at
+ * every iteration boundary, produces an IterationPlan deciding which
+ * requests prefill, decode, swap in, or are evicted, subject to the
+ * GPU KV capacity.
+ */
+
+#ifndef PASCAL_CORE_INTRA_SCHEDULER_HH
+#define PASCAL_CORE_INTRA_SCHEDULER_HH
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.hh"
+#include "src/core/iteration_plan.hh"
+#include "src/model/kv_pool.hh"
+#include "src/workload/request.hh"
+
+namespace pascal
+{
+namespace core
+{
+
+/** Interface + shared mechanics of intra-instance scheduling. */
+class IntraScheduler
+{
+  public:
+    explicit IntraScheduler(SchedLimits limits);
+    virtual ~IntraScheduler() = default;
+
+    /** Policy name for reports. */
+    virtual std::string name() const = 0;
+
+    /** A request was routed to this instance (arrival or migration). */
+    void add(workload::Request* req);
+
+    /** A request left this instance (finished or migrated away). */
+    void remove(workload::Request* req);
+
+    /** Requests currently hosted, in insertion order. */
+    const std::vector<workload::Request*>& hosted() const
+    {
+        return requests;
+    }
+
+    /** Build the next iteration's plan. */
+    virtual IterationPlan plan(const model::KvPool& pool) = 0;
+
+    /** Notification that @p req crossed the reasoning->answering
+     *  boundary and stays on this instance. */
+    virtual void onPhaseTransition(workload::Request* req);
+
+    /** Paper r_i: reasoning requests in the high-priority queue. For
+     *  phase-unaware baselines this counts reasoning-phase requests. */
+    virtual int numReasoning() const;
+
+    /** Paper a_i: answering requests that have not exhausted their
+     *  first time quantum. */
+    virtual int numFreshAnswering() const;
+
+    const SchedLimits& schedLimits() const { return limits; }
+
+  protected:
+    /** True if @p req can be considered for scheduling at all. */
+    static bool schedulable(const workload::Request* req);
+
+    /**
+     * Shared greedy selection: walk @p order by priority, charging
+     * each candidate's full memory footprint (KV + one token of decode
+     * growth, or prompt + first token for prefills, block-rounded per
+     * the pool's paged allocator) against the GPU capacity. Unselected
+     * residents are kept resident while the leftover budget allows and
+     * evicted (swapOut) otherwise, which preempts the lowest-priority
+     * requests first.
+     *
+     * Policies with skip semantics (RR, PASCAL) pass
+     * stop_at_unfit = false; strict-order policies stop the walk at
+     * the first candidate that does not fit.
+     *
+     * @param high_prefix_len The first this-many entries of @p order
+     *        are additionally capped at @p high_budget_cap charged
+     *        tokens (PASCAL's answering-reserve extension; 0 disables).
+     */
+    IterationPlan greedySelect(
+        const std::vector<workload::Request*>& order,
+        const model::KvPool& pool, bool stop_at_unfit,
+        std::size_t high_prefix_len = 0,
+        TokenCount high_budget_cap = 0) const;
+
+    std::vector<workload::Request*> requests;
+    SchedLimits limits;
+};
+
+} // namespace core
+} // namespace pascal
+
+#endif // PASCAL_CORE_INTRA_SCHEDULER_HH

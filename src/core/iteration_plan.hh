@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The contract between an intra-instance scheduler and the instance
+ * batch engine: one iteration's worth of decisions.
+ */
+
+#ifndef PASCAL_CORE_ITERATION_PLAN_HH
+#define PASCAL_CORE_ITERATION_PLAN_HH
+
+#include <vector>
+
+#include "src/common/types.hh"
+#include "src/workload/request.hh"
+
+namespace pascal
+{
+namespace core
+{
+
+/**
+ * Scheduler decisions for the next iteration. The engine applies them
+ * in order: swapOut, swapIn, prewarm, then either one prefill pass or
+ * one decode step (vLLM-style alternation: iterations with prefills do
+ * not decode).
+ */
+struct IterationPlan
+{
+    /** New requests to prefill (KV allocated, prefill latency paid). */
+    std::vector<workload::Request*> prefill;
+
+    /** startInAnswering requests whose KV is pre-generated: allocate
+     *  without prefill cost (Fig. 5 characterization mode). */
+    std::vector<workload::Request*> prewarm;
+
+    /** Preempted requests to reload from CPU (PCIe latency). */
+    std::vector<workload::Request*> swapIn;
+
+    /** Resident requests to offload to CPU (PCIe latency). */
+    std::vector<workload::Request*> swapOut;
+
+    /** Decode batch: each member emits one token this iteration. */
+    std::vector<workload::Request*> decode;
+
+    bool
+    idle() const
+    {
+        return prefill.empty() && prewarm.empty() && swapIn.empty() &&
+               swapOut.empty() && decode.empty();
+    }
+
+    bool isPrefillIteration() const { return !prefill.empty(); }
+};
+
+/** Tunables shared by every scheduling policy. */
+struct SchedLimits
+{
+    /** RR token quantum (paper: 500 for RR and for each PASCAL
+     *  queue). <= 0 disables quantum accounting (FCFS). */
+    TokenCount quantum = 500;
+
+    /** Maximum concurrent sequences per iteration. */
+    int maxBatchSize = 1024;
+
+    /** Maximum summed prompt tokens per prefill iteration. */
+    TokenCount maxPrefillTokens = 8192;
+
+    /** Maximum sequences per prefill iteration. */
+    int maxPrefillSeqs = 16;
+
+    /** PASCAL: reasoning requests whose KV exceeds this many tokens
+     *  are demoted to the low-priority queue (paper: 5000). */
+    TokenCount demoteThresholdTokens = 5000;
+
+    /**
+     * PASCAL extension (suggested by the paper's Fig. 13 analysis:
+     * "the placement policy only considers the KV cache footprint
+     * during reasoning [and] neglects the memory required for
+     * answering"): reserve this fraction of the GPU KV capacity for
+     * the low-priority (answering) queue. 0 reproduces the paper's
+     * scheduler exactly.
+     */
+    double answeringReserveFraction = 0.0;
+
+    /**
+     * False (default, vLLM 0.6.x): iterations with prefills do not
+     * decode (prefill priority). True (Sarathi-style chunked/mixed
+     * batching): prefills and decodes share an iteration, removing
+     * decode stalls at the cost of longer mixed iterations.
+     */
+    bool chunkedPrefill = false;
+
+    /** Validate; calls fatal() on nonsense values. */
+    void validate() const;
+};
+
+} // namespace core
+} // namespace pascal
+
+#endif // PASCAL_CORE_ITERATION_PLAN_HH

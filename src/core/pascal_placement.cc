@@ -1,0 +1,126 @@
+#include "src/core/pascal_placement.hh"
+
+#include <cstdint>
+#include <limits>
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace core
+{
+
+namespace
+{
+
+/**
+ * Home-side "sufficient GPU memory" margin for the adaptive override
+ * (Fig. 7). The transitioning request's KV is already resident at
+ * home, so home only needs headroom for decode growth; a small slack
+ * distinguishes "has empty slots" from "completely full".
+ */
+constexpr TokenCount kAdaptiveHomeMarginTokens = 16;
+
+} // namespace
+
+PascalPlacement::PascalPlacement(Variant variant) : mode(variant) {}
+
+std::string
+PascalPlacement::name() const
+{
+    switch (mode) {
+      case Variant::Full:
+        return "PASCAL";
+      case Variant::NonAdaptive:
+        return "PASCAL(NonAdaptive)";
+      case Variant::NoMigration:
+        return "PASCAL(NoMigration)";
+    }
+    return "PASCAL(?)";
+}
+
+InstanceId
+PascalPlacement::placeNew(const ClusterView& view,
+                          const workload::Request& req)
+{
+    (void)req;
+    if (view.empty())
+        fatal("PascalPlacement: empty cluster");
+
+    // Algorithm 1: E <- {i | t_i}; if empty, E <- I; argmin m_i.
+    bool any_slo_ok = false;
+    for (const auto& snap : view)
+        any_slo_ok = any_slo_ok || snap.answeringSloOk;
+
+    InstanceId best = kNoInstance;
+    TokenCount best_kv = std::numeric_limits<TokenCount>::max();
+    for (const auto& snap : view) {
+        if (any_slo_ok && !snap.answeringSloOk)
+            continue;
+        if (snap.kvFootprintTokens < best_kv) {
+            best_kv = snap.kvFootprintTokens;
+            best = snap.id;
+        }
+    }
+    return best;
+}
+
+InstanceId
+PascalPlacement::placeTransition(const ClusterView& view,
+                                 const workload::Request& req,
+                                 InstanceId home)
+{
+    if (mode == Variant::NoMigration)
+        return home;
+    if (view.empty())
+        fatal("PascalPlacement: empty cluster");
+
+    // Algorithm 2: E <- {i | t_i}; argmin r_i over E. If E is empty,
+    // fall back to argmin (r_i + a_i) over all instances.
+    bool any_slo_ok = false;
+    for (const auto& snap : view)
+        any_slo_ok = any_slo_ok || snap.answeringSloOk;
+
+    InstanceId best = kNoInstance;
+    std::int64_t best_key = std::numeric_limits<std::int64_t>::max();
+    for (const auto& snap : view) {
+        if (any_slo_ok && !snap.answeringSloOk)
+            continue;
+        std::int64_t key =
+            any_slo_ok ? snap.numReasoning
+                       : snap.numReasoning + snap.numFreshAnswering;
+        if (key < best_key) {
+            best_key = key;
+            best = snap.id;
+        }
+    }
+
+    if (best == home || mode == Variant::NonAdaptive)
+        return best;
+
+    // Adaptive override (Fig. 7): stay home when home can keep serving
+    // the request (its KV is already resident and growth headroom
+    // exists) while the selected target cannot even hold the incoming
+    // KV without displacement.
+    const InstanceSnapshot* home_snap = nullptr;
+    const InstanceSnapshot* target_snap = nullptr;
+    for (const auto& snap : view) {
+        if (snap.id == home)
+            home_snap = &snap;
+        if (snap.id == best)
+            target_snap = &snap;
+    }
+    if (home_snap == nullptr || target_snap == nullptr)
+        panic("PascalPlacement: home/target missing from cluster view");
+
+    bool home_sufficient =
+        home_snap->gpuFreeTokens >= kAdaptiveHomeMarginTokens;
+    bool target_sufficient =
+        target_snap->gpuFreeTokens >= req.kvTokens() + 1;
+    if (home_sufficient && !target_sufficient)
+        return home;
+    return best;
+}
+
+} // namespace core
+} // namespace pascal

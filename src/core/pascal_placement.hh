@@ -1,0 +1,70 @@
+/**
+ * @file
+ * PASCAL's instance-level scheduler (Section IV-B).
+ *
+ * Algorithm 1 (reasoning placement): among instances whose answering
+ * requests all meet their SLOs (t_i), pick the one with the smallest
+ * KV footprint m_i; if no instance is SLO-clean, pick the global
+ * minimum-m_i instance to limit further damage.
+ *
+ * Algorithm 2 (answering placement at the phase boundary): among
+ * SLO-clean instances pick the fewest reasoning requests r_i; if none
+ * is clean, pick the minimum of r_i + a_i, where a_i counts answering
+ * requests still inside their first quantum (the likely-next-scheduled
+ * competition).
+ *
+ * Adaptive migration (Fig. 7): if the home instance has enough free
+ * GPU memory for the transitioning request's KV while the selected
+ * target does not, the migration is overridden and the request stays,
+ * avoiding pointless KV transfer and target-side stalls. The
+ * NoMigration and NonAdaptive ablations of Section V-D disable
+ * migration entirely or the override respectively.
+ */
+
+#ifndef PASCAL_CORE_PASCAL_PLACEMENT_HH
+#define PASCAL_CORE_PASCAL_PLACEMENT_HH
+
+#include <string>
+
+#include "src/core/placement.hh"
+
+namespace pascal
+{
+namespace core
+{
+
+/** Phase-aware placement with SLO filtering and adaptive migration. */
+class PascalPlacement : public Placement
+{
+  public:
+    /** Behavioural variants for the Section V-D ablations. */
+    enum class Variant
+    {
+        Full,        //!< Algorithms 1+2 with adaptive override.
+        NonAdaptive, //!< Always follow Algorithm 2's choice.
+        NoMigration, //!< Pin requests to their Algorithm-1 instance.
+    };
+
+    explicit PascalPlacement(Variant variant = Variant::Full);
+
+    std::string name() const override;
+
+    /** Algorithm 1. */
+    InstanceId placeNew(const ClusterView& view,
+                        const workload::Request& req) override;
+
+    /** Algorithm 2 (+ adaptive override unless disabled). */
+    InstanceId placeTransition(const ClusterView& view,
+                               const workload::Request& req,
+                               InstanceId home) override;
+
+    Variant variant() const { return mode; }
+
+  private:
+    Variant mode;
+};
+
+} // namespace core
+} // namespace pascal
+
+#endif // PASCAL_CORE_PASCAL_PLACEMENT_HH

@@ -1,0 +1,102 @@
+#include "src/core/pascal_scheduler.hh"
+
+#include <algorithm>
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace core
+{
+
+PascalScheduler::PascalScheduler(SchedLimits limits)
+    : IntraScheduler(limits)
+{
+    if (this->limits.quantum <= 0)
+        fatal("PascalScheduler requires a positive token quantum");
+}
+
+bool
+PascalScheduler::isHighPriority(const workload::Request* req)
+{
+    return req->phase() == workload::Phase::Reasoning && !req->demoted;
+}
+
+void
+PascalScheduler::applyDemotion()
+{
+    for (auto* r : requests) {
+        if (!r->demoted && r->phase() == workload::Phase::Reasoning &&
+            r->kvTokens() > limits.demoteThresholdTokens) {
+            // The request now competes as a low-priority request; its
+            // quantum restarts in the new queue.
+            r->demoted = true;
+            r->resetQuantum();
+        }
+    }
+}
+
+IterationPlan
+PascalScheduler::plan(const model::KvPool& pool)
+{
+    applyDemotion();
+
+    // High-priority (reasoning) requests first, each queue internally
+    // round-robin ordered. The greedy walk then gives reasoning
+    // requests preferential KV allocation and evicts answering
+    // requests first when memory runs short.
+    std::vector<workload::Request*> high;
+    std::vector<workload::Request*> low;
+    for (auto* r : requests) {
+        if (!schedulable(r))
+            continue;
+        (isHighPriority(r) ? high : low).push_back(r);
+    }
+
+    auto rr_order = [](const workload::Request* a,
+                       const workload::Request* b) {
+        if (a->quantaConsumed != b->quantaConsumed)
+            return a->quantaConsumed < b->quantaConsumed;
+        if (a->spec().arrival != b->spec().arrival)
+            return a->spec().arrival < b->spec().arrival;
+        return a->id() < b->id();
+    };
+    std::sort(high.begin(), high.end(), rr_order);
+    std::sort(low.begin(), low.end(), rr_order);
+
+    std::vector<workload::Request*> order;
+    order.reserve(high.size() + low.size());
+    order.insert(order.end(), high.begin(), high.end());
+    order.insert(order.end(), low.begin(), low.end());
+
+    // Optional answering reserve: cap how much KV the high queue may
+    // claim so the low queue is never fully squeezed out.
+    TokenCount high_cap = static_cast<TokenCount>(
+        static_cast<double>(pool.gpuCapacity()) *
+        (1.0 - limits.answeringReserveFraction));
+    std::size_t prefix =
+        limits.answeringReserveFraction > 0.0 ? high.size() : 0;
+
+    return greedySelect(order, pool, /*stop_at_unfit=*/false, prefix,
+                        high_cap);
+}
+
+void
+PascalScheduler::onPhaseTransition(workload::Request* req)
+{
+    req->resetQuantum();
+}
+
+int
+PascalScheduler::numReasoning() const
+{
+    int n = 0;
+    for (const auto* r : requests) {
+        if (isHighPriority(r) && !r->finished())
+            ++n;
+    }
+    return n;
+}
+
+} // namespace core
+} // namespace pascal

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * PASCAL's hierarchical intra-instance scheduler (Section IV-C).
+ *
+ * Two priority queues:
+ *  - High priority: reasoning-phase requests. Served first with
+ *    preferential KV allocation; round-robin among themselves so
+ *    short reasoning requests stay responsive under memory pressure.
+ *  - Low priority: answering-phase requests (plus demoted reasoning
+ *    requests). Time-shared round-robin over whatever GPU memory the
+ *    high queue leaves, with the token pacer (in the QoE layer)
+ *    smoothing their output.
+ *
+ * A reasoning request whose KV cache exceeds the demotion threshold
+ * (paper: 5000 tokens) is demoted to the low-priority queue so one
+ * monster request cannot starve the answering phase.
+ */
+
+#ifndef PASCAL_CORE_PASCAL_SCHEDULER_HH
+#define PASCAL_CORE_PASCAL_SCHEDULER_HH
+
+#include <string>
+
+#include "src/core/intra_scheduler.hh"
+
+namespace pascal
+{
+namespace core
+{
+
+/** Phase-aware two-queue scheduler. */
+class PascalScheduler : public IntraScheduler
+{
+  public:
+    explicit PascalScheduler(SchedLimits limits);
+
+    std::string name() const override { return "PASCAL"; }
+
+    IterationPlan plan(const model::KvPool& pool) override;
+
+    /** Entering the low-priority queue restarts quantum accounting:
+     *  each queue has its own token quantum (Section V-A). */
+    void onPhaseTransition(workload::Request* req) override;
+
+    /** r_i counts the high-priority queue only (excludes demoted). */
+    int numReasoning() const override;
+
+  private:
+    /** True if @p req belongs to the high-priority queue. */
+    static bool isHighPriority(const workload::Request* req);
+
+    /** Apply the KV-size demotion rule to hosted reasoning requests. */
+    void applyDemotion();
+};
+
+} // namespace core
+} // namespace pascal
+
+#endif // PASCAL_CORE_PASCAL_SCHEDULER_HH

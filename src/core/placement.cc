@@ -1,0 +1,40 @@
+#include "src/core/placement.hh"
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace core
+{
+
+InstanceId
+BaselinePlacement::placeNew(const ClusterView& view,
+                            const workload::Request& req)
+{
+    (void)req;
+    if (view.empty())
+        fatal("BaselinePlacement: empty cluster");
+
+    InstanceId best = view.front().id;
+    TokenCount best_kv = view.front().kvFootprintTokens;
+    for (const auto& snap : view) {
+        if (snap.kvFootprintTokens < best_kv) {
+            best_kv = snap.kvFootprintTokens;
+            best = snap.id;
+        }
+    }
+    return best;
+}
+
+InstanceId
+BaselinePlacement::placeTransition(const ClusterView& view,
+                                   const workload::Request& req,
+                                   InstanceId home)
+{
+    (void)view;
+    (void)req;
+    return home; // Baselines never migrate at phase transitions.
+}
+
+} // namespace core
+} // namespace pascal

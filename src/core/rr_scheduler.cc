@@ -1,0 +1,44 @@
+#include "src/core/rr_scheduler.hh"
+
+#include <algorithm>
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace core
+{
+
+RrScheduler::RrScheduler(SchedLimits limits) : IntraScheduler(limits)
+{
+    if (this->limits.quantum <= 0)
+        fatal("RrScheduler requires a positive token quantum");
+}
+
+IterationPlan
+RrScheduler::plan(const model::KvPool& pool)
+{
+    // Priority: fewest quanta consumed first (the classic RR key),
+    // then arrival order. Candidates that do not fit are skipped
+    // rather than blocking the walk: time-sharing interleaves around
+    // memory obstacles instead of queueing behind them.
+    std::vector<workload::Request*> order;
+    order.reserve(requests.size());
+    for (auto* r : requests) {
+        if (schedulable(r))
+            order.push_back(r);
+    }
+    std::sort(order.begin(), order.end(),
+        [](const workload::Request* a, const workload::Request* b) {
+            if (a->quantaConsumed != b->quantaConsumed)
+                return a->quantaConsumed < b->quantaConsumed;
+            if (a->spec().arrival != b->spec().arrival)
+                return a->spec().arrival < b->spec().arrival;
+            return a->id() < b->id();
+        });
+
+    return greedySelect(order, pool, /*stop_at_unfit=*/false);
+}
+
+} // namespace core
+} // namespace pascal

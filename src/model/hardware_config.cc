@@ -1,0 +1,48 @@
+#include "src/model/hardware_config.hh"
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace model
+{
+
+void
+HardwareConfig::validate() const
+{
+    if (gpuMemoryBytes <= 0)
+        fatal("HardwareConfig '" + name + "': gpuMemoryBytes <= 0");
+    if (hbmBandwidth <= 0.0 || peakFlops <= 0.0 || pcieBandwidth <= 0.0)
+        fatal("HardwareConfig '" + name + "': non-positive rate");
+    if (hbmEfficiency <= 0.0 || hbmEfficiency > 1.0 ||
+        pcieEfficiency <= 0.0 || pcieEfficiency > 1.0 ||
+        fabricEfficiency <= 0.0 || fabricEfficiency > 1.0 ||
+        mfu <= 0.0 || mfu > 1.0) {
+        fatal("HardwareConfig '" + name +
+              "': efficiency factors must be in (0,1]");
+    }
+    if (fabricGbps <= 0.0)
+        fatal("HardwareConfig '" + name + "': fabricGbps <= 0");
+    if (iterationOverhead < 0.0 || perSeqOverhead < 0.0)
+        fatal("HardwareConfig '" + name + "': negative overhead");
+}
+
+HardwareConfig
+HardwareConfig::h100()
+{
+    HardwareConfig cfg;
+    cfg.name = "H100-96GB";
+    cfg.gpuMemoryBytes = gigabytes(96.0);
+    cfg.hbmBandwidth = 3.35e12;  // 3.35 TB/s HBM3.
+    cfg.hbmEfficiency = 0.8;
+    cfg.peakFlops = 989e12;      // Dense BF16.
+    cfg.mfu = 0.45;
+    cfg.pcieBandwidth = 64e9;    // PCIe 5.0 x16.
+    cfg.pcieEfficiency = 0.8;
+    cfg.fabricGbps = 100.0;
+    cfg.fabricEfficiency = 0.9;
+    return cfg;
+}
+
+} // namespace model
+} // namespace pascal

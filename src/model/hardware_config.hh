@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Node and interconnect hardware parameters.
+ *
+ * The preset mirrors the paper's testbed: NVIDIA H100 96 GB per serving
+ * instance, PCIe 5.0 x16 host link for KV offload, and a 100 Gbps
+ * fabric connecting the eight nodes (Section V-A). Efficiency factors
+ * derate peak numbers to sustained, achievable rates.
+ */
+
+#ifndef PASCAL_MODEL_HARDWARE_CONFIG_HH
+#define PASCAL_MODEL_HARDWARE_CONFIG_HH
+
+#include <string>
+
+#include "src/common/types.hh"
+
+namespace pascal
+{
+namespace model
+{
+
+/** One serving node plus its links. */
+struct HardwareConfig
+{
+    std::string name = "unnamed";
+
+    Bytes gpuMemoryBytes = 0;        //!< Total HBM capacity.
+    double hbmBandwidth = 0.0;       //!< Peak HBM bytes/s.
+    double hbmEfficiency = 0.8;      //!< Sustained fraction of peak.
+    double peakFlops = 0.0;          //!< Peak dense BF16 FLOP/s.
+    double mfu = 0.45;               //!< Model FLOPs utilization.
+
+    double pcieBandwidth = 0.0;      //!< Peak host-link bytes/s.
+    double pcieEfficiency = 0.8;     //!< Sustained fraction of peak.
+
+    double fabricGbps = 100.0;       //!< Inter-node fabric, Gbit/s.
+    double fabricEfficiency = 0.9;   //!< Sustained fraction of peak.
+
+    Time iterationOverhead = 300e-6; //!< Fixed per-iteration cost
+                                     //!< (scheduling, kernel launch).
+    Time perSeqOverhead = 20e-6;     //!< Added cost per batched seq
+                                     //!< (sampling, bookkeeping).
+
+    /** Sustained HBM bytes/s. */
+    double effHbmBandwidth() const { return hbmBandwidth * hbmEfficiency; }
+
+    /** Sustained FLOP/s. */
+    double effFlops() const { return peakFlops * mfu; }
+
+    /** Sustained PCIe bytes/s. */
+    double effPcieBandwidth() const
+    {
+        return pcieBandwidth * pcieEfficiency;
+    }
+
+    /** Sustained fabric bytes/s. */
+    double effFabricBandwidth() const
+    {
+        return gbpsToBytesPerSec(fabricGbps) * fabricEfficiency;
+    }
+
+    /** Validate; calls fatal() on nonsense values. */
+    void validate() const;
+
+    /** NVIDIA H100 96 GB over PCIe 5.0, 100 Gbps fabric (the paper's
+     *  node). */
+    static HardwareConfig h100();
+};
+
+} // namespace model
+} // namespace pascal
+
+#endif // PASCAL_MODEL_HARDWARE_CONFIG_HH

@@ -1,0 +1,162 @@
+#include "src/model/kv_pool.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace model
+{
+
+KvPool::KvPool(TokenCount gpu_capacity_tokens,
+               TokenCount block_size_tokens)
+    : gpuCapacityTokens(gpu_capacity_tokens),
+      blockSizeTokens(block_size_tokens)
+{
+    if (gpu_capacity_tokens <= 0)
+        fatal("KvPool capacity must be positive, got " +
+              std::to_string(gpu_capacity_tokens));
+    if (block_size_tokens <= 0)
+        fatal("KvPool block size must be positive, got " +
+              std::to_string(block_size_tokens));
+}
+
+TokenCount
+KvPool::chargeFor(TokenCount tokens) const
+{
+    if (tokens <= 0)
+        return 0;
+    TokenCount blocks = (tokens + blockSizeTokens - 1) / blockSizeTokens;
+    return blocks * blockSizeTokens;
+}
+
+bool
+KvPool::hasRequest(RequestId id) const
+{
+    return entries.count(id) != 0;
+}
+
+KvTier
+KvPool::tierOf(RequestId id) const
+{
+    auto it = entries.find(id);
+    return it == entries.end() ? KvTier::None : it->second.tier;
+}
+
+TokenCount
+KvPool::tokensOf(RequestId id) const
+{
+    auto it = entries.find(id);
+    return it == entries.end() ? 0 : it->second.tokens;
+}
+
+TokenCount
+KvPool::chargedTokensOf(RequestId id) const
+{
+    return chargeFor(tokensOf(id));
+}
+
+bool
+KvPool::canAllocGpu(TokenCount tokens) const
+{
+    return chargeFor(tokens) <= gpuFree();
+}
+
+KvPool::Entry&
+KvPool::lookup(RequestId id)
+{
+    auto it = entries.find(id);
+    if (it == entries.end())
+        panic("KvPool: unknown request " + std::to_string(id));
+    return it->second;
+}
+
+void
+KvPool::allocGpu(RequestId id, TokenCount tokens)
+{
+    if (tokens < 0)
+        panic("KvPool::allocGpu negative size");
+    if (hasRequest(id))
+        panic("KvPool::allocGpu: request " + std::to_string(id) +
+              " already tracked");
+    if (!canAllocGpu(tokens))
+        panic("KvPool::allocGpu: over capacity for request " +
+              std::to_string(id));
+    entries.emplace(id, Entry{KvTier::Gpu, tokens});
+    gpuUsedTokens += chargeFor(tokens);
+    peakGpuTokens = std::max(peakGpuTokens, gpuUsedTokens);
+}
+
+void
+KvPool::allocCpu(RequestId id, TokenCount tokens)
+{
+    if (tokens < 0)
+        panic("KvPool::allocCpu negative size");
+    if (hasRequest(id))
+        panic("KvPool::allocCpu: request " + std::to_string(id) +
+              " already tracked");
+    entries.emplace(id, Entry{KvTier::Cpu, tokens});
+    cpuUsedTokens += chargeFor(tokens);
+}
+
+void
+KvPool::growGpu(RequestId id, TokenCount delta)
+{
+    if (delta < 0)
+        panic("KvPool::growGpu negative delta");
+    Entry& e = lookup(id);
+    if (e.tier != KvTier::Gpu)
+        panic("KvPool::growGpu: request " + std::to_string(id) +
+              " not GPU-resident");
+    TokenCount extra = chargeFor(e.tokens + delta) - chargeFor(e.tokens);
+    if (extra > gpuFree())
+        panic("KvPool::growGpu: over capacity for request " +
+              std::to_string(id));
+    e.tokens += delta;
+    gpuUsedTokens += extra;
+    peakGpuTokens = std::max(peakGpuTokens, gpuUsedTokens);
+}
+
+void
+KvPool::moveToCpu(RequestId id)
+{
+    Entry& e = lookup(id);
+    if (e.tier != KvTier::Gpu)
+        panic("KvPool::moveToCpu: request " + std::to_string(id) +
+              " not GPU-resident");
+    e.tier = KvTier::Cpu;
+    gpuUsedTokens -= chargeFor(e.tokens);
+    cpuUsedTokens += chargeFor(e.tokens);
+}
+
+void
+KvPool::moveToGpu(RequestId id)
+{
+    Entry& e = lookup(id);
+    if (e.tier != KvTier::Cpu)
+        panic("KvPool::moveToGpu: request " + std::to_string(id) +
+              " not CPU-resident");
+    if (chargeFor(e.tokens) > gpuFree())
+        panic("KvPool::moveToGpu: over capacity for request " +
+              std::to_string(id));
+    e.tier = KvTier::Gpu;
+    cpuUsedTokens -= chargeFor(e.tokens);
+    gpuUsedTokens += chargeFor(e.tokens);
+    peakGpuTokens = std::max(peakGpuTokens, gpuUsedTokens);
+}
+
+void
+KvPool::release(RequestId id)
+{
+    Entry& e = lookup(id);
+    if (e.tier == KvTier::Gpu)
+        gpuUsedTokens -= chargeFor(e.tokens);
+    else if (e.tier == KvTier::Cpu)
+        cpuUsedTokens -= chargeFor(e.tokens);
+    entries.erase(id);
+}
+
+} // namespace model
+} // namespace pascal

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Two-tier (GPU / CPU) KV-cache pool of one serving instance.
+ *
+ * Token-granular accounting with whole-request residency: a request's
+ * KV cache lives either fully in GPU HBM or fully in CPU DRAM (the
+ * offload target), mirroring vLLM's swap-based preemption. The pool
+ * enforces the GPU capacity invariant and tracks the peak usage that
+ * the oracle-capacity experiments need.
+ */
+
+#ifndef PASCAL_MODEL_KV_POOL_HH
+#define PASCAL_MODEL_KV_POOL_HH
+
+#include <unordered_map>
+
+#include "src/common/types.hh"
+
+namespace pascal
+{
+namespace model
+{
+
+/** Where a request's KV cache currently resides. */
+enum class KvTier
+{
+    None, //!< No KV allocated (not yet prefilled, or released).
+    Gpu,  //!< Resident in GPU HBM; the request is decodable.
+    Cpu,  //!< Offloaded to host DRAM; must be reloaded first.
+};
+
+/**
+ * KV allocation bookkeeping for one instance.
+ *
+ * Allocation is block-granular, mirroring vLLM's PagedAttention: a
+ * request's KV charge is its token count rounded up to whole blocks of
+ * @ref blockSize tokens, so a request holding 1 token of a 16-token
+ * block still occupies the block. Pass block_size_tokens = 1 for exact
+ * token-granular accounting.
+ */
+class KvPool
+{
+  public:
+    /**
+     * @param gpu_capacity_tokens GPU KV capacity in tokens (> 0).
+     * @param block_size_tokens Paged-allocation block size (>= 1).
+     */
+    explicit KvPool(TokenCount gpu_capacity_tokens,
+                    TokenCount block_size_tokens = 1);
+
+    TokenCount gpuCapacity() const { return gpuCapacityTokens; }
+    TokenCount gpuUsed() const { return gpuUsedTokens; }
+    TokenCount gpuFree() const { return gpuCapacityTokens - gpuUsedTokens; }
+    TokenCount cpuUsed() const { return cpuUsedTokens; }
+    TokenCount blockSize() const { return blockSizeTokens; }
+
+    /**
+     * Charged (block-rounded) tokens for a logical KV of @p tokens.
+     * Schedulers budget in charged units so their arithmetic agrees
+     * with the pool's.
+     */
+    TokenCount chargeFor(TokenCount tokens) const;
+
+    /** Largest GPU occupancy ever observed (tokens). */
+    TokenCount peakGpuUsed() const { return peakGpuTokens; }
+
+    /** True if the pool tracks KV for @p id. */
+    bool hasRequest(RequestId id) const;
+
+    /** Residency tier of @p id (None if untracked). */
+    KvTier tierOf(RequestId id) const;
+
+    /** Logical KV tokens held by @p id (0 if untracked). */
+    TokenCount tokensOf(RequestId id) const;
+
+    /** Charged (block-rounded) KV tokens held by @p id. */
+    TokenCount chargedTokensOf(RequestId id) const;
+
+    /** True if a KV of @p tokens (logical) can be allocated on the
+     *  GPU, accounting for block rounding. */
+    bool canAllocGpu(TokenCount tokens) const;
+
+    /** Allocate a fresh GPU-resident KV of @p tokens for @p id. */
+    void allocGpu(RequestId id, TokenCount tokens);
+
+    /** Allocate a fresh CPU-resident KV (e.g. migration landing in a
+     *  full instance). */
+    void allocCpu(RequestId id, TokenCount tokens);
+
+    /** Grow a GPU-resident KV by @p delta tokens (decode step). */
+    void growGpu(RequestId id, TokenCount delta);
+
+    /** Offload @p id's KV from GPU to CPU. */
+    void moveToCpu(RequestId id);
+
+    /** Reload @p id's KV from CPU to GPU. */
+    void moveToGpu(RequestId id);
+
+    /** Drop @p id's KV entirely (request finished or migrated away). */
+    void release(RequestId id);
+
+    /** Total KV tokens across both tiers (the paper's m_i, in tokens). */
+    TokenCount totalFootprintTokens() const
+    {
+        return gpuUsedTokens + cpuUsedTokens;
+    }
+
+    /** Number of requests with KV in either tier. */
+    std::size_t numTracked() const { return entries.size(); }
+
+  private:
+    struct Entry
+    {
+        KvTier tier;
+        TokenCount tokens; //!< Logical token count.
+    };
+
+    /** Lookup @p id or panic: misuse is a simulator bug. */
+    Entry& lookup(RequestId id);
+
+    TokenCount gpuCapacityTokens;
+    TokenCount blockSizeTokens;
+    TokenCount gpuUsedTokens = 0; //!< Charged (block-rounded) usage.
+    TokenCount cpuUsedTokens = 0; //!< Charged (block-rounded) usage.
+    TokenCount peakGpuTokens = 0;
+    std::unordered_map<RequestId, Entry> entries;
+};
+
+} // namespace model
+} // namespace pascal
+
+#endif // PASCAL_MODEL_KV_POOL_HH

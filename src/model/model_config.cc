@@ -1,0 +1,87 @@
+#include "src/model/model_config.hh"
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace model
+{
+
+std::int64_t
+ModelConfig::numParams() const
+{
+    std::int64_t h = hiddenSize;
+    std::int64_t kv_dim = static_cast<std::int64_t>(numKvHeads) * headDim;
+    std::int64_t q_dim = static_cast<std::int64_t>(numHeads) * headDim;
+
+    // Attention: Q, K, V projections + output projection.
+    std::int64_t attn = h * q_dim + 2 * h * kv_dim + q_dim * h;
+    // SwiGLU MLP: gate + up + down.
+    std::int64_t mlp = 3 * h * static_cast<std::int64_t>(ffnIntermediate);
+    std::int64_t per_layer = attn + mlp;
+
+    // Untied input embedding + LM head.
+    std::int64_t embed = 2 * static_cast<std::int64_t>(vocabSize) * h;
+
+    return per_layer * numLayers + embed;
+}
+
+Bytes
+ModelConfig::weightBytes() const
+{
+    return numParams() * bytesPerParam;
+}
+
+Bytes
+ModelConfig::kvBytesPerToken() const
+{
+    return static_cast<Bytes>(2) * numLayers * numKvHeads * headDim *
+           bytesPerKvScalar;
+}
+
+void
+ModelConfig::validate() const
+{
+    if (numLayers <= 0 || hiddenSize <= 0 || numHeads <= 0 ||
+        numKvHeads <= 0 || headDim <= 0 || ffnIntermediate <= 0 ||
+        vocabSize <= 0) {
+        fatal("ModelConfig '" + name + "' has non-positive dimensions");
+    }
+    if (numKvHeads > numHeads)
+        fatal("ModelConfig '" + name + "': more KV heads than Q heads");
+    if (bytesPerParam <= 0 || bytesPerKvScalar <= 0)
+        fatal("ModelConfig '" + name + "': non-positive datatype size");
+}
+
+ModelConfig
+ModelConfig::deepseekR1Distill32B()
+{
+    ModelConfig cfg;
+    cfg.name = "DeepSeek-R1-Distill-Qwen-32B";
+    cfg.numLayers = 64;
+    cfg.hiddenSize = 5120;
+    cfg.numHeads = 40;
+    cfg.numKvHeads = 8;
+    cfg.headDim = 128;
+    cfg.ffnIntermediate = 27648;
+    cfg.vocabSize = 152064;
+    return cfg;
+}
+
+ModelConfig
+ModelConfig::tiny7B()
+{
+    ModelConfig cfg;
+    cfg.name = "tiny-7B";
+    cfg.numLayers = 32;
+    cfg.hiddenSize = 4096;
+    cfg.numHeads = 32;
+    cfg.numKvHeads = 8;
+    cfg.headDim = 128;
+    cfg.ffnIntermediate = 11008;
+    cfg.vocabSize = 32000;
+    return cfg;
+}
+
+} // namespace model
+} // namespace pascal

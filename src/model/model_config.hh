@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Architectural description of the served LLM.
+ *
+ * The paper serves DeepSeek-R1-Distill-Qwen-32B; the preset below
+ * mirrors that model's published architecture (Qwen2.5-32B backbone:
+ * 64 layers, hidden 5120, 40 query heads, 8 KV heads (GQA), head dim
+ * 128, FFN intermediate 27648). All performance- and memory-relevant
+ * quantities (parameter bytes, KV bytes per token) derive from these
+ * fields, so alternative models are a config edit away.
+ */
+
+#ifndef PASCAL_MODEL_MODEL_CONFIG_HH
+#define PASCAL_MODEL_MODEL_CONFIG_HH
+
+#include <string>
+
+#include "src/common/types.hh"
+
+namespace pascal
+{
+namespace model
+{
+
+/** Transformer shape and datatype of the served model. */
+struct ModelConfig
+{
+    std::string name = "unnamed";
+    int numLayers = 0;
+    int hiddenSize = 0;
+    int numHeads = 0;
+    int numKvHeads = 0;
+    int headDim = 0;
+    int ffnIntermediate = 0;
+    int vocabSize = 0;
+    int bytesPerParam = 2; //!< bf16 weights.
+    int bytesPerKvScalar = 2; //!< bf16 KV cache.
+
+    /** Total parameter count implied by the shape. */
+    std::int64_t numParams() const;
+
+    /** Bytes of model weights resident on each instance. */
+    Bytes weightBytes() const;
+
+    /**
+     * KV-cache bytes for one token:
+     * 2 (K and V) x layers x kvHeads x headDim x bytesPerKvScalar.
+     */
+    Bytes kvBytesPerToken() const;
+
+    /** Validate the shape; calls fatal() on nonsense values. */
+    void validate() const;
+
+    /** DeepSeek-R1-Distill-Qwen-32B (the paper's model). */
+    static ModelConfig deepseekR1Distill32B();
+
+    /** A small 7B-class config used by fast tests. */
+    static ModelConfig tiny7B();
+};
+
+} // namespace model
+} // namespace pascal
+
+#endif // PASCAL_MODEL_MODEL_CONFIG_HH

@@ -1,0 +1,108 @@
+#include "src/model/perf_model.hh"
+
+#include <algorithm>
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace model
+{
+
+PerfModel::PerfModel(const ModelConfig& model, const HardwareConfig& hw)
+    : model(model), hw(hw)
+{
+    model.validate();
+    hw.validate();
+    if (model.weightBytes() >= hw.gpuMemoryBytes)
+        fatal("model '" + model.name + "' does not fit in GPU memory of '"
+              + hw.name + "'");
+    weightReadTime = static_cast<double>(model.weightBytes()) /
+                     hw.effHbmBandwidth();
+    flopsPerToken = 2.0 * static_cast<double>(model.numParams());
+}
+
+Time
+PerfModel::prefillLatency(TokenCount prompt_tokens) const
+{
+    if (prompt_tokens < 0)
+        panic("negative prefill token count");
+    if (prompt_tokens == 0)
+        return 0.0;
+
+    double compute = flopsPerToken *
+                     static_cast<double>(prompt_tokens) / hw.effFlops();
+    double memory = weightReadTime;
+    return std::max(compute, memory) + hw.iterationOverhead;
+}
+
+Time
+PerfModel::decodeStepLatency(int batch_size,
+                             TokenCount batch_kv_tokens) const
+{
+    if (batch_size <= 0)
+        panic("decode step with non-positive batch size");
+    if (batch_kv_tokens < 0)
+        panic("negative KV token count");
+
+    double kv_read = static_cast<double>(kvBytes(batch_kv_tokens)) /
+                     hw.effHbmBandwidth();
+    double memory = weightReadTime + kv_read;
+    double compute = flopsPerToken *
+                     static_cast<double>(batch_size) / hw.effFlops();
+    return std::max(compute, memory) + hw.iterationOverhead +
+           hw.perSeqOverhead * batch_size;
+}
+
+Time
+PerfModel::mixedStepLatency(TokenCount prefill_tokens, int batch_size,
+                            TokenCount batch_kv_tokens) const
+{
+    if (prefill_tokens < 0 || batch_size < 0 || batch_kv_tokens < 0)
+        panic("mixed step with negative inputs");
+    if (batch_size == 0)
+        return prefillLatency(prefill_tokens);
+    if (prefill_tokens == 0)
+        return decodeStepLatency(batch_size, batch_kv_tokens);
+
+    double compute =
+        flopsPerToken *
+        static_cast<double>(prefill_tokens + batch_size) /
+        hw.effFlops();
+    double kv_read = static_cast<double>(kvBytes(batch_kv_tokens)) /
+                     hw.effHbmBandwidth();
+    double memory = weightReadTime + kv_read;
+    return std::max(compute, memory) + hw.iterationOverhead +
+           hw.perSeqOverhead * batch_size;
+}
+
+Bytes
+PerfModel::kvBytes(TokenCount tokens) const
+{
+    return tokens * model.kvBytesPerToken();
+}
+
+Time
+PerfModel::pcieTransferLatency(Bytes bytes) const
+{
+    return static_cast<double>(bytes) / hw.effPcieBandwidth();
+}
+
+Time
+PerfModel::fabricTransferLatency(Bytes bytes) const
+{
+    return static_cast<double>(bytes) / hw.effFabricBandwidth();
+}
+
+TokenCount
+PerfModel::gpuKvCapacityTokens(double reserve_fraction) const
+{
+    Bytes free_bytes = hw.gpuMemoryBytes - model.weightBytes();
+    auto usable = static_cast<double>(free_bytes) *
+                  (1.0 - reserve_fraction);
+    return static_cast<TokenCount>(
+        usable / static_cast<double>(model.kvBytesPerToken()));
+}
+
+} // namespace model
+} // namespace pascal

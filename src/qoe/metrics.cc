@@ -1,0 +1,130 @@
+#include "src/qoe/metrics.hh"
+
+#include <algorithm>
+
+#include "src/common/stats.hh"
+#include "src/qoe/qoe.hh"
+
+namespace pascal
+{
+namespace qoe
+{
+
+RequestMetrics
+computeRequestMetrics(const workload::Request& req, const SloConfig& slo)
+{
+    slo.validate();
+
+    const auto& spec = req.spec();
+    RequestMetrics m;
+    m.id = spec.id;
+    m.dataset = spec.dataset;
+    m.arrival = spec.arrival;
+    m.promptTokens = spec.promptTokens;
+    m.reasoningTokens = spec.reasoningTokens;
+    m.answerTokens = spec.answerTokens;
+    m.reasoningBuckets = req.reasoningBuckets;
+    m.answeringBuckets = req.answeringBuckets;
+    m.migrationCount = req.migrationCount;
+    m.kvTransferLatencies = req.kvTransferLatencies;
+    m.finished = req.finished();
+
+    if (req.reasoningEnd >= 0.0)
+        m.reasoningLatency = req.reasoningEnd - spec.arrival;
+    if (req.firstAnswer >= 0.0) {
+        m.ttft = req.firstAnswer - spec.arrival;
+        m.ttfat = req.firstAnswer - req.reasoningEnd;
+    }
+    if (req.firstAnswerScheduled >= 0.0 && req.reasoningEnd >= 0.0)
+        m.blockingLatency = req.firstAnswerScheduled - req.reasoningEnd;
+    if (req.firstScheduled >= 0.0)
+        m.queueingDelay = req.firstScheduled - spec.arrival;
+
+    if (!m.finished)
+        return m;
+
+    m.e2eLatency = req.finish - spec.arrival;
+    m.answeringLatency = req.finish - req.reasoningEnd;
+
+    const auto& emits = req.answerEmitTimes;
+    if (emits.size() > 1) {
+        m.meanTpot = (emits.back() - emits.front()) /
+                     static_cast<double>(emits.size() - 1);
+    }
+
+    Time expected_start = slo.qoeFromFirstToken
+                              ? req.firstAnswer
+                              : req.reasoningEnd + slo.ttfatTarget;
+    m.qoe = computeQoe(emits, expected_start, slo.tpotTarget);
+    m.sloViolated = m.qoe < slo.qoeThreshold;
+    return m;
+}
+
+AggregateMetrics
+aggregateMetrics(const std::vector<RequestMetrics>& requests)
+{
+    AggregateMetrics agg;
+    agg.numRequests = requests.size();
+    if (requests.empty())
+        return agg;
+
+    std::vector<double> ttfts, e2es, blockings, transfers;
+    stats::Summary qoe_sum;
+    Time first_arrival = kTimeInfinity;
+    Time last_finish = 0.0;
+    TokenCount total_tokens = 0;
+    std::size_t violations = 0;
+
+    for (const auto& m : requests) {
+        first_arrival = std::min(first_arrival, m.arrival);
+        if (!m.finished)
+            continue;
+        ++agg.numFinished;
+        ttfts.push_back(m.ttft);
+        e2es.push_back(m.e2eLatency);
+        blockings.push_back(m.blockingLatency);
+        for (double t : m.kvTransferLatencies)
+            transfers.push_back(t);
+        qoe_sum.add(m.qoe);
+        if (m.sloViolated)
+            ++violations;
+        last_finish = std::max(last_finish, m.arrival + m.e2eLatency);
+        total_tokens += m.reasoningTokens + m.answerTokens;
+        agg.totalMigrations += m.migrationCount;
+    }
+
+    if (agg.numFinished == 0)
+        return agg;
+
+    agg.makespan = last_finish - first_arrival;
+    if (agg.makespan > 0.0) {
+        agg.throughputTokensPerSec =
+            static_cast<double>(total_tokens) / agg.makespan;
+    }
+
+    stats::Summary ttft_sum;
+    for (double t : ttfts)
+        ttft_sum.add(t);
+    agg.meanTtft = ttft_sum.mean();
+    agg.maxTtft = ttft_sum.max();
+    agg.p50Ttft = stats::percentile(ttfts, 50.0);
+    agg.p99Ttft = stats::percentile(ttfts, 99.0);
+
+    stats::Summary e2e_sum;
+    for (double t : e2es)
+        e2e_sum.add(t);
+    agg.meanE2eLatency = e2e_sum.mean();
+    agg.p50E2eLatency = stats::percentile(e2es, 50.0);
+    agg.p99E2eLatency = stats::percentile(e2es, 99.0);
+
+    agg.p99BlockingLatency = stats::percentile(blockings, 99.0);
+    agg.p99KvTransferLatency = stats::percentile(transfers, 99.0);
+
+    agg.meanQoe = qoe_sum.mean();
+    agg.sloViolationRate = static_cast<double>(violations) /
+                           static_cast<double>(agg.numFinished);
+    return agg;
+}
+
+} // namespace qoe
+} // namespace pascal

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Per-request and aggregate serving metrics.
+ *
+ * Converts the raw timestamps a Request accumulates during simulation
+ * into the quantities the paper reports: TTFT (submission to first
+ * answering token, Fig. 1(b)), TTFAT, reasoning/answering latency with
+ * executed/blocked/preempted breakdowns (Fig. 4/5), QoE and SLO
+ * violations (Fig. 11), blocking latency (Fig. 13), and KV transfer
+ * latencies (Section V-C).
+ */
+
+#ifndef PASCAL_QOE_METRICS_HH
+#define PASCAL_QOE_METRICS_HH
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.hh"
+#include "src/qoe/slo.hh"
+#include "src/workload/request.hh"
+
+namespace pascal
+{
+namespace qoe
+{
+
+/** Everything the harnesses need to know about one finished request. */
+struct RequestMetrics
+{
+    RequestId id = kNoRequest;
+    std::string dataset;
+    Time arrival = 0.0;
+    TokenCount promptTokens = 0;
+    TokenCount reasoningTokens = 0;
+    TokenCount answerTokens = 0;
+
+    bool finished = false;
+
+    /** Submission to first answering token (the paper's TTFT). */
+    double ttft = 0.0;
+    /** Reasoning end (</think>) to first answering token. */
+    double ttfat = 0.0;
+    /** Submission to reasoning end (Fig. 4's reasoning latency). */
+    double reasoningLatency = 0.0;
+    /** Submission to completion. */
+    double e2eLatency = 0.0;
+    /** Arrival/transition to completion of the answering phase. */
+    double answeringLatency = 0.0;
+    /** Reasoning end to first answering-phase decode step (Fig. 13(c)
+     *  "blocking latency"). */
+    double blockingLatency = 0.0;
+    /** Arrival to the first time any work ran for the request. */
+    double queueingDelay = 0.0;
+    /** Mean seconds per answering token after the first. */
+    double meanTpot = 0.0;
+
+    workload::PhaseBuckets reasoningBuckets;
+    workload::PhaseBuckets answeringBuckets;
+
+    double qoe = 1.0;
+    bool sloViolated = false;
+
+    int migrationCount = 0;
+    std::vector<double> kvTransferLatencies;
+};
+
+/**
+ * Score one simulated request against @p slo.
+ *
+ * @pre The request finished (metrics of unfinished requests have
+ *      finished == false and only the fields known so far).
+ */
+RequestMetrics computeRequestMetrics(const workload::Request& req,
+                                     const SloConfig& slo);
+
+/** Cluster-level rollup of a run. */
+struct AggregateMetrics
+{
+    std::size_t numRequests = 0;
+    std::size_t numFinished = 0;
+    double makespan = 0.0;           //!< First arrival to last finish.
+    double throughputTokensPerSec = 0.0;
+    double meanTtft = 0.0;
+    double p50Ttft = 0.0;
+    double p99Ttft = 0.0;
+    double maxTtft = 0.0;
+    double meanQoe = 0.0;
+    double sloViolationRate = 0.0;   //!< Fraction of finished requests.
+    double meanE2eLatency = 0.0;
+    double p50E2eLatency = 0.0;
+    double p99E2eLatency = 0.0;
+    double p99BlockingLatency = 0.0;
+    double p99KvTransferLatency = 0.0;
+    int totalMigrations = 0;
+};
+
+/** Roll up a set of per-request metrics. */
+AggregateMetrics aggregateMetrics(
+    const std::vector<RequestMetrics>& requests);
+
+} // namespace qoe
+} // namespace pascal
+
+#endif // PASCAL_QOE_METRICS_HH

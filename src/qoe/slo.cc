@@ -1,0 +1,22 @@
+#include "src/qoe/slo.hh"
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace qoe
+{
+
+void
+SloConfig::validate() const
+{
+    if (tpotTarget <= 0.0)
+        fatal("SloConfig: tpotTarget must be positive");
+    if (ttfatTarget < 0.0)
+        fatal("SloConfig: ttfatTarget must be non-negative");
+    if (qoeThreshold < 0.0 || qoeThreshold > 1.0)
+        fatal("SloConfig: qoeThreshold must be in [0,1]");
+}
+
+} // namespace qoe
+} // namespace pascal

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Service-level-objective configuration.
+ *
+ * Two modes mirror the paper:
+ *  - Characterization (Section III / Fig. 5): the answering phase must
+ *    start within the TTFAT target (0.25 s) of reasoning completion and
+ *    then sustain the TPOT target (100 ms/token); QoE is measured
+ *    against an expected curve anchored at reasoningEnd + ttfatTarget.
+ *  - Main evaluation (Section V-A): reasoning lengths are too variable
+ *    for a fixed TTFT target, so QoE is computed from TPOT starting at
+ *    the first answering token and TTFT is reported separately.
+ */
+
+#ifndef PASCAL_QOE_SLO_HH
+#define PASCAL_QOE_SLO_HH
+
+#include "src/common/types.hh"
+
+namespace pascal
+{
+namespace qoe
+{
+
+/** SLO targets used for both online decisions and offline scoring. */
+struct SloConfig
+{
+    /** Target steady-state seconds per answering token (100 ms,
+     *  aligned with human reading speed; Section III footnote). */
+    Time tpotTarget = 0.100;
+
+    /** Target latency from reasoning completion to the first
+     *  answering token (0.25 s, following DistServe). */
+    Time ttfatTarget = 0.25;
+
+    /** A request violates its SLO when QoE falls below this. */
+    double qoeThreshold = 0.95;
+
+    /**
+     * True (main evaluation): the expected-consumption curve starts at
+     * the first answering token. False (Fig. 5 characterization): it
+     * starts at reasoningEnd + ttfatTarget, so a late first token
+     * already costs QoE.
+     */
+    bool qoeFromFirstToken = true;
+
+    /**
+     * Early-warning margin for the instance monitor's t_i condition
+     * (Section IV-B: "the token pacer reports insufficient remaining
+     * tokens"): an answering request is considered at risk when its
+     * pacer buffer holds fewer than this many tokens ahead of the
+     * user's pace. Affects placement decisions only, never QoE
+     * scoring. 0 flags a request only once it is already behind
+     * (empirically the more stable setting: larger margins flag whole
+     * clusters at once and trigger migration churn).
+     */
+    TokenCount monitorBufferMarginTokens = 0;
+
+    /** Validate; calls fatal() on nonsense values. */
+    void validate() const;
+};
+
+} // namespace qoe
+} // namespace pascal
+
+#endif // PASCAL_QOE_SLO_HH

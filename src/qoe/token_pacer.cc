@@ -1,0 +1,73 @@
+#include "src/qoe/token_pacer.hh"
+
+#include <algorithm>
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace qoe
+{
+
+TokenPacer::TokenPacer(Time pace, Time release_start)
+    : pace(pace), releaseStart(release_start)
+{
+    if (pace <= 0.0)
+        fatal("TokenPacer: pace must be positive");
+}
+
+void
+TokenPacer::onTokenGenerated(Time t)
+{
+    if (!generateTimes.empty() && t < generateTimes.back())
+        panic("TokenPacer: non-monotonic generation time");
+    generateTimes.push_back(t);
+
+    // A token is released as soon as it exists, but never faster than
+    // one per pace interval and never before releaseStart.
+    Time earliest = releases.empty() ? releaseStart
+                                     : releases.back() + pace;
+    releases.push_back(std::max(t, earliest));
+}
+
+Time
+TokenPacer::releaseTime(std::size_t k) const
+{
+    if (k >= releases.size())
+        panic("TokenPacer: release index out of range");
+    return releases[k];
+}
+
+std::size_t
+TokenPacer::releasedBy(Time t) const
+{
+    return std::upper_bound(releases.begin(), releases.end(), t) -
+           releases.begin();
+}
+
+std::size_t
+TokenPacer::bufferedAt(Time t) const
+{
+    std::size_t generated =
+        std::upper_bound(generateTimes.begin(), generateTimes.end(), t) -
+        generateTimes.begin();
+    return generated - releasedBy(t);
+}
+
+bool
+TokenPacer::starvedAt(Time t) const
+{
+    std::size_t released = releasedBy(t);
+    if (released >= generateTimes.size()) {
+        // Everything generated so far is consumed; the user starves if
+        // the pace expects the next token already.
+        Time next_expected = releases.empty()
+                                 ? releaseStart
+                                 : releases.back() + pace;
+        return t >= next_expected;
+    }
+    return false;
+}
+
+} // namespace qoe
+} // namespace pascal

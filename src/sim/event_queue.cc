@@ -1,0 +1,67 @@
+#include "src/sim/event_queue.hh"
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace sim
+{
+
+EventId
+EventQueue::schedule(Time when, std::function<void()> callback)
+{
+    EventId id = nextId++;
+    heap.push(Entry{when, id, std::move(callback)});
+    return id;
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    if (id < nextId)
+        cancelled.insert(id);
+}
+
+void
+EventQueue::skipCancelled() const
+{
+    while (!heap.empty()) {
+        auto it = cancelled.find(heap.top().id);
+        if (it == cancelled.end())
+            break;
+        cancelled.erase(it);
+        heap.pop();
+    }
+}
+
+bool
+EventQueue::empty() const
+{
+    skipCancelled();
+    return heap.empty();
+}
+
+Time
+EventQueue::nextTime() const
+{
+    skipCancelled();
+    return heap.empty() ? kTimeInfinity : heap.top().when;
+}
+
+EventQueue::Fired
+EventQueue::pop()
+{
+    skipCancelled();
+    if (heap.empty())
+        panic("EventQueue::pop on empty queue");
+    // priority_queue::top returns const&; the callback must be moved
+    // out, so copy the POD fields first and cast away the top entry's
+    // constness only for the move (safe: we pop immediately after).
+    auto& top = const_cast<Entry&>(heap.top());
+    Fired fired{top.when, std::move(top.callback)};
+    heap.pop();
+    return fired;
+}
+
+} // namespace sim
+} // namespace pascal

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events scheduled for the same timestamp fire in insertion order
+ * (FIFO), which keeps whole simulations bit-reproducible regardless of
+ * heap implementation details.
+ */
+
+#ifndef PASCAL_SIM_EVENT_QUEUE_HH
+#define PASCAL_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/types.hh"
+
+namespace pascal
+{
+namespace sim
+{
+
+/** Handle identifying a scheduled event, usable for cancellation. */
+using EventId = std::uint64_t;
+
+/**
+ * Time-ordered queue of callbacks.
+ *
+ * Not thread-safe: the simulator is single-threaded by design, like
+ * most architectural simulators, so that runs are reproducible.
+ */
+class EventQueue
+{
+  public:
+    /**
+     * Schedule @p callback to fire at absolute time @p when.
+     * @return Handle that can be passed to cancel().
+     */
+    EventId schedule(Time when, std::function<void()> callback);
+
+    /**
+     * Cancel a pending event. Cancelling an already-fired or unknown
+     * event is a harmless no-op.
+     */
+    void cancel(EventId id);
+
+    /** True if no live (non-cancelled) events remain. */
+    bool empty() const;
+
+    /** Timestamp of the earliest live event (infinity when empty). */
+    Time nextTime() const;
+
+    /**
+     * Pop and return the earliest live event.
+     * @pre !empty()
+     */
+    struct Fired
+    {
+        Time when;                      //!< Scheduled timestamp.
+        std::function<void()> callback; //!< The work to run.
+    };
+    Fired pop();
+
+    /** Number of live events currently queued. */
+    std::size_t size() const { return heap.size() - cancelled.size(); }
+
+  private:
+    struct Entry
+    {
+        Time when;
+        EventId id;
+        std::function<void()> callback;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id; // FIFO among equal timestamps
+        }
+    };
+
+    /** Drop cancelled entries sitting at the top of the heap. */
+    void skipCancelled() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    mutable std::unordered_set<EventId> cancelled;
+    EventId nextId = 0;
+};
+
+} // namespace sim
+} // namespace pascal
+
+#endif // PASCAL_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,46 @@
+#include "src/sim/simulator.hh"
+
+#include <string>
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace sim
+{
+
+EventId
+Simulator::at(Time when, std::function<void()> cb)
+{
+    if (when < clock)
+        panic("scheduling event in the past: t=" + std::to_string(when) +
+              " now=" + std::to_string(clock));
+    return events.schedule(when, std::move(cb));
+}
+
+EventId
+Simulator::after(Time delay, std::function<void()> cb)
+{
+    if (delay < 0.0)
+        panic("negative event delay: " + std::to_string(delay));
+    return events.schedule(clock + delay, std::move(cb));
+}
+
+std::uint64_t
+Simulator::run(Time until, std::uint64_t max_events)
+{
+    stopRequested = false;
+    std::uint64_t fired = 0;
+    while (!events.empty() && !stopRequested && fired < max_events) {
+        if (events.nextTime() > until)
+            break;
+        auto ev = events.pop();
+        clock = ev.when;
+        ev.callback();
+        ++fired;
+    }
+    return fired;
+}
+
+} // namespace sim
+} // namespace pascal

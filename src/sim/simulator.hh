@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Simulation clock + run loop on top of EventQueue.
+ */
+
+#ifndef PASCAL_SIM_SIMULATOR_HH
+#define PASCAL_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/types.hh"
+#include "src/sim/event_queue.hh"
+
+namespace pascal
+{
+namespace sim
+{
+
+/**
+ * Owns the clock and the event queue and drives the simulation to
+ * completion.
+ *
+ * Components hold a Simulator& and schedule their own continuation
+ * events; run() executes until the queue drains or a time/event limit
+ * hits.
+ */
+class Simulator
+{
+  public:
+    /** Current simulation time in seconds. */
+    Time now() const { return clock; }
+
+    /** Schedule @p cb at absolute time @p when (must be >= now()). */
+    EventId at(Time when, std::function<void()> cb);
+
+    /** Schedule @p cb @p delay seconds from now (delay >= 0). */
+    EventId after(Time delay, std::function<void()> cb);
+
+    /** Cancel a pending event (no-op if already fired). */
+    void cancel(EventId id) { events.cancel(id); }
+
+    /**
+     * Run until the event queue drains, until simulated time would
+     * exceed @p until, or until @p max_events have fired.
+     *
+     * @return Number of events executed.
+     */
+    std::uint64_t run(Time until = kTimeInfinity,
+                      std::uint64_t max_events = UINT64_MAX);
+
+    /** Request that run() return after the current event completes. */
+    void stop() { stopRequested = true; }
+
+    /** Live events still queued. */
+    std::size_t pendingEvents() const { return events.size(); }
+
+  private:
+    EventQueue events;
+    Time clock = 0.0;
+    bool stopRequested = false;
+};
+
+} // namespace sim
+} // namespace pascal
+
+#endif // PASCAL_SIM_SIMULATOR_HH

@@ -1,0 +1,118 @@
+#include "src/workload/datasets.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace workload
+{
+
+double
+LengthDistribution::muLog() const
+{
+    return std::log(meanTokens) - 0.5 * sigmaLog * sigmaLog;
+}
+
+TokenCount
+LengthDistribution::sample(Rng& rng) const
+{
+    double x = rng.lognormal(muLog(), sigmaLog);
+    auto tokens = static_cast<TokenCount>(std::llround(x));
+    return std::clamp(tokens, minTokens, maxTokens);
+}
+
+double
+LengthDistribution::cdf(double x) const
+{
+    if (x <= 0.0)
+        return 0.0;
+    double z = (std::log(x) - muLog()) / sigmaLog;
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+void
+LengthDistribution::validate() const
+{
+    if (meanTokens <= 0.0)
+        fatal("LengthDistribution: meanTokens must be positive");
+    if (sigmaLog <= 0.0)
+        fatal("LengthDistribution: sigmaLog must be positive");
+    if (minTokens < 1 || maxTokens < minTokens)
+        fatal("LengthDistribution: bad clamp range");
+}
+
+void
+DatasetProfile::validate() const
+{
+    prompt.validate();
+    reasoning.validate();
+    answering.validate();
+}
+
+DatasetProfile
+DatasetProfile::alpacaEval()
+{
+    DatasetProfile d;
+    d.name = "AlpacaEval2.0";
+    d.prompt = {150.0, 0.6, 16, 2048};
+    d.reasoning = {557.75, 0.9, 16, 6000};
+    d.answering = {566.85, 0.8, 16, 6000};
+    return d;
+}
+
+DatasetProfile
+DatasetProfile::arenaHard()
+{
+    DatasetProfile d;
+    d.name = "Arena-Hard";
+    d.prompt = {300.0, 0.7, 16, 4096};
+    d.reasoning = {968.35, 1.0, 16, 15000};
+    d.answering = {824.02, 0.9, 16, 15000};
+    return d;
+}
+
+DatasetProfile
+DatasetProfile::math500()
+{
+    DatasetProfile d;
+    d.name = "MATH-500";
+    d.prompt = {200.0, 0.6, 16, 2048};
+    d.reasoning = {747.20, 1.1, 16, 8000};
+    d.answering = {164.67, 0.8, 16, 4000};
+    return d;
+}
+
+DatasetProfile
+DatasetProfile::gpqa()
+{
+    DatasetProfile d;
+    d.name = "GPQA";
+    d.prompt = {400.0, 0.6, 16, 4096};
+    d.reasoning = {2679.27, 0.9, 16, 15000};
+    d.answering = {316.09, 0.8, 16, 4000};
+    return d;
+}
+
+DatasetProfile
+DatasetProfile::liveCodeBench()
+{
+    DatasetProfile d;
+    d.name = "LiveCodeBench";
+    d.prompt = {500.0, 0.7, 16, 4096};
+    d.reasoning = {1896.64, 1.0, 16, 15000};
+    d.answering = {697.09, 0.9, 16, 8000};
+    return d;
+}
+
+std::vector<DatasetProfile>
+DatasetProfile::all()
+{
+    return {alpacaEval(), arenaHard(), math500(), gpqa(),
+            liveCodeBench()};
+}
+
+} // namespace workload
+} // namespace pascal

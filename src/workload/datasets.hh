@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Dataset token-length profiles.
+ *
+ * The paper labels each benchmark prompt with reasoning/answering token
+ * counts obtained from the o4-mini API (Fig. 8 and Fig. 14). We do not
+ * have that API; instead each dataset is a log-normal length profile
+ * matched to the per-dataset means the paper prints:
+ *
+ *   AlpacaEval 2.0 : reasoning 557.75, answering 566.85
+ *   Arena-Hard     : reasoning 968.35, answering 824.02
+ *   MATH-500       : reasoning 747.20, answering 164.67
+ *   GPQA           : reasoning 2679.27, answering 316.09
+ *   LiveCodeBench  : reasoning 1896.64, answering 697.09
+ *
+ * Skews are chosen so that the chat datasets put >70 % of requests
+ * under 1000 reasoning tokens (Fig. 10 caption) and the reasoning-heavy
+ * datasets reach the 8.48x reasoning:answer ratio highlighted in
+ * Section V-D. See DESIGN.md "Substitutions".
+ */
+
+#ifndef PASCAL_WORKLOAD_DATASETS_HH
+#define PASCAL_WORKLOAD_DATASETS_HH
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hh"
+#include "src/common/types.hh"
+
+namespace pascal
+{
+namespace workload
+{
+
+/**
+ * Log-normal token-length distribution parameterized by its *mean*
+ * (not log-space mu), clamped to [minTokens, maxTokens].
+ */
+struct LengthDistribution
+{
+    double meanTokens = 0.0;   //!< Target arithmetic mean.
+    double sigmaLog = 0.8;     //!< Log-space standard deviation.
+    TokenCount minTokens = 16;
+    TokenCount maxTokens = 1 << 20;
+
+    /** Log-space mu implied by (meanTokens, sigmaLog). */
+    double muLog() const;
+
+    /** Draw one clamped sample. */
+    TokenCount sample(Rng& rng) const;
+
+    /** P(X < x) for the unclamped distribution. */
+    double cdf(double x) const;
+
+    /** Validate; calls fatal() on nonsense values. */
+    void validate() const;
+};
+
+/** Per-dataset joint profile of prompt/reasoning/answering lengths. */
+struct DatasetProfile
+{
+    std::string name;
+    LengthDistribution prompt;
+    LengthDistribution reasoning;
+    LengthDistribution answering;
+
+    void validate() const;
+
+    /** Chat datasets used in the main evaluation (Fig. 8). */
+    static DatasetProfile alpacaEval();
+    static DatasetProfile arenaHard();
+
+    /** Reasoning-heavy problem-solving datasets (Fig. 14). */
+    static DatasetProfile math500();
+    static DatasetProfile gpqa();
+    static DatasetProfile liveCodeBench();
+
+    /** All five presets. */
+    static std::vector<DatasetProfile> all();
+};
+
+} // namespace workload
+} // namespace pascal
+
+#endif // PASCAL_WORKLOAD_DATASETS_HH

@@ -1,0 +1,164 @@
+#include "src/workload/generator.hh"
+
+#include <numeric>
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace workload
+{
+
+namespace
+{
+
+/** Draw the next Poisson arrival time. */
+Time
+nextArrival(Time now, double rate, Rng& rng)
+{
+    return now + rng.exponential(rate);
+}
+
+void
+checkArgs(int n, double rate)
+{
+    if (n < 0)
+        fatal("trace generator: negative request count");
+    if (rate <= 0.0)
+        fatal("trace generator: arrival rate must be positive");
+}
+
+} // namespace
+
+Trace
+generateTrace(const DatasetProfile& profile, int n, double rate_per_sec,
+              Rng& rng, Time start_time, RequestId first_id)
+{
+    checkArgs(n, rate_per_sec);
+    profile.validate();
+
+    Trace trace;
+    trace.requests.reserve(n);
+    Time t = start_time;
+    for (int i = 0; i < n; ++i) {
+        t = nextArrival(t, rate_per_sec, rng);
+        RequestSpec s;
+        s.id = first_id + i;
+        s.arrival = t;
+        s.promptTokens = profile.prompt.sample(rng);
+        s.reasoningTokens = profile.reasoning.sample(rng);
+        s.answerTokens = profile.answering.sample(rng);
+        s.dataset = profile.name;
+        trace.requests.push_back(std::move(s));
+    }
+    trace.validate();
+    return trace;
+}
+
+Trace
+generateMixedTrace(const std::vector<MixComponent>& components, int n,
+                   double rate_per_sec, Rng& rng, Time start_time,
+                   RequestId first_id)
+{
+    checkArgs(n, rate_per_sec);
+    if (components.empty())
+        fatal("generateMixedTrace: no components");
+
+    double total_weight = 0.0;
+    for (const auto& c : components) {
+        c.profile.validate();
+        if (c.weight < 0.0)
+            fatal("generateMixedTrace: negative weight");
+        total_weight += c.weight;
+    }
+    if (total_weight <= 0.0)
+        fatal("generateMixedTrace: zero total weight");
+
+    Trace trace;
+    trace.requests.reserve(n);
+    Time t = start_time;
+    for (int i = 0; i < n; ++i) {
+        t = nextArrival(t, rate_per_sec, rng);
+
+        double pick = rng.uniformReal(0.0, total_weight);
+        const DatasetProfile* profile = &components.back().profile;
+        for (const auto& c : components) {
+            if (pick < c.weight) {
+                profile = &c.profile;
+                break;
+            }
+            pick -= c.weight;
+        }
+
+        RequestSpec s;
+        s.id = first_id + i;
+        s.arrival = t;
+        s.promptTokens = profile->prompt.sample(rng);
+        s.reasoningTokens = profile->reasoning.sample(rng);
+        s.answerTokens = profile->answering.sample(rng);
+        s.dataset = profile->name;
+        trace.requests.push_back(std::move(s));
+    }
+    trace.validate();
+    return trace;
+}
+
+Trace
+generateReasoningCharacterization(
+    int n, double rate_per_sec, Rng& rng,
+    const std::vector<TokenCount>& reasoning_choices)
+{
+    checkArgs(n, rate_per_sec);
+    if (reasoning_choices.empty())
+        fatal("generateReasoningCharacterization: no reasoning choices");
+
+    Trace trace;
+    trace.requests.reserve(n);
+    Time t = 0.0;
+    for (int i = 0; i < n; ++i) {
+        t = nextArrival(t, rate_per_sec, rng);
+        RequestSpec s;
+        s.id = i;
+        s.arrival = t;
+        s.promptTokens = 128;
+        s.reasoningTokens =
+            reasoning_choices[rng.pickIndex(reasoning_choices.size())];
+        s.answerTokens = 1;
+        s.dataset = "fig4-characterization";
+        trace.requests.push_back(std::move(s));
+    }
+    trace.validate();
+    return trace;
+}
+
+Trace
+generateAnsweringCharacterization(
+    int n, double rate_per_sec, Rng& rng,
+    const std::vector<TokenCount>& answer_choices)
+{
+    checkArgs(n, rate_per_sec);
+    if (answer_choices.empty())
+        fatal("generateAnsweringCharacterization: no answer choices");
+
+    Trace trace;
+    trace.requests.reserve(n);
+    Time t = 0.0;
+    for (int i = 0; i < n; ++i) {
+        t = nextArrival(t, rate_per_sec, rng);
+        RequestSpec s;
+        s.id = i;
+        s.arrival = t;
+        s.promptTokens = 128; // Pre-generated prefill+reasoning KV.
+        s.reasoningTokens = 0;
+        s.answerTokens =
+            answer_choices[rng.pickIndex(answer_choices.size())];
+        s.startInAnswering = true;
+        s.dataset = "fig5-characterization";
+        trace.requests.push_back(std::move(s));
+    }
+    trace.validate();
+    return trace;
+}
+
+} // namespace workload
+} // namespace pascal

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Trace generators: Poisson arrivals over dataset profiles, the
+ * synthetic characterization workloads of Section III, and the mixed
+ * reasoning-heavy workload of Fig. 16.
+ */
+
+#ifndef PASCAL_WORKLOAD_GENERATOR_HH
+#define PASCAL_WORKLOAD_GENERATOR_HH
+
+#include <vector>
+
+#include "src/common/rng.hh"
+#include "src/workload/datasets.hh"
+#include "src/workload/trace.hh"
+
+namespace pascal
+{
+namespace workload
+{
+
+/**
+ * Generate @p n requests from @p profile with Poisson arrivals of mean
+ * rate @p rate_per_sec starting at @p start_time. Request ids start at
+ * @p first_id.
+ */
+Trace generateTrace(const DatasetProfile& profile, int n,
+                    double rate_per_sec, Rng& rng,
+                    Time start_time = 0.0, RequestId first_id = 0);
+
+/** One component of a mixed workload. */
+struct MixComponent
+{
+    DatasetProfile profile;
+    double weight = 1.0; //!< Relative selection probability.
+};
+
+/**
+ * Generate @p n requests whose per-request dataset is drawn from the
+ * weighted @p components, with Poisson arrivals at @p rate_per_sec.
+ * Used for Fig. 16 (50 % Arena-Hard + 50 % uniform over MATH-500,
+ * GPQA, LiveCodeBench).
+ */
+Trace generateMixedTrace(const std::vector<MixComponent>& components,
+                         int n, double rate_per_sec, Rng& rng,
+                         Time start_time = 0.0, RequestId first_id = 0);
+
+/**
+ * The Fig. 4 characterization workload: fixed 128-token prompts,
+ * reasoning length drawn uniformly from @p reasoning_choices
+ * (the paper uses {128, 256, 512, 1024, 2048}), a single answering
+ * token, Poisson arrivals.
+ */
+Trace generateReasoningCharacterization(
+    int n, double rate_per_sec, Rng& rng,
+    const std::vector<TokenCount>& reasoning_choices = {128, 256, 512,
+                                                        1024, 2048});
+
+/**
+ * The Fig. 5 characterization workload: requests arrive already past
+ * their reasoning phase with a 128-token pre-generated KV prefix and an
+ * answering length drawn uniformly from @p answer_choices.
+ */
+Trace generateAnsweringCharacterization(
+    int n, double rate_per_sec, Rng& rng,
+    const std::vector<TokenCount>& answer_choices = {128, 256, 512,
+                                                     1024, 2048});
+
+} // namespace workload
+} // namespace pascal
+
+#endif // PASCAL_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,152 @@
+#include "src/workload/request.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace workload
+{
+
+void
+RequestSpec::validate() const
+{
+    if (id < 0)
+        fatal("RequestSpec: negative id");
+    if (arrival < 0.0)
+        fatal("RequestSpec " + std::to_string(id) + ": negative arrival");
+    if (promptTokens <= 0)
+        fatal("RequestSpec " + std::to_string(id) +
+              ": promptTokens must be positive");
+    if (answerTokens <= 0)
+        fatal("RequestSpec " + std::to_string(id) +
+              ": answerTokens must be positive");
+    if (startInAnswering) {
+        if (reasoningTokens != 0)
+            fatal("RequestSpec " + std::to_string(id) +
+                  ": startInAnswering requires reasoningTokens == 0");
+    } else if (reasoningTokens <= 0) {
+        fatal("RequestSpec " + std::to_string(id) +
+              ": reasoningTokens must be positive (prefill emits the "
+              "first reasoning token)");
+    }
+}
+
+Request::Request(RequestSpec s) : specData(std::move(s))
+{
+    specData.validate();
+    lastAccount = specData.arrival;
+    if (specData.startInAnswering) {
+        // Reasoning already happened upstream; the </think> marker is
+        // conceptually observed at arrival.
+        reasoningEnd = specData.arrival;
+    }
+}
+
+TokenCount
+Request::reasoningGenerated() const
+{
+    return std::min(generatedTokens, specData.reasoningTokens);
+}
+
+TokenCount
+Request::answerGenerated() const
+{
+    return std::max<TokenCount>(0,
+        generatedTokens - specData.reasoningTokens);
+}
+
+Phase
+Request::phase() const
+{
+    if (generatedTokens >= totalToGenerate())
+        return Phase::Finished;
+    if (generatedTokens >= specData.reasoningTokens)
+        return Phase::Answering;
+    return Phase::Reasoning;
+}
+
+void
+Request::tickQuantum(TokenCount quantum)
+{
+    if (quantum <= 0)
+        return; // Quantum disabled (FCFS).
+    ++quantumTokens;
+    if (quantumTokens >= quantum) {
+        quantumTokens = 0;
+        ++quantaConsumed;
+    }
+}
+
+void
+Request::emitToken(Time now, TokenCount quantum)
+{
+    if (finished())
+        panic("emitToken on finished request " + std::to_string(id()));
+
+    ++generatedTokens;
+    tickQuantum(quantum);
+
+    if (!specData.startInAnswering &&
+        generatedTokens == specData.reasoningTokens) {
+        // This token is the </think> marker: the reasoning phase ends
+        // here and the instance monitor observes the transition.
+        reasoningEnd = now;
+    }
+    if (generatedTokens == specData.reasoningTokens + 1 ||
+        (specData.startInAnswering && generatedTokens == 1)) {
+        firstAnswer = now;
+    }
+    if (generatedTokens > specData.reasoningTokens)
+        answerEmitTimes.push_back(now);
+    if (generatedTokens == totalToGenerate())
+        finish = now;
+}
+
+void
+Request::completePrefill(Time now, TokenCount quantum)
+{
+    if (prefillDone)
+        panic("double prefill for request " + std::to_string(id()));
+    if (specData.startInAnswering)
+        panic("prefill on a startInAnswering request " +
+              std::to_string(id()));
+    prefillDone = true;
+    prefillEnd = now;
+    emitToken(now, quantum);
+}
+
+void
+Request::resetQuantum()
+{
+    quantumTokens = 0;
+    quantaConsumed = 0;
+}
+
+void
+Request::accrue(Time now, BucketKind kind)
+{
+    double dt = now - lastAccount;
+    lastAccount = now;
+    if (dt <= 0.0)
+        return;
+
+    PhaseBuckets& b = (phase() == Phase::Reasoning) ? reasoningBuckets
+                                                    : answeringBuckets;
+    switch (kind) {
+      case BucketKind::Executed:
+        b.executed += dt;
+        break;
+      case BucketKind::Blocked:
+        b.blocked += dt;
+        break;
+      case BucketKind::Preempted:
+        b.preempted += dt;
+        break;
+    }
+}
+
+} // namespace workload
+} // namespace pascal

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * The request model: immutable trace spec + mutable runtime state.
+ *
+ * A reasoning-LLM request advances through
+ *   Reasoning (prefill + reasoning-token decode)
+ *     -> Answering (user-visible tokens)
+ *       -> Finished,
+ * matching Fig. 1(b) of the paper. Per Section II-D the reasoning phase
+ * includes the prefill stage. The phase transition is *observed* when
+ * the final reasoning token (the </think> marker) is emitted; it cannot
+ * be predicted in advance.
+ */
+
+#ifndef PASCAL_WORKLOAD_REQUEST_HH
+#define PASCAL_WORKLOAD_REQUEST_HH
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.hh"
+
+namespace pascal
+{
+namespace workload
+{
+
+/** Execution phase of a request (paper Fig. 1(b)). */
+enum class Phase
+{
+    Reasoning, //!< Prefill + hidden reasoning-token decode.
+    Answering, //!< User-visible answering-token decode.
+    Finished,  //!< All tokens generated.
+};
+
+/** Where the request currently sits in the serving machinery. */
+enum class ExecState
+{
+    Unassigned,  //!< Not yet routed to an instance.
+    WaitingNew,  //!< On an instance, no KV yet (needs prefill).
+    ResidentGpu, //!< KV in GPU HBM; decodable.
+    SwappedCpu,  //!< KV offloaded to host DRAM (preempted).
+    InTransit,   //!< KV migrating between instances.
+    Done,        //!< Finished; KV released.
+};
+
+/** Immutable description of one request, as read from a trace. */
+struct RequestSpec
+{
+    RequestId id = kNoRequest;
+    Time arrival = 0.0;
+    TokenCount promptTokens = 0;
+    TokenCount reasoningTokens = 0; //!< 0 iff startInAnswering.
+    TokenCount answerTokens = 0;
+
+    /**
+     * Fig. 5 mode: the request enters the system already past its
+     * reasoning phase; its prompt KV is assumed pre-generated
+     * (allocated without prefill cost) and every generated token is an
+     * answering token.
+     */
+    bool startInAnswering = false;
+
+    std::string dataset; //!< Source dataset label (diagnostic).
+
+    /** Sanity-check the spec; calls fatal() on malformed entries. */
+    void validate() const;
+};
+
+/** Time breakdown within one phase (the Fig. 4 / Fig. 5 stacks). */
+struct PhaseBuckets
+{
+    double executed = 0.0;  //!< Actively running on the GPU.
+    double blocked = 0.0;   //!< Waiting, never yet started.
+    double preempted = 0.0; //!< Waiting after having started.
+
+    double total() const { return executed + blocked + preempted; }
+};
+
+/** Which bucket a waiting interval belongs to. */
+enum class BucketKind
+{
+    Executed,
+    Blocked,
+    Preempted,
+};
+
+/**
+ * Mutable runtime state of one request.
+ *
+ * Owned by the Cluster; instances and schedulers hold raw pointers.
+ */
+class Request
+{
+  public:
+    explicit Request(RequestSpec s);
+
+    const RequestSpec& spec() const { return specData; }
+    RequestId id() const { return specData.id; }
+
+    /** @name Token progress */
+    /** @{ */
+
+    /** Decode tokens generated so far (reasoning + answering). */
+    TokenCount generated() const { return generatedTokens; }
+
+    /** Reasoning tokens generated so far. */
+    TokenCount reasoningGenerated() const;
+
+    /** Answering tokens generated so far. */
+    TokenCount answerGenerated() const;
+
+    /** Total tokens this request will generate. */
+    TokenCount
+    totalToGenerate() const
+    {
+        return specData.reasoningTokens + specData.answerTokens;
+    }
+
+    /** Current phase implied by progress. */
+    Phase phase() const;
+
+    bool finished() const { return phase() == Phase::Finished; }
+
+    /**
+     * KV tokens logically owned right now: prompt + generated tokens
+     * (each decoded token appends one KV entry).
+     */
+    TokenCount kvTokens() const
+    {
+        return specData.promptTokens + generatedTokens;
+    }
+
+    /** Record the emission of one decode token at time @p now.
+     *  Updates phase timestamps and quantum accounting. */
+    void emitToken(Time now, TokenCount quantum);
+
+    /** Mark prefill completion at @p now; emits the first reasoning
+     *  token (Fig. 1(b): prefill produces r1). */
+    void completePrefill(Time now, TokenCount quantum);
+
+    /** @} */
+
+    /** @name Scheduling state (manipulated by instances/schedulers) */
+    /** @{ */
+
+    ExecState exec = ExecState::Unassigned;
+    InstanceId home = kNoInstance;
+    bool demoted = false;       //!< PASCAL: forced into the low queue.
+    bool prefillDone = false;
+
+    /** Tokens generated inside the current quantum. */
+    TokenCount quantumTokens = 0;
+    /** Full quanta consumed (the RR priority key; more = lower prio). */
+    int quantaConsumed = 0;
+
+    /** Reset quantum accounting (PASCAL does this when a request
+     *  changes queues at the phase boundary). */
+    void resetQuantum();
+
+    /** @} */
+
+    /** @name Accounting */
+    /** @{ */
+
+    /**
+     * Accrue wall time since the last accrual into the bucket @p kind
+     * of the *current* phase. Call before mutating token progress so
+     * the interval lands in the phase it was spent in.
+     */
+    void accrue(Time now, BucketKind kind);
+
+    /** Reset the accrual cursor without booking time (on arrival or
+     *  when landing on a new instance). */
+    void resetAccrual(Time now) { lastAccount = now; }
+
+    PhaseBuckets reasoningBuckets;
+    PhaseBuckets answeringBuckets;
+
+    /** @} */
+
+    /** @name Timestamps (negative = not yet happened) */
+    /** @{ */
+
+    Time firstScheduled = -1.0;  //!< First time any work ran for it.
+    Time prefillEnd = -1.0;
+    Time reasoningEnd = -1.0;    //!< </think> observed.
+    Time firstAnswer = -1.0;     //!< First answering token: TTFT ref.
+    Time finish = -1.0;
+    Time firstAnswerScheduled = -1.0; //!< First answering-phase decode
+                                      //!< step start (Fig. 13 blocking
+                                      //!< latency reference).
+
+    /** Emission time of each answering token (pacer/QoE input). */
+    std::vector<Time> answerEmitTimes;
+
+    int migrationCount = 0;
+    /** Per-migration end-to-end KV transfer latency (Sec. V-C). */
+    std::vector<double> kvTransferLatencies;
+
+    /** @} */
+
+  private:
+    RequestSpec specData;
+    TokenCount generatedTokens = 0;
+    Time lastAccount = 0.0;
+
+    /** Advance quantum counters by one emitted token. */
+    void tickQuantum(TokenCount quantum);
+};
+
+} // namespace workload
+} // namespace pascal
+
+#endif // PASCAL_WORKLOAD_REQUEST_HH

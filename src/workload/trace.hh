@@ -1,0 +1,55 @@
+/**
+ * @file
+ * A serving trace: the time-ordered list of request specs fed to the
+ * cluster, with CSV import/export for reuse across harnesses.
+ */
+
+#ifndef PASCAL_WORKLOAD_TRACE_HH
+#define PASCAL_WORKLOAD_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "src/workload/request.hh"
+
+namespace pascal
+{
+namespace workload
+{
+
+/** Ordered request stream. */
+struct Trace
+{
+    std::vector<RequestSpec> requests;
+
+    /** Sort by arrival time (stable; ties keep id order). */
+    void sortByArrival();
+
+    /** Validate every spec and the arrival ordering. */
+    void validate() const;
+
+    /** Number of requests. */
+    std::size_t size() const { return requests.size(); }
+
+    bool empty() const { return requests.empty(); }
+
+    /** Sum of all tokens the trace will generate (reasoning+answer). */
+    TokenCount totalGeneratedTokens() const;
+
+    /**
+     * Write as CSV with header
+     * `id,arrival,prompt,reasoning,answer,start_in_answering,dataset`.
+     */
+    void toCsv(const std::string& path) const;
+
+    /** Parse the CSV format written by toCsv(). */
+    static Trace fromCsv(const std::string& path);
+
+    /** Concatenate and re-sort two traces (ids must stay unique). */
+    static Trace merge(const Trace& a, const Trace& b);
+};
+
+} // namespace workload
+} // namespace pascal
+
+#endif // PASCAL_WORKLOAD_TRACE_HH

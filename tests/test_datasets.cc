@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for dataset length distributions: the sample means must
+ * match the per-dataset means the paper prints (Fig. 8 / Fig. 14), and
+ * the shape constraints the paper states must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/rng.hh"
+#include "src/workload/datasets.hh"
+
+namespace
+{
+
+using namespace pascal;
+using workload::DatasetProfile;
+using workload::LengthDistribution;
+
+double
+sampleMean(const LengthDistribution& dist, int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(dist.sample(rng));
+    return sum / n;
+}
+
+/** Sampled mean should land near the configured mean (clamping and
+ *  sampling noise allow a tolerance). */
+void
+expectMeanNear(const LengthDistribution& dist, double expected,
+               double rel_tol)
+{
+    double mean = sampleMean(dist, 40000, 42);
+    EXPECT_NEAR(mean, expected, expected * rel_tol)
+        << "configured mean " << expected << " got " << mean;
+}
+
+TEST(LengthDistribution, MuLogMatchesMeanParameterization)
+{
+    LengthDistribution d{1000.0, 0.8, 1, 1 << 20};
+    // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2) = meanTokens.
+    EXPECT_NEAR(std::exp(d.muLog() + 0.5 * 0.8 * 0.8), 1000.0, 1e-9);
+}
+
+TEST(LengthDistribution, SamplesWithinClamp)
+{
+    LengthDistribution d{500.0, 1.5, 64, 1024};
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        auto x = d.sample(rng);
+        EXPECT_GE(x, 64);
+        EXPECT_LE(x, 1024);
+    }
+}
+
+TEST(LengthDistribution, CdfMonotone)
+{
+    LengthDistribution d{500.0, 0.9, 16, 8000};
+    EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+    EXPECT_LT(d.cdf(100.0), d.cdf(500.0));
+    EXPECT_LT(d.cdf(500.0), d.cdf(5000.0));
+    EXPECT_NEAR(d.cdf(1e12), 1.0, 1e-9);
+}
+
+TEST(Datasets, AlpacaEvalMeansMatchFig8)
+{
+    auto d = DatasetProfile::alpacaEval();
+    expectMeanNear(d.reasoning, 557.75, 0.06);
+    expectMeanNear(d.answering, 566.85, 0.06);
+}
+
+TEST(Datasets, ArenaHardMeansMatchFig8)
+{
+    auto d = DatasetProfile::arenaHard();
+    expectMeanNear(d.reasoning, 968.35, 0.07);
+    expectMeanNear(d.answering, 824.02, 0.07);
+}
+
+TEST(Datasets, Math500MeansMatchFig14)
+{
+    auto d = DatasetProfile::math500();
+    expectMeanNear(d.reasoning, 747.20, 0.08);
+    expectMeanNear(d.answering, 164.67, 0.08);
+}
+
+TEST(Datasets, GpqaMeansMatchFig14)
+{
+    auto d = DatasetProfile::gpqa();
+    expectMeanNear(d.reasoning, 2679.27, 0.08);
+    expectMeanNear(d.answering, 316.09, 0.08);
+}
+
+TEST(Datasets, LiveCodeBenchMeansMatchFig14)
+{
+    auto d = DatasetProfile::liveCodeBench();
+    expectMeanNear(d.reasoning, 1896.64, 0.08);
+    expectMeanNear(d.answering, 697.09, 0.08);
+}
+
+TEST(Datasets, ChatWorkloadsAreShortReasoningSkewed)
+{
+    // Fig. 10 caption: >70 % of requests generate fewer than 1000
+    // reasoning tokens in the chat workloads.
+    for (const auto& d :
+         {DatasetProfile::alpacaEval(), DatasetProfile::arenaHard()}) {
+        EXPECT_GT(d.reasoning.cdf(1000.0), 0.70) << d.name;
+    }
+}
+
+TEST(Datasets, GpqaIsReasoningHeavy)
+{
+    // Section V-D: reasoning tokens up to 8.48x the answering tokens.
+    auto d = DatasetProfile::gpqa();
+    EXPECT_NEAR(d.reasoning.meanTokens / d.answering.meanTokens, 8.48,
+                0.05);
+}
+
+TEST(Datasets, AllPresetsValidate)
+{
+    auto all = DatasetProfile::all();
+    ASSERT_EQ(all.size(), 5u);
+    for (const auto& d : all) {
+        d.validate();
+        EXPECT_FALSE(d.name.empty());
+    }
+}
+
+TEST(Datasets, SamplingIsReproducible)
+{
+    auto d = DatasetProfile::arenaHard();
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(d.reasoning.sample(a), d.reasoning.sample(b));
+}
+
+} // namespace

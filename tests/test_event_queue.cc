@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue and simulator loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/sim/event_queue.hh"
+#include "src/sim/simulator.hh"
+
+namespace
+{
+
+using pascal::sim::EventQueue;
+using pascal::sim::Simulator;
+
+TEST(EventQueue, EmptyByDefault)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_TRUE(std::isinf(q.nextTime()));
+}
+
+TEST(EventQueue, OrdersByTime)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(2.0, [&] { fired.push_back(2); });
+    q.schedule(1.0, [&] { fired.push_back(1); });
+    q.schedule(3.0, [&] { fired.push_back(3); });
+
+    while (!q.empty())
+        q.pop().callback();
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5.0, [&fired, i] { fired.push_back(i); });
+
+    while (!q.empty())
+        q.pop().callback();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueue, CancelRemovesEvent)
+{
+    EventQueue q;
+    bool fired = false;
+    auto id = q.schedule(1.0, [&] { fired = true; });
+    q.schedule(2.0, [] {});
+    q.cancel(id);
+
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_DOUBLE_EQ(q.nextTime(), 2.0);
+    while (!q.empty())
+        q.pop().callback();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop)
+{
+    EventQueue q;
+    q.schedule(1.0, [] {});
+    q.cancel(12345); // Never scheduled.
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime)
+{
+    Simulator sim;
+    double seen = -1.0;
+    sim.at(4.5, [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_DOUBLE_EQ(seen, 4.5);
+    EXPECT_DOUBLE_EQ(sim.now(), 4.5);
+}
+
+TEST(Simulator, AfterSchedulesRelative)
+{
+    Simulator sim;
+    std::vector<double> times;
+    sim.at(1.0, [&] {
+        times.push_back(sim.now());
+        sim.after(2.0, [&] { times.push_back(sim.now()); });
+    });
+    sim.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_DOUBLE_EQ(times[0], 1.0);
+    EXPECT_DOUBLE_EQ(times[1], 3.0);
+}
+
+TEST(Simulator, RunUntilStopsBeforeLaterEvents)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.at(1.0, [&] { ++fired; });
+    sim.at(10.0, [&] { ++fired; });
+    sim.run(5.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StopEndsRunEarly)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.at(1.0, [&] {
+        ++fired;
+        sim.stop();
+    });
+    sim.at(2.0, [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, MaxEventsBound)
+{
+    Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 100; ++i)
+        sim.at(static_cast<double>(i), [&] { ++fired; });
+    auto executed = sim.run(pascal::kTimeInfinity, 10);
+    EXPECT_EQ(executed, 10u);
+    EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, CascadedEventsRunInOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.at(1.0, [&] {
+        order.push_back(1);
+        sim.after(0.0, [&] { order.push_back(2); });
+    });
+    sim.at(1.0, [&] { order.push_back(3); });
+    sim.run();
+    // The zero-delay continuation fires after the other t=1 event
+    // (FIFO among equal timestamps).
+    EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Simulator, CountsExecutedEvents)
+{
+    Simulator sim;
+    for (int i = 0; i < 7; ++i)
+        sim.at(1.0 * i, [] {});
+    EXPECT_EQ(sim.run(), 7u);
+}
+
+} // namespace

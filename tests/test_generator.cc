@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for trace generators: Poisson arrivals, dataset mixing,
+ * and the Section III characterization workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/log.hh"
+#include "src/common/rng.hh"
+#include "src/workload/generator.hh"
+
+namespace
+{
+
+using namespace pascal;
+using namespace pascal::workload;
+
+TEST(Generator, ProducesRequestedCount)
+{
+    Rng rng(1);
+    auto trace = generateTrace(DatasetProfile::alpacaEval(), 100, 5.0,
+                               rng);
+    EXPECT_EQ(trace.size(), 100u);
+    trace.validate();
+}
+
+TEST(Generator, PoissonMeanGapMatchesRate)
+{
+    Rng rng(2);
+    double rate = 10.0;
+    auto trace = generateTrace(DatasetProfile::alpacaEval(), 5000, rate,
+                               rng);
+    double span = trace.requests.back().arrival -
+                  trace.requests.front().arrival;
+    double mean_gap = span / (trace.size() - 1);
+    EXPECT_NEAR(mean_gap, 1.0 / rate, 0.01);
+}
+
+TEST(Generator, IdsAreSequentialFromFirstId)
+{
+    Rng rng(3);
+    auto trace = generateTrace(DatasetProfile::arenaHard(), 10, 1.0, rng,
+                               5.0, 100);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(trace.requests[i].id, 100 + static_cast<RequestId>(i));
+    EXPECT_GT(trace.requests.front().arrival, 5.0);
+}
+
+TEST(Generator, DatasetLabelPropagates)
+{
+    Rng rng(4);
+    auto trace = generateTrace(DatasetProfile::gpqa(), 5, 1.0, rng);
+    for (const auto& s : trace.requests)
+        EXPECT_EQ(s.dataset, "GPQA");
+}
+
+TEST(Generator, RejectsBadArgs)
+{
+    Rng rng(5);
+    EXPECT_THROW(
+        generateTrace(DatasetProfile::alpacaEval(), -1, 1.0, rng),
+        FatalError);
+    EXPECT_THROW(
+        generateTrace(DatasetProfile::alpacaEval(), 10, 0.0, rng),
+        FatalError);
+}
+
+TEST(Generator, MixedTraceUsesAllComponents)
+{
+    Rng rng(6);
+    std::vector<MixComponent> mix = {
+        {DatasetProfile::arenaHard(), 0.5},
+        {DatasetProfile::math500(), 0.5},
+    };
+    auto trace = generateMixedTrace(mix, 400, 5.0, rng);
+    std::set<std::string> seen;
+    int arena = 0;
+    for (const auto& s : trace.requests) {
+        seen.insert(s.dataset);
+        arena += s.dataset == "Arena-Hard";
+    }
+    EXPECT_EQ(seen.size(), 2u);
+    // Roughly half Arena-Hard.
+    EXPECT_GT(arena, 140);
+    EXPECT_LT(arena, 260);
+}
+
+TEST(Generator, MixedTraceRejectsEmptyOrZeroWeights)
+{
+    Rng rng(7);
+    EXPECT_THROW(generateMixedTrace({}, 10, 1.0, rng), FatalError);
+    std::vector<MixComponent> zero = {
+        {DatasetProfile::alpacaEval(), 0.0}};
+    EXPECT_THROW(generateMixedTrace(zero, 10, 1.0, rng), FatalError);
+}
+
+TEST(Generator, ReasoningCharacterizationShape)
+{
+    Rng rng(8);
+    auto trace = generateReasoningCharacterization(300, 2.0, rng);
+    EXPECT_EQ(trace.size(), 300u);
+    std::set<TokenCount> lengths;
+    for (const auto& s : trace.requests) {
+        EXPECT_EQ(s.promptTokens, 128);
+        EXPECT_EQ(s.answerTokens, 1);
+        EXPECT_FALSE(s.startInAnswering);
+        lengths.insert(s.reasoningTokens);
+    }
+    // All lengths drawn from the paper's five choices.
+    for (auto len : lengths) {
+        EXPECT_TRUE(len == 128 || len == 256 || len == 512 ||
+                    len == 1024 || len == 2048);
+    }
+    EXPECT_GT(lengths.size(), 3u); // Should see most of the choices.
+}
+
+TEST(Generator, AnsweringCharacterizationShape)
+{
+    Rng rng(9);
+    auto trace = generateAnsweringCharacterization(300, 2.0, rng);
+    for (const auto& s : trace.requests) {
+        EXPECT_EQ(s.promptTokens, 128);
+        EXPECT_EQ(s.reasoningTokens, 0);
+        EXPECT_TRUE(s.startInAnswering);
+        EXPECT_GE(s.answerTokens, 128);
+        EXPECT_LE(s.answerTokens, 2048);
+    }
+}
+
+TEST(Generator, Reproducible)
+{
+    Rng a(99), b(99);
+    auto t1 = generateTrace(DatasetProfile::alpacaEval(), 50, 3.0, a);
+    auto t2 = generateTrace(DatasetProfile::alpacaEval(), 50, 3.0, b);
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+        EXPECT_DOUBLE_EQ(t1.requests[i].arrival, t2.requests[i].arrival);
+        EXPECT_EQ(t1.requests[i].reasoningTokens,
+                  t2.requests[i].reasoningTokens);
+    }
+}
+
+} // namespace

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the fixed-width histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/histogram.hh"
+#include "src/common/log.hh"
+
+namespace
+{
+
+using pascal::stats::Histogram;
+
+TEST(Histogram, BinsSamplesByRange)
+{
+    Histogram h(0.0, 100.0, 10);
+    h.add(5.0);
+    h.add(15.0);
+    h.add(15.5);
+    h.add(95.0);
+
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 2u);
+    EXPECT_EQ(h.binCount(9), 1u);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(0.0, 10.0, 2);
+    h.add(-5.0);
+    h.add(100.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(Histogram, MeanUsesRawSamples)
+{
+    Histogram h(0.0, 10.0, 2);
+    h.add(1.0);
+    h.add(2.0);
+    h.add(300.0); // Clamped into last bin but mean is raw.
+    EXPECT_DOUBLE_EQ(h.mean(), 101.0);
+}
+
+TEST(Histogram, DensitySumsToOne)
+{
+    Histogram h(0.0, 10.0, 5);
+    for (int i = 0; i < 50; ++i)
+        h.add(static_cast<double>(i % 10));
+    double total = 0.0;
+    for (std::size_t i = 0; i < h.numBins(); ++i)
+        total += h.density(i);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Histogram, BinCenters)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(4), 9.0);
+}
+
+TEST(Histogram, RenderProducesOneLinePerBin)
+{
+    Histogram h(0.0, 10.0, 4);
+    h.add(1.0);
+    std::string text = h.render(10);
+    int lines = 0;
+    for (char c : text)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 4);
+}
+
+TEST(Histogram, RejectsBadRange)
+{
+    EXPECT_THROW(Histogram(5.0, 5.0, 3), pascal::FatalError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), pascal::FatalError);
+}
+
+TEST(Histogram, EmptyDensityIsZero)
+{
+    Histogram h(0.0, 1.0, 2);
+    EXPECT_DOUBLE_EQ(h.density(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+} // namespace

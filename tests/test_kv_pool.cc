@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the two-tier KV pool: accounting invariants, tier
+ * moves, and misuse detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/log.hh"
+#include "src/model/kv_pool.hh"
+
+namespace
+{
+
+using pascal::model::KvPool;
+using pascal::model::KvTier;
+
+TEST(KvPool, StartsEmpty)
+{
+    KvPool pool(1000);
+    EXPECT_EQ(pool.gpuCapacity(), 1000);
+    EXPECT_EQ(pool.gpuUsed(), 0);
+    EXPECT_EQ(pool.gpuFree(), 1000);
+    EXPECT_EQ(pool.cpuUsed(), 0);
+    EXPECT_EQ(pool.numTracked(), 0u);
+}
+
+TEST(KvPool, RejectsNonPositiveCapacity)
+{
+    EXPECT_THROW(KvPool(0), pascal::FatalError);
+    EXPECT_THROW(KvPool(-5), pascal::FatalError);
+}
+
+TEST(KvPool, AllocGpuTracksUsage)
+{
+    KvPool pool(1000);
+    pool.allocGpu(1, 400);
+    EXPECT_EQ(pool.gpuUsed(), 400);
+    EXPECT_EQ(pool.gpuFree(), 600);
+    EXPECT_EQ(pool.tierOf(1), KvTier::Gpu);
+    EXPECT_EQ(pool.tokensOf(1), 400);
+    EXPECT_TRUE(pool.hasRequest(1));
+    EXPECT_FALSE(pool.hasRequest(2));
+}
+
+TEST(KvPool, CanAllocRespectsCapacity)
+{
+    KvPool pool(1000);
+    pool.allocGpu(1, 900);
+    EXPECT_TRUE(pool.canAllocGpu(100));
+    EXPECT_FALSE(pool.canAllocGpu(101));
+}
+
+TEST(KvPool, GrowGpuExtends)
+{
+    KvPool pool(1000);
+    pool.allocGpu(1, 100);
+    pool.growGpu(1, 50);
+    EXPECT_EQ(pool.tokensOf(1), 150);
+    EXPECT_EQ(pool.gpuUsed(), 150);
+}
+
+TEST(KvPool, MoveToCpuAndBack)
+{
+    KvPool pool(1000);
+    pool.allocGpu(1, 300);
+    pool.moveToCpu(1);
+    EXPECT_EQ(pool.tierOf(1), KvTier::Cpu);
+    EXPECT_EQ(pool.gpuUsed(), 0);
+    EXPECT_EQ(pool.cpuUsed(), 300);
+    EXPECT_EQ(pool.totalFootprintTokens(), 300);
+
+    pool.moveToGpu(1);
+    EXPECT_EQ(pool.tierOf(1), KvTier::Gpu);
+    EXPECT_EQ(pool.gpuUsed(), 300);
+    EXPECT_EQ(pool.cpuUsed(), 0);
+}
+
+TEST(KvPool, SwapMakesRoomForOthers)
+{
+    KvPool pool(500);
+    pool.allocGpu(1, 400);
+    EXPECT_FALSE(pool.canAllocGpu(200));
+    pool.moveToCpu(1);
+    EXPECT_TRUE(pool.canAllocGpu(200));
+    pool.allocGpu(2, 200);
+    EXPECT_EQ(pool.totalFootprintTokens(), 600);
+}
+
+TEST(KvPool, ReleaseFreesEitherTier)
+{
+    KvPool pool(1000);
+    pool.allocGpu(1, 100);
+    pool.allocCpu(2, 200);
+    pool.release(1);
+    pool.release(2);
+    EXPECT_EQ(pool.gpuUsed(), 0);
+    EXPECT_EQ(pool.cpuUsed(), 0);
+    EXPECT_EQ(pool.numTracked(), 0u);
+    EXPECT_EQ(pool.tierOf(1), KvTier::None);
+}
+
+TEST(KvPool, PeakTracksHighWaterMark)
+{
+    KvPool pool(1000);
+    pool.allocGpu(1, 600);
+    pool.allocGpu(2, 300);
+    pool.release(1);
+    EXPECT_EQ(pool.gpuUsed(), 300);
+    EXPECT_EQ(pool.peakGpuUsed(), 900);
+}
+
+TEST(KvPoolDeath, OverCapacityPanics)
+{
+    KvPool pool(100);
+    pool.allocGpu(1, 90);
+    EXPECT_DEATH(pool.allocGpu(2, 20), "over capacity");
+    EXPECT_DEATH(pool.growGpu(1, 20), "over capacity");
+}
+
+TEST(KvPoolDeath, DoubleAllocPanics)
+{
+    KvPool pool(100);
+    pool.allocGpu(1, 10);
+    EXPECT_DEATH(pool.allocGpu(1, 10), "already tracked");
+}
+
+TEST(KvPoolDeath, WrongTierMovesPanic)
+{
+    KvPool pool(100);
+    pool.allocGpu(1, 10);
+    EXPECT_DEATH(pool.moveToGpu(1), "not CPU-resident");
+    pool.moveToCpu(1);
+    EXPECT_DEATH(pool.moveToCpu(1), "not GPU-resident");
+}
+
+TEST(KvPoolDeath, UnknownRequestPanics)
+{
+    KvPool pool(100);
+    EXPECT_DEATH(pool.release(7), "unknown request");
+    EXPECT_DEATH(pool.growGpu(7, 1), "unknown request");
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for per-request metric extraction and aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/qoe/metrics.hh"
+
+namespace
+{
+
+using namespace pascal;
+using qoe::aggregateMetrics;
+using qoe::computeRequestMetrics;
+using qoe::RequestMetrics;
+using qoe::SloConfig;
+using workload::Request;
+using workload::RequestSpec;
+
+Request
+runPacedRequest(Time arrival, TokenCount reasoning, TokenCount answer,
+                Time step)
+{
+    RequestSpec s;
+    s.id = 1;
+    s.arrival = arrival;
+    s.promptTokens = 64;
+    s.reasoningTokens = reasoning;
+    s.answerTokens = answer;
+    Request r(s);
+    Time t = arrival + 0.5; // Prefill finishes 0.5 s after arrival.
+    r.completePrefill(t, 0);
+    for (TokenCount i = 1; i < reasoning + answer; ++i) {
+        t += step;
+        r.emitToken(t, 0);
+    }
+    return r;
+}
+
+TEST(Metrics, TimestampsMapToPaperDefinitions)
+{
+    // 4 reasoning + 3 answering tokens, 0.1 s/step, prefill at +0.5.
+    Request r = runPacedRequest(10.0, 4, 3, 0.1);
+    SloConfig slo;
+    auto m = computeRequestMetrics(r, slo);
+
+    ASSERT_TRUE(m.finished);
+    // Reasoning ends at 10.5 + 3*0.1 = 10.8; first answer at 10.9.
+    EXPECT_NEAR(m.reasoningLatency, 0.8, 1e-9);
+    EXPECT_NEAR(m.ttft, 0.9, 1e-9);
+    EXPECT_NEAR(m.ttfat, 0.1, 1e-9);
+    // Finish at 11.1.
+    EXPECT_NEAR(m.e2eLatency, 1.1, 1e-9);
+    EXPECT_NEAR(m.answeringLatency, 0.3, 1e-9);
+    EXPECT_NEAR(m.meanTpot, 0.1, 1e-9);
+}
+
+TEST(Metrics, PacedRequestMeetsSlo)
+{
+    Request r = runPacedRequest(0.0, 4, 50, 0.05); // Faster than pace.
+    SloConfig slo;
+    auto m = computeRequestMetrics(r, slo);
+    EXPECT_DOUBLE_EQ(m.qoe, 1.0);
+    EXPECT_FALSE(m.sloViolated);
+}
+
+TEST(Metrics, SlowGenerationViolatesSlo)
+{
+    Request r = runPacedRequest(0.0, 4, 50, 0.5); // 5x slower.
+    SloConfig slo;
+    auto m = computeRequestMetrics(r, slo);
+    EXPECT_LT(m.qoe, 0.95);
+    EXPECT_TRUE(m.sloViolated);
+}
+
+TEST(Metrics, Fig5ModeChargesLateFirstToken)
+{
+    // startInAnswering request whose first token arrives 5 s after
+    // the reasoning end: fine in main-eval mode, violation in the
+    // characterization (TTFAT-anchored) mode.
+    RequestSpec s;
+    s.id = 2;
+    s.arrival = 0.0;
+    s.promptTokens = 128;
+    s.reasoningTokens = 0;
+    s.answerTokens = 20;
+    s.startInAnswering = true;
+    Request r(s);
+    Time t = 5.0;
+    for (TokenCount i = 0; i < s.answerTokens; ++i) {
+        r.emitToken(t, 0);
+        t += 0.05;
+    }
+
+    SloConfig main_eval;
+    main_eval.qoeFromFirstToken = true;
+    EXPECT_FALSE(computeRequestMetrics(r, main_eval).sloViolated);
+
+    SloConfig characterization;
+    characterization.qoeFromFirstToken = false;
+    auto m = computeRequestMetrics(r, characterization);
+    EXPECT_TRUE(m.sloViolated);
+    EXPECT_LT(m.qoe, 0.95);
+}
+
+TEST(Metrics, UnfinishedRequestMarked)
+{
+    RequestSpec s;
+    s.id = 3;
+    s.arrival = 0.0;
+    s.promptTokens = 64;
+    s.reasoningTokens = 10;
+    s.answerTokens = 10;
+    Request r(s);
+    r.completePrefill(1.0, 0);
+    auto m = computeRequestMetrics(r, SloConfig{});
+    EXPECT_FALSE(m.finished);
+    EXPECT_DOUBLE_EQ(m.e2eLatency, 0.0);
+}
+
+TEST(Metrics, AggregateRollsUp)
+{
+    SloConfig slo;
+    std::vector<RequestMetrics> ms;
+    ms.push_back(
+        computeRequestMetrics(runPacedRequest(0.0, 4, 20, 0.05), slo));
+    ms.push_back(
+        computeRequestMetrics(runPacedRequest(1.0, 4, 20, 0.5), slo));
+
+    auto agg = aggregateMetrics(ms);
+    EXPECT_EQ(agg.numRequests, 2u);
+    EXPECT_EQ(agg.numFinished, 2u);
+    EXPECT_NEAR(agg.sloViolationRate, 0.5, 1e-9);
+    EXPECT_GT(agg.makespan, 0.0);
+    EXPECT_GT(agg.throughputTokensPerSec, 0.0);
+    EXPECT_GT(agg.p99Ttft, agg.p50Ttft - 1e-12);
+    EXPECT_GT(agg.meanQoe, 0.0);
+}
+
+TEST(Metrics, AggregateEmptyIsZeroed)
+{
+    auto agg = aggregateMetrics({});
+    EXPECT_EQ(agg.numRequests, 0u);
+    EXPECT_DOUBLE_EQ(agg.throughputTokensPerSec, 0.0);
+}
+
+TEST(Metrics, AggregateSkipsUnfinished)
+{
+    SloConfig slo;
+    RequestSpec s;
+    s.id = 9;
+    s.arrival = 0.0;
+    s.promptTokens = 64;
+    s.reasoningTokens = 10;
+    s.answerTokens = 10;
+    Request r(s);
+    std::vector<RequestMetrics> ms{computeRequestMetrics(r, slo)};
+    auto agg = aggregateMetrics(ms);
+    EXPECT_EQ(agg.numRequests, 1u);
+    EXPECT_EQ(agg.numFinished, 0u);
+}
+
+} // namespace

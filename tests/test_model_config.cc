@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for ModelConfig and HardwareConfig parameter derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/log.hh"
+#include "src/model/hardware_config.hh"
+#include "src/model/model_config.hh"
+
+namespace
+{
+
+using pascal::model::HardwareConfig;
+using pascal::model::ModelConfig;
+
+TEST(ModelConfig, DeepseekParamCountIsAbout32B)
+{
+    auto cfg = ModelConfig::deepseekR1Distill32B();
+    cfg.validate();
+    double params = static_cast<double>(cfg.numParams());
+    EXPECT_GT(params, 30e9);
+    EXPECT_LT(params, 36e9);
+}
+
+TEST(ModelConfig, KvBytesPerTokenMatchesGqaShape)
+{
+    auto cfg = ModelConfig::deepseekR1Distill32B();
+    // 2 (K,V) * 64 layers * 8 KV heads * 128 head dim * 2 bytes.
+    EXPECT_EQ(cfg.kvBytesPerToken(), 2LL * 64 * 8 * 128 * 2);
+}
+
+TEST(ModelConfig, WeightBytesAreParamsTimesDtype)
+{
+    auto cfg = ModelConfig::deepseekR1Distill32B();
+    EXPECT_EQ(cfg.weightBytes(), cfg.numParams() * 2);
+}
+
+TEST(ModelConfig, Tiny7BIsSmaller)
+{
+    auto small = ModelConfig::tiny7B();
+    auto big = ModelConfig::deepseekR1Distill32B();
+    small.validate();
+    EXPECT_LT(small.numParams(), big.numParams());
+    EXPECT_LT(small.kvBytesPerToken(), big.kvBytesPerToken());
+}
+
+TEST(ModelConfig, ValidateRejectsNonsense)
+{
+    auto cfg = ModelConfig::deepseekR1Distill32B();
+    cfg.numLayers = 0;
+    EXPECT_THROW(cfg.validate(), pascal::FatalError);
+
+    cfg = ModelConfig::deepseekR1Distill32B();
+    cfg.numKvHeads = cfg.numHeads + 1;
+    EXPECT_THROW(cfg.validate(), pascal::FatalError);
+
+    cfg = ModelConfig::deepseekR1Distill32B();
+    cfg.bytesPerParam = 0;
+    EXPECT_THROW(cfg.validate(), pascal::FatalError);
+}
+
+TEST(HardwareConfig, H100Preset)
+{
+    auto hw = HardwareConfig::h100();
+    hw.validate();
+    EXPECT_EQ(hw.gpuMemoryBytes, pascal::gigabytes(96.0));
+    EXPECT_GT(hw.effHbmBandwidth(), 2e12);
+    EXPECT_LT(hw.effHbmBandwidth(), hw.hbmBandwidth);
+    EXPECT_LT(hw.effFlops(), hw.peakFlops);
+    EXPECT_LT(hw.effPcieBandwidth(), hw.pcieBandwidth);
+}
+
+TEST(HardwareConfig, FabricBandwidthConversion)
+{
+    auto hw = HardwareConfig::h100();
+    // 100 Gbps * 0.9 efficiency = 11.25 GB/s.
+    EXPECT_NEAR(hw.effFabricBandwidth(), 11.25e9, 1e6);
+}
+
+TEST(HardwareConfig, ValidateRejectsNonsense)
+{
+    auto hw = HardwareConfig::h100();
+    hw.mfu = 1.5;
+    EXPECT_THROW(hw.validate(), pascal::FatalError);
+
+    hw = HardwareConfig::h100();
+    hw.gpuMemoryBytes = 0;
+    EXPECT_THROW(hw.validate(), pascal::FatalError);
+
+    hw = HardwareConfig::h100();
+    hw.iterationOverhead = -1.0;
+    EXPECT_THROW(hw.validate(), pascal::FatalError);
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(pascal::milliseconds(100.0), 0.1);
+    EXPECT_DOUBLE_EQ(pascal::microseconds(100.0), 1e-4);
+    EXPECT_EQ(pascal::gigabytes(1.0), 1000000000LL);
+    EXPECT_EQ(pascal::mebibytes(1.0), 1048576LL);
+    EXPECT_DOUBLE_EQ(pascal::gbpsToBytesPerSec(8.0), 1e9);
+}
+
+} // namespace

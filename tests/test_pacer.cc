@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the token pacer: burst buffering, steady release, and
+ * starvation detection (Fig. 3 scenario phases).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/log.hh"
+#include "src/qoe/token_pacer.hh"
+
+namespace
+{
+
+using pascal::qoe::TokenPacer;
+
+TEST(TokenPacer, ReleasesAtPaceWhenGeneratedInBurst)
+{
+    TokenPacer pacer(0.1);
+    // Five tokens all generated at t=0 (a burst).
+    for (int i = 0; i < 5; ++i)
+        pacer.onTokenGenerated(0.0);
+
+    EXPECT_DOUBLE_EQ(pacer.releaseTime(0), 0.0);
+    EXPECT_DOUBLE_EQ(pacer.releaseTime(1), 0.1);
+    EXPECT_DOUBLE_EQ(pacer.releaseTime(4), 0.4);
+}
+
+TEST(TokenPacer, SlowGenerationReleasesImmediately)
+{
+    TokenPacer pacer(0.1);
+    pacer.onTokenGenerated(0.0);
+    pacer.onTokenGenerated(1.0); // Far slower than the pace.
+    EXPECT_DOUBLE_EQ(pacer.releaseTime(1), 1.0);
+}
+
+TEST(TokenPacer, ReleaseStartDelaysFirstToken)
+{
+    TokenPacer pacer(0.1, 0.5);
+    pacer.onTokenGenerated(0.0);
+    EXPECT_DOUBLE_EQ(pacer.releaseTime(0), 0.5);
+}
+
+TEST(TokenPacer, BufferedCountsGeneratedMinusReleased)
+{
+    TokenPacer pacer(0.1);
+    for (int i = 0; i < 5; ++i)
+        pacer.onTokenGenerated(0.0);
+    // At t=0.15 two tokens have been released (t=0 and t=0.1).
+    EXPECT_EQ(pacer.bufferedAt(0.15), 3u);
+    EXPECT_EQ(pacer.bufferedAt(10.0), 0u);
+}
+
+TEST(TokenPacer, StarvationAfterBufferDrains)
+{
+    TokenPacer pacer(0.1);
+    // Burst of 3 at t=0 -> released at 0, 0.1, 0.2. Next expected at
+    // 0.3 but generation paused.
+    for (int i = 0; i < 3; ++i)
+        pacer.onTokenGenerated(0.0);
+    EXPECT_FALSE(pacer.starvedAt(0.25));
+    EXPECT_TRUE(pacer.starvedAt(0.35));
+
+    // Generation resumes; starvation clears.
+    pacer.onTokenGenerated(0.5);
+    EXPECT_FALSE(pacer.starvedAt(0.45)); // Buffered history query.
+}
+
+TEST(TokenPacer, ReleasedByBinarySearch)
+{
+    TokenPacer pacer(0.1);
+    for (int i = 0; i < 4; ++i)
+        pacer.onTokenGenerated(0.0);
+    EXPECT_EQ(pacer.releasedBy(-0.01), 0u);
+    EXPECT_EQ(pacer.releasedBy(0.0), 1u);
+    EXPECT_EQ(pacer.releasedBy(0.1), 2u);
+    EXPECT_EQ(pacer.releasedBy(0.29), 3u);
+    EXPECT_EQ(pacer.releasedBy(1.0), 4u);
+}
+
+TEST(TokenPacer, RejectsNonPositivePace)
+{
+    EXPECT_THROW(TokenPacer(0.0), pascal::FatalError);
+}
+
+TEST(TokenPacerDeath, NonMonotonicGenerationPanics)
+{
+    TokenPacer pacer(0.1);
+    pacer.onTokenGenerated(1.0);
+    EXPECT_DEATH(pacer.onTokenGenerated(0.5), "non-monotonic");
+}
+
+} // namespace

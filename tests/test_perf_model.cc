@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Unit tests for the analytic performance model: monotonicity,
+ * calibration targets the paper cites, and capacity derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/log.hh"
+#include "src/model/perf_model.hh"
+
+namespace
+{
+
+using pascal::model::HardwareConfig;
+using pascal::model::ModelConfig;
+using pascal::model::PerfModel;
+
+PerfModel
+makeModel()
+{
+    return PerfModel(ModelConfig::deepseekR1Distill32B(),
+                     HardwareConfig::h100());
+}
+
+TEST(PerfModel, DecodeNearPaperCitedPerTokenLatency)
+{
+    auto pm = makeModel();
+    // The paper cites ~30 ms per decode step as an aggressive speed;
+    // a modest batch should land in the 20-80 ms band.
+    double t = pm.decodeStepLatency(8, 8 * 1024);
+    EXPECT_GT(t, 0.020);
+    EXPECT_LT(t, 0.080);
+}
+
+TEST(PerfModel, FabricTransferMatchesPaperCitation)
+{
+    auto pm = makeModel();
+    // Patel et al. report ~40 ms to move a 2048-token KV; our 32B GQA
+    // KV (0.25 MiB/token) over 100 Gbps lands in the same regime.
+    double t = pm.fabricTransferLatency(pm.kvBytes(2048));
+    EXPECT_GT(t, 0.020);
+    EXPECT_LT(t, 0.080);
+}
+
+TEST(PerfModel, PrefillGrowsWithPromptLength)
+{
+    auto pm = makeModel();
+    double t128 = pm.prefillLatency(128);
+    double t4096 = pm.prefillLatency(4096);
+    EXPECT_GT(t4096, t128);
+    EXPECT_GT(t128, 0.0);
+    EXPECT_DOUBLE_EQ(pm.prefillLatency(0), 0.0);
+}
+
+TEST(PerfModel, PrefillMemoryBoundForShortPrompts)
+{
+    auto pm = makeModel();
+    // Short prompts cannot beat one pass over the weights.
+    double weight_pass =
+        static_cast<double>(
+            ModelConfig::deepseekR1Distill32B().weightBytes()) /
+        HardwareConfig::h100().effHbmBandwidth();
+    EXPECT_GE(pm.prefillLatency(16), weight_pass);
+}
+
+TEST(PerfModel, DecodeMonotonicInBatchAndKv)
+{
+    auto pm = makeModel();
+    EXPECT_LT(pm.decodeStepLatency(1, 1024),
+              pm.decodeStepLatency(64, 1024));
+    EXPECT_LT(pm.decodeStepLatency(8, 1024),
+              pm.decodeStepLatency(8, 500000));
+}
+
+TEST(PerfModel, DecodeComputeBoundAtHugeBatch)
+{
+    auto pm = makeModel();
+    // Past the roofline knee, doubling the batch nearly doubles
+    // latency.
+    double t512 = pm.decodeStepLatency(512, 0);
+    double t1024 = pm.decodeStepLatency(1024, 0);
+    EXPECT_GT(t1024, 1.5 * t512);
+}
+
+TEST(PerfModel, KvBytesScaleLinearly)
+{
+    auto pm = makeModel();
+    EXPECT_EQ(pm.kvBytes(10), 10 * pm.kvBytes(1));
+    EXPECT_EQ(pm.kvBytes(0), 0);
+}
+
+TEST(PerfModel, PcieFasterThanFabric)
+{
+    auto pm = makeModel();
+    auto bytes = pm.kvBytes(2048);
+    EXPECT_LT(pm.pcieTransferLatency(bytes),
+              pm.fabricTransferLatency(bytes));
+}
+
+TEST(PerfModel, CapacityLeavesRoomForWeights)
+{
+    auto pm = makeModel();
+    auto capacity = pm.gpuKvCapacityTokens();
+    // 96 GB minus ~65 GB of weights at 0.25 MiB/token, with 10 %
+    // reserve: roughly 100k tokens.
+    EXPECT_GT(capacity, 60000);
+    EXPECT_LT(capacity, 130000);
+    // More reserve leaves less KV capacity.
+    EXPECT_LT(pm.gpuKvCapacityTokens(0.5), capacity);
+}
+
+TEST(PerfModel, RejectsModelLargerThanMemory)
+{
+    auto model = ModelConfig::deepseekR1Distill32B();
+    auto hw = HardwareConfig::h100();
+    hw.gpuMemoryBytes = pascal::gigabytes(10.0);
+    EXPECT_THROW(PerfModel(model, hw), pascal::FatalError);
+}
+
+TEST(PerfModel, IterationOverheadIsFloor)
+{
+    auto hw = HardwareConfig::h100();
+    auto pm = PerfModel(ModelConfig::deepseekR1Distill32B(), hw);
+    EXPECT_GE(pm.decodeStepLatency(1, 0), hw.iterationOverhead);
+}
+
+TEST(PerfModel, MixedStepDegeneratesToPureModes)
+{
+    auto pm = makeModel();
+    EXPECT_DOUBLE_EQ(pm.mixedStepLatency(0, 8, 4096),
+                     pm.decodeStepLatency(8, 4096));
+    EXPECT_DOUBLE_EQ(pm.mixedStepLatency(512, 0, 0),
+                     pm.prefillLatency(512));
+    EXPECT_DOUBLE_EQ(pm.mixedStepLatency(0, 0, 0), 0.0);
+}
+
+TEST(PerfModel, MixedStepCostsAtLeastEachComponentFloor)
+{
+    auto pm = makeModel();
+    double mixed = pm.mixedStepLatency(2048, 32, 65536);
+    // Adding prefill work cannot be cheaper than the decode step
+    // alone, and a large prefill makes the mixed step compute-bound.
+    EXPECT_GE(mixed, pm.decodeStepLatency(32, 65536) - 1e-12);
+    EXPECT_GT(pm.mixedStepLatency(20000, 32, 65536), mixed);
+}
+
+TEST(PerfModel, MixedStepSharesWeightTraffic)
+{
+    auto pm = makeModel();
+    // One mixed iteration is cheaper than a prefill iteration plus a
+    // decode iteration (the weight read is paid once).
+    double mixed = pm.mixedStepLatency(256, 16, 16384);
+    double separate =
+        pm.prefillLatency(256) + pm.decodeStepLatency(16, 16384);
+    EXPECT_LT(mixed, separate);
+}
+
+} // namespace

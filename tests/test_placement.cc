@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for the instance-level placement algorithms: the paper's
+ * Algorithm 1, Algorithm 2, the adaptive-migration override (Fig. 7),
+ * and the baseline router.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/pascal_placement.hh"
+#include "src/core/placement.hh"
+#include "src/workload/request.hh"
+
+namespace
+{
+
+using namespace pascal;
+using core::BaselinePlacement;
+using core::ClusterView;
+using core::InstanceSnapshot;
+using core::PascalPlacement;
+using Variant = PascalPlacement::Variant;
+
+InstanceSnapshot
+snap(InstanceId id, bool slo_ok, TokenCount kv, int reasoning,
+     int fresh_answering, TokenCount gpu_free)
+{
+    InstanceSnapshot s;
+    s.id = id;
+    s.answeringSloOk = slo_ok;
+    s.kvFootprintTokens = kv;
+    s.numReasoning = reasoning;
+    s.numFreshAnswering = fresh_answering;
+    s.gpuFreeTokens = gpu_free;
+    s.gpuCapacityTokens = 100000;
+    return s;
+}
+
+workload::Request
+makeRequest(TokenCount kv_tokens)
+{
+    workload::RequestSpec s;
+    s.id = 1;
+    s.arrival = 0.0;
+    s.promptTokens = kv_tokens;
+    s.reasoningTokens = 10;
+    s.answerTokens = 10;
+    return workload::Request(s);
+}
+
+TEST(BaselineRouting, PicksSmallestKvFootprint)
+{
+    BaselinePlacement p;
+    ClusterView view{snap(0, true, 500, 0, 0, 1000),
+                     snap(1, true, 200, 0, 0, 1000),
+                     snap(2, true, 900, 0, 0, 1000)};
+    auto req = makeRequest(100);
+    EXPECT_EQ(p.placeNew(view, req), 1);
+}
+
+TEST(BaselineRouting, NeverMigrates)
+{
+    BaselinePlacement p;
+    ClusterView view{snap(0, true, 500, 9, 9, 0),
+                     snap(1, true, 0, 0, 0, 100000)};
+    auto req = makeRequest(100);
+    EXPECT_EQ(p.placeTransition(view, req, 0), 0);
+}
+
+TEST(Algorithm1, FiltersSloViolatingInstances)
+{
+    PascalPlacement p(Variant::Full);
+    // Instance 1 has the smallest footprint but violates its SLO.
+    ClusterView view{snap(0, true, 500, 0, 0, 1000),
+                     snap(1, false, 100, 0, 0, 1000),
+                     snap(2, true, 300, 0, 0, 1000)};
+    auto req = makeRequest(100);
+    EXPECT_EQ(p.placeNew(view, req), 2);
+}
+
+TEST(Algorithm1, FallsBackToAllWhenNoneClean)
+{
+    PascalPlacement p(Variant::Full);
+    ClusterView view{snap(0, false, 500, 0, 0, 1000),
+                     snap(1, false, 100, 0, 0, 1000)};
+    auto req = makeRequest(100);
+    EXPECT_EQ(p.placeNew(view, req), 1); // min m_i over everything.
+}
+
+TEST(Algorithm1, TieBreaksByLowestId)
+{
+    PascalPlacement p(Variant::Full);
+    ClusterView view{snap(0, true, 100, 0, 0, 1000),
+                     snap(1, true, 100, 0, 0, 1000)};
+    auto req = makeRequest(100);
+    EXPECT_EQ(p.placeNew(view, req), 0);
+}
+
+TEST(Algorithm2, PicksFewestReasoningAmongClean)
+{
+    PascalPlacement p(Variant::Full);
+    ClusterView view{snap(0, true, 0, 5, 0, 100000),
+                     snap(1, true, 0, 2, 9, 100000),
+                     snap(2, false, 0, 0, 0, 100000)};
+    auto req = makeRequest(100);
+    // Instance 2 has fewest reasoning but is SLO-dirty; 1 wins.
+    EXPECT_EQ(p.placeTransition(view, req, 0), 1);
+}
+
+TEST(Algorithm2, FallbackUsesReasoningPlusFreshAnswering)
+{
+    PascalPlacement p(Variant::Full);
+    // No instance is clean: key = r_i + a_i.
+    ClusterView view{snap(0, false, 0, 1, 9, 100000),
+                     snap(1, false, 0, 4, 2, 100000),
+                     snap(2, false, 0, 3, 9, 100000)};
+    auto req = makeRequest(100);
+    // Keys: 10, 6, 12 -> instance 1.
+    EXPECT_EQ(p.placeTransition(view, req, 0), 1);
+}
+
+TEST(AdaptiveMigration, StaysHomeWhenTargetFull)
+{
+    PascalPlacement p(Variant::Full);
+    // Target (1) has fewest reasoning but no room for the KV; home
+    // has free slots: override (Fig. 7).
+    ClusterView view{snap(0, true, 5000, 5, 0, 2000),
+                     snap(1, true, 9000, 0, 0, 50)};
+    auto req = makeRequest(100); // kv = 100 +1 > 50 free at target.
+    EXPECT_EQ(p.placeTransition(view, req, 0), 0);
+}
+
+TEST(AdaptiveMigration, MigratesWhenTargetHasRoom)
+{
+    PascalPlacement p(Variant::Full);
+    ClusterView view{snap(0, true, 5000, 5, 0, 2000),
+                     snap(1, true, 9000, 0, 0, 5000)};
+    auto req = makeRequest(100);
+    EXPECT_EQ(p.placeTransition(view, req, 0), 1);
+}
+
+TEST(AdaptiveMigration, MigratesWhenHomeAlsoFull)
+{
+    PascalPlacement p(Variant::Full);
+    // Neither side has room: follow Algorithm 2 anyway (no benefit to
+    // staying).
+    ClusterView view{snap(0, true, 5000, 5, 0, 0),
+                     snap(1, true, 9000, 0, 0, 50)};
+    auto req = makeRequest(100);
+    EXPECT_EQ(p.placeTransition(view, req, 0), 1);
+}
+
+TEST(NonAdaptive, AlwaysFollowsAlgorithm2)
+{
+    PascalPlacement p(Variant::NonAdaptive);
+    ClusterView view{snap(0, true, 5000, 5, 0, 2000),
+                     snap(1, true, 9000, 0, 0, 0)}; // Full target.
+    auto req = makeRequest(100);
+    EXPECT_EQ(p.placeTransition(view, req, 0), 1);
+}
+
+TEST(NoMigration, AlwaysStaysHome)
+{
+    PascalPlacement p(Variant::NoMigration);
+    ClusterView view{snap(0, true, 5000, 9, 0, 0),
+                     snap(1, true, 0, 0, 0, 100000)};
+    auto req = makeRequest(100);
+    EXPECT_EQ(p.placeTransition(view, req, 0), 0);
+    EXPECT_EQ(p.name(), "PASCAL(NoMigration)");
+}
+
+TEST(Placement, NamesAreDistinct)
+{
+    EXPECT_EQ(PascalPlacement(Variant::Full).name(), "PASCAL");
+    EXPECT_EQ(PascalPlacement(Variant::NonAdaptive).name(),
+              "PASCAL(NonAdaptive)");
+    EXPECT_EQ(BaselinePlacement().name(), "min-kv/no-migration");
+}
+
+TEST(Algorithm2, SelfSelectionMeansStay)
+{
+    PascalPlacement p(Variant::Full);
+    ClusterView view{snap(0, true, 0, 0, 0, 100000),
+                     snap(1, true, 0, 5, 0, 100000)};
+    auto req = makeRequest(100);
+    // Home already has the fewest reasoning requests.
+    EXPECT_EQ(p.placeTransition(view, req, 0), 0);
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for summary statistics, percentiles, and the paper's
+ * adaptive tail rule (Fig. 10 caption).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/log.hh"
+#include "src/common/stats.hh"
+
+namespace
+{
+
+using namespace pascal::stats;
+
+TEST(Summary, EmptyDefaults)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, MeanMinMax)
+{
+    Summary s;
+    for (double x : {3.0, 1.0, 4.0, 1.0, 5.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 5u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.8);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 14.0);
+}
+
+TEST(Summary, WelfordMatchesDirectVariance)
+{
+    Summary s;
+    std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    for (double x : xs)
+        s.add(x);
+    EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(Percentile, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, SingleValue)
+{
+    EXPECT_DOUBLE_EQ(percentile({42.0}, 0.0), 42.0);
+    EXPECT_DOUBLE_EQ(percentile({42.0}, 100.0), 42.0);
+}
+
+TEST(Percentile, InterpolatesLinearly)
+{
+    std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 17.5);
+}
+
+TEST(Percentile, UnsortedInputHandled)
+{
+    std::vector<double> xs{40.0, 10.0, 30.0, 20.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Percentile, OutOfRangeIsFatal)
+{
+    EXPECT_THROW(percentile({1.0}, -1.0), pascal::FatalError);
+    EXPECT_THROW(percentile({1.0}, 101.0), pascal::FatalError);
+}
+
+TEST(AdaptiveTail, OmitsTinyBins)
+{
+    EXPECT_FALSE(adaptiveTail({1, 2, 3, 4}).has_value());
+    EXPECT_EQ(adaptiveTailName(4), "omitted");
+}
+
+TEST(AdaptiveTail, MaxBelowTen)
+{
+    std::vector<double> xs{1, 2, 3, 4, 9};
+    auto tail = adaptiveTail(xs);
+    ASSERT_TRUE(tail.has_value());
+    EXPECT_DOUBLE_EQ(*tail, 9.0);
+    EXPECT_EQ(adaptiveTailName(xs.size()), "max");
+}
+
+TEST(AdaptiveTail, P90BelowTwenty)
+{
+    std::vector<double> xs;
+    for (int i = 1; i <= 15; ++i)
+        xs.push_back(i);
+    auto tail = adaptiveTail(xs);
+    ASSERT_TRUE(tail.has_value());
+    EXPECT_DOUBLE_EQ(*tail, percentile(xs, 90.0));
+    EXPECT_EQ(adaptiveTailName(xs.size()), "P90");
+}
+
+TEST(AdaptiveTail, P95BelowHundred)
+{
+    std::vector<double> xs;
+    for (int i = 1; i <= 50; ++i)
+        xs.push_back(i);
+    EXPECT_DOUBLE_EQ(*adaptiveTail(xs), percentile(xs, 95.0));
+    EXPECT_EQ(adaptiveTailName(xs.size()), "P95");
+}
+
+TEST(AdaptiveTail, P99Otherwise)
+{
+    std::vector<double> xs;
+    for (int i = 1; i <= 500; ++i)
+        xs.push_back(i);
+    EXPECT_DOUBLE_EQ(*adaptiveTail(xs), percentile(xs, 99.0));
+    EXPECT_EQ(adaptiveTailName(xs.size()), "P99");
+}
+
+TEST(BinnedTail, GroupsByKeyWidth)
+{
+    BinnedTail bt(256.0);
+    for (int i = 0; i < 6; ++i)
+        bt.add(100.0, 1.0 * i); // Bin [0,256).
+    for (int i = 0; i < 6; ++i)
+        bt.add(300.0, 10.0 * i); // Bin [256,512).
+
+    auto bins = bt.reduce();
+    ASSERT_EQ(bins.size(), 2u);
+    EXPECT_DOUBLE_EQ(bins[0].lo, 0.0);
+    EXPECT_DOUBLE_EQ(bins[0].hi, 256.0);
+    EXPECT_EQ(bins[0].count, 6u);
+    EXPECT_DOUBLE_EQ(bins[1].lo, 256.0);
+    ASSERT_TRUE(bins[0].tail.has_value());
+    EXPECT_DOUBLE_EQ(*bins[0].tail, 5.0);  // max (n < 10)
+    EXPECT_DOUBLE_EQ(*bins[1].tail, 50.0); // max (n < 10)
+}
+
+TEST(BinnedTail, SmallBinsOmitted)
+{
+    BinnedTail bt(256.0);
+    bt.add(10.0, 1.0);
+    bt.add(10.0, 2.0);
+    auto bins = bt.reduce();
+    ASSERT_EQ(bins.size(), 1u);
+    EXPECT_FALSE(bins[0].tail.has_value());
+    EXPECT_EQ(bins[0].statName, "omitted");
+}
+
+TEST(BinnedTail, BinValuesLookup)
+{
+    BinnedTail bt(100.0);
+    bt.add(50.0, 7.0);
+    EXPECT_EQ(bt.binValues(99.0).size(), 1u);
+    EXPECT_EQ(bt.binValues(150.0).size(), 0u);
+}
+
+TEST(BinnedTail, RejectsNonPositiveWidth)
+{
+    EXPECT_THROW(BinnedTail(0.0), pascal::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for SystemConfig: factories, validation, names, and the
+ * scheduler/placement object factories.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/system_config.hh"
+#include "src/common/log.hh"
+#include "src/core/fcfs_scheduler.hh"
+#include "src/core/pascal_placement.hh"
+#include "src/core/pascal_scheduler.hh"
+#include "src/core/rr_scheduler.hh"
+
+namespace
+{
+
+using namespace pascal;
+using cluster::makePlacement;
+using cluster::makeScheduler;
+using cluster::PlacementType;
+using cluster::SchedulerType;
+using cluster::SystemConfig;
+
+TEST(SystemConfig, DefaultsValidate)
+{
+    SystemConfig cfg;
+    cfg.validate();
+    EXPECT_EQ(cfg.numInstances, 8);
+    EXPECT_EQ(cfg.limits.quantum, 500);
+    EXPECT_EQ(cfg.limits.demoteThresholdTokens, 5000);
+    EXPECT_EQ(cfg.kvBlockSizeTokens, 16);
+    EXPECT_EQ(cfg.model.name, "DeepSeek-R1-Distill-Qwen-32B");
+    EXPECT_EQ(cfg.hardware.name, "H100-96GB");
+}
+
+TEST(SystemConfig, BaselineFactoryWiresPlacement)
+{
+    auto fcfs = SystemConfig::baseline(SchedulerType::Fcfs, 4);
+    fcfs.validate();
+    EXPECT_EQ(fcfs.numInstances, 4);
+    EXPECT_EQ(fcfs.placement, PlacementType::Baseline);
+    EXPECT_EQ(fcfs.schedulerName(), "FCFS");
+    EXPECT_EQ(fcfs.placementName(), "min-kv/no-migration");
+
+    auto rr = SystemConfig::baseline(SchedulerType::Rr);
+    EXPECT_EQ(rr.schedulerName(), "RR");
+}
+
+TEST(SystemConfig, PascalFactory)
+{
+    auto cfg = SystemConfig::pascal(2);
+    cfg.validate();
+    EXPECT_EQ(cfg.numInstances, 2);
+    EXPECT_EQ(cfg.scheduler, SchedulerType::Pascal);
+    EXPECT_EQ(cfg.placement, PlacementType::Pascal);
+    EXPECT_EQ(cfg.schedulerName(), "PASCAL");
+    EXPECT_EQ(cfg.placementName(), "PASCAL");
+}
+
+TEST(SystemConfig, AblationPlacementNames)
+{
+    SystemConfig cfg;
+    cfg.placement = PlacementType::PascalNoMigration;
+    EXPECT_EQ(cfg.placementName(), "PASCAL(NoMigration)");
+    cfg.placement = PlacementType::PascalNonAdaptive;
+    EXPECT_EQ(cfg.placementName(), "PASCAL(NonAdaptive)");
+}
+
+TEST(SystemConfig, ValidationCatchesBadKnobs)
+{
+    SystemConfig cfg;
+    cfg.kvBlockSizeTokens = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = SystemConfig{};
+    cfg.maxSimTime = 0.0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = SystemConfig{};
+    cfg.gpuKvCapacityTokens = -1;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = SystemConfig{};
+    cfg.limits.maxBatchSize = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = SystemConfig{};
+    cfg.slo.tpotTarget = 0.0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(Factories, MakeSchedulerReturnsMatchingPolicy)
+{
+    core::SchedLimits limits;
+    auto fcfs = makeScheduler(SchedulerType::Fcfs, limits);
+    auto rr = makeScheduler(SchedulerType::Rr, limits);
+    auto pascal = makeScheduler(SchedulerType::Pascal, limits);
+
+    EXPECT_NE(dynamic_cast<core::FcfsScheduler*>(fcfs.get()), nullptr);
+    EXPECT_NE(dynamic_cast<core::RrScheduler*>(rr.get()), nullptr);
+    EXPECT_NE(dynamic_cast<core::PascalScheduler*>(pascal.get()),
+              nullptr);
+    EXPECT_EQ(fcfs->name(), "FCFS");
+    EXPECT_EQ(rr->name(), "RR");
+    EXPECT_EQ(pascal->name(), "PASCAL");
+}
+
+TEST(Factories, MakePlacementReturnsMatchingPolicy)
+{
+    auto baseline = makePlacement(PlacementType::Baseline);
+    EXPECT_NE(dynamic_cast<core::BaselinePlacement*>(baseline.get()),
+              nullptr);
+
+    auto full = makePlacement(PlacementType::Pascal);
+    auto* pascal = dynamic_cast<core::PascalPlacement*>(full.get());
+    ASSERT_NE(pascal, nullptr);
+    EXPECT_EQ(pascal->variant(), core::PascalPlacement::Variant::Full);
+
+    auto pinned = makePlacement(PlacementType::PascalNoMigration);
+    auto* pinned_p = dynamic_cast<core::PascalPlacement*>(pinned.get());
+    ASSERT_NE(pinned_p, nullptr);
+    EXPECT_EQ(pinned_p->variant(),
+              core::PascalPlacement::Variant::NoMigration);
+}
+
+TEST(Factories, FcfsSchedulerForcesQuantumOff)
+{
+    core::SchedLimits limits;
+    limits.quantum = 500;
+    auto fcfs = makeScheduler(SchedulerType::Fcfs, limits);
+    EXPECT_EQ(fcfs->schedLimits().quantum, 0);
+}
+
+} // namespace

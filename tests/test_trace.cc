@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for Trace validation, sorting, merging, and CSV round
+ * trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/log.hh"
+#include "src/workload/trace.hh"
+
+namespace
+{
+
+using namespace pascal;
+using workload::RequestSpec;
+using workload::Trace;
+
+RequestSpec
+spec(RequestId id, Time arrival)
+{
+    RequestSpec s;
+    s.id = id;
+    s.arrival = arrival;
+    s.promptTokens = 128;
+    s.reasoningTokens = 100;
+    s.answerTokens = 50;
+    s.dataset = "unit";
+    return s;
+}
+
+TEST(Trace, SortByArrival)
+{
+    Trace t;
+    t.requests = {spec(0, 3.0), spec(1, 1.0), spec(2, 2.0)};
+    t.sortByArrival();
+    EXPECT_EQ(t.requests[0].id, 1);
+    EXPECT_EQ(t.requests[1].id, 2);
+    EXPECT_EQ(t.requests[2].id, 0);
+    t.validate();
+}
+
+TEST(Trace, ValidateRejectsDuplicateIds)
+{
+    Trace t;
+    t.requests = {spec(1, 1.0), spec(1, 2.0)};
+    EXPECT_THROW(t.validate(), FatalError);
+}
+
+TEST(Trace, ValidateRejectsUnsorted)
+{
+    Trace t;
+    t.requests = {spec(0, 2.0), spec(1, 1.0)};
+    EXPECT_THROW(t.validate(), FatalError);
+}
+
+TEST(Trace, TotalGeneratedTokens)
+{
+    Trace t;
+    t.requests = {spec(0, 0.0), spec(1, 1.0)};
+    EXPECT_EQ(t.totalGeneratedTokens(), 2 * 150);
+}
+
+TEST(Trace, MergeKeepsOrderAndValidates)
+{
+    Trace a;
+    a.requests = {spec(0, 1.0), spec(1, 3.0)};
+    Trace b;
+    b.requests = {spec(2, 2.0)};
+    Trace m = Trace::merge(a, b);
+    ASSERT_EQ(m.size(), 3u);
+    EXPECT_EQ(m.requests[0].id, 0);
+    EXPECT_EQ(m.requests[1].id, 2);
+    EXPECT_EQ(m.requests[2].id, 1);
+}
+
+TEST(Trace, CsvRoundTrip)
+{
+    Trace t;
+    t.requests = {spec(0, 0.5), spec(1, 1.25)};
+    t.requests[1].startInAnswering = true;
+    t.requests[1].reasoningTokens = 0;
+
+    std::string path = testing::TempDir() + "pascal_trace_test.csv";
+    t.toCsv(path);
+    Trace back = Trace::fromCsv(path);
+    std::remove(path.c_str());
+
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back.requests[0].id, 0);
+    EXPECT_DOUBLE_EQ(back.requests[0].arrival, 0.5);
+    EXPECT_EQ(back.requests[0].promptTokens, 128);
+    EXPECT_EQ(back.requests[0].reasoningTokens, 100);
+    EXPECT_EQ(back.requests[0].answerTokens, 50);
+    EXPECT_FALSE(back.requests[0].startInAnswering);
+    EXPECT_EQ(back.requests[0].dataset, "unit");
+    EXPECT_TRUE(back.requests[1].startInAnswering);
+}
+
+TEST(Trace, FromCsvMissingFileIsFatal)
+{
+    EXPECT_THROW(Trace::fromCsv("/nonexistent/path.csv"), FatalError);
+}
+
+TEST(Trace, EmptyTraceValidates)
+{
+    Trace t;
+    t.validate();
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.totalGeneratedTokens(), 0);
+}
+
+} // namespace
