@@ -1,22 +1,41 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the simulator itself: event
- * queue throughput, performance-model evaluation, KV pool operations,
- * scheduler planning, and end-to-end simulation rate. These guard the
- * harness's own performance (the paper's experiments need millions of
- * iterations).
+ * Event-engine performance benchmark with a machine-readable trail.
+ *
+ * Measures events/sec of the slotted d-ary EventQueue against an
+ * embedded copy of the pre-refactor queue (std::priority_queue of
+ * {time, id, std::function} entries plus an unordered_set tombstone
+ * filter) on three workload shapes:
+ *
+ *  - uniform-churn:  the original microbenchmark shape — bulk
+ *    schedule at clustered timestamps, then drain. Trivial callbacks.
+ *  - steady-state:   what a serving simulation actually does — a
+ *    fixed-width set of in-flight continuations, each firing and
+ *    rescheduling itself with a closure capturing real state.
+ *  - cancel-heavy:   steady-state plus a watchdog per continuation
+ *    that is cancelled and re-armed on every fire (the token-pacer /
+ *    timeout pattern). Exercises true-cancellation vs tombstones.
+ *
+ * Also times one end-to-end cluster simulation for the perf
+ * trajectory. Results are printed as a table and written as JSON
+ * (default bench_simulator_perf.json, override with argv[1]) so CI
+ * can track the trend.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
 
-#include <memory>
-
-#include "src/cluster/serving_system.hh"
+#include "src/cluster/run_context.hh"
+#include "src/common/log.hh"
 #include "src/common/rng.hh"
-#include "src/core/pascal_scheduler.hh"
-#include "src/model/kv_pool.hh"
-#include "src/model/perf_model.hh"
-#include "src/sim/simulator.hh"
+#include "src/sim/event_queue.hh"
 #include "src/workload/generator.hh"
 
 namespace
@@ -24,107 +43,340 @@ namespace
 
 using namespace pascal;
 
-void
-BM_EventQueueScheduleAndPop(benchmark::State& state)
+/**
+ * The pre-refactor event queue, kept verbatim as the baseline under
+ * test: binary heap of fat entries, type-erasing std::function
+ * callbacks, and tombstone-set cancellation.
+ */
+class LegacyEventQueue
 {
-    for (auto _ : state) {
-        sim::EventQueue q;
+  public:
+    using Id = std::uint64_t;
+
+    Id
+    schedule(Time when, std::function<void()> callback)
+    {
+        Id id = nextId++;
+        heap.push(Entry{when, id, std::move(callback)});
+        return id;
+    }
+
+    void
+    cancel(Id id)
+    {
+        if (id < nextId)
+            cancelled.insert(id);
+    }
+
+    bool
+    empty() const
+    {
+        skipCancelled();
+        return heap.empty();
+    }
+
+    struct Fired
+    {
+        Time when;
+        std::function<void()> callback;
+    };
+
+    Fired
+    pop()
+    {
+        skipCancelled();
+        auto& top = const_cast<Entry&>(heap.top());
+        Fired fired{top.when, std::move(top.callback)};
+        heap.pop();
+        return fired;
+    }
+
+  private:
+    struct Entry
+    {
+        Time when;
+        Id id;
+        std::function<void()> callback;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    void
+    skipCancelled() const
+    {
+        while (!heap.empty()) {
+            auto it = cancelled.find(heap.top().id);
+            if (it == cancelled.end())
+                break;
+            cancelled.erase(it);
+            heap.pop();
+        }
+    }
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    mutable std::unordered_set<Id> cancelled;
+    Id nextId = 0;
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Original microbenchmark shape: bulk schedule, then drain. */
+template <typename Queue>
+std::uint64_t
+uniformChurn(std::uint64_t rounds)
+{
+    std::uint64_t fired = 0;
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        Queue q;
         for (int i = 0; i < 1000; ++i)
             q.schedule(static_cast<Time>(i % 97), [] {});
-        while (!q.empty())
-            benchmark::DoNotOptimize(q.pop().when);
+        while (!q.empty()) {
+            auto ev = q.pop();
+            fired += ev.when >= 0.0; // Defeat dead-code elimination.
+        }
     }
-    state.SetItemsProcessed(state.iterations() * 1000);
+    return fired;
 }
-BENCHMARK(BM_EventQueueScheduleAndPop);
 
-void
-BM_DecodeStepLatency(benchmark::State& state)
+/** Shared state for the continuation workloads. */
+template <typename Queue>
+struct SimLoop
 {
-    model::PerfModel pm(model::ModelConfig::deepseekR1Distill32B(),
-                        model::HardwareConfig::h100());
-    std::int64_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            pm.decodeStepLatency(64, 100000 + (i++ % 1000)));
+    Queue q;
+    Time clock = 0.0;
+    std::uint64_t fired = 0;
+    std::uint64_t budget = 0;
+    std::uint64_t rngState = 0x9e3779b97f4a7c15ull;
+    std::uint64_t accumulator = 0;
+
+    double
+    nextDelay()
+    {
+        // xorshift64: cheap deterministic jitter so the heap churns.
+        rngState ^= rngState << 13;
+        rngState ^= rngState >> 7;
+        rngState ^= rngState << 17;
+        return 1e-3 * (1.0 + static_cast<double>(rngState % 97) / 97.0);
     }
-    state.SetItemsProcessed(state.iterations());
+};
+
+/**
+ * A serving-shaped continuation: captures its loop, a start
+ * timestamp, and a sequence number (24 bytes — over std::function's
+ * inline budget, inside EventCallback's).
+ */
+template <typename Queue>
+struct Continuation
+{
+    SimLoop<Queue>* loop;
+    Time t0;
+    std::uint64_t seq;
+
+    void
+    operator()() const
+    {
+        auto* l = loop;
+        l->accumulator += seq + static_cast<std::uint64_t>(t0);
+        if (l->fired + 1 < l->budget) {
+            l->q.schedule(l->clock + l->nextDelay(),
+                          Continuation{l, l->clock, seq + 1});
+        }
+    }
+};
+
+/** Steady-state serving loop: @p width concurrent continuations. */
+template <typename Queue>
+std::uint64_t
+steadyState(int width, std::uint64_t budget)
+{
+    SimLoop<Queue> loop;
+    loop.budget = budget;
+    for (int i = 0; i < width; ++i) {
+        loop.q.schedule(loop.nextDelay(),
+                        Continuation<Queue>{&loop, 0.0,
+                                            static_cast<std::uint64_t>(i)});
+    }
+    while (!loop.q.empty() && loop.fired < budget) {
+        auto ev = loop.q.pop();
+        loop.clock = ev.when;
+        ev.callback();
+        ++loop.fired;
+    }
+    return loop.fired;
 }
-BENCHMARK(BM_DecodeStepLatency);
 
-void
-BM_KvPoolChurn(benchmark::State& state)
+/** Steady-state plus a re-armed watchdog timeout per fire. */
+template <typename Queue>
+std::uint64_t
+cancelHeavy(int width, std::uint64_t budget)
 {
-    for (auto _ : state) {
-        model::KvPool pool(1000000);
-        for (RequestId id = 0; id < 200; ++id)
-            pool.allocGpu(id, 500);
-        for (RequestId id = 0; id < 200; ++id)
-            pool.growGpu(id, 1);
-        for (RequestId id = 0; id < 100; ++id)
-            pool.moveToCpu(id);
-        for (RequestId id = 0; id < 100; ++id)
-            pool.moveToGpu(id);
-        for (RequestId id = 0; id < 200; ++id)
-            pool.release(id);
+    SimLoop<Queue> loop;
+    loop.budget = budget;
+    using WatchdogId = decltype(loop.q.schedule(0.0, std::function<void()>{}));
+    std::vector<WatchdogId> watchdogs;
+
+    for (int i = 0; i < width; ++i) {
+        loop.q.schedule(loop.nextDelay(),
+                        Continuation<Queue>{&loop, 0.0,
+                                            static_cast<std::uint64_t>(i)});
+        watchdogs.push_back(
+            loop.q.schedule(1e6 + i, [] {})); // Never meant to fire.
     }
-    state.SetItemsProcessed(state.iterations() * 700);
+    std::size_t arm = 0;
+    while (!loop.q.empty() && loop.fired < budget) {
+        auto ev = loop.q.pop();
+        loop.clock = ev.when;
+        ev.callback();
+        ++loop.fired;
+        // Re-arm one watchdog per fire: cancel + fresh schedule.
+        loop.q.cancel(watchdogs[arm]);
+        watchdogs[arm] = loop.q.schedule(1e6 + loop.clock, [] {});
+        arm = (arm + 1) % watchdogs.size();
+    }
+    return loop.fired;
 }
-BENCHMARK(BM_KvPoolChurn);
 
-void
-BM_PascalPlan(benchmark::State& state)
+struct Measurement
 {
-    const int n = static_cast<int>(state.range(0));
-    model::KvPool pool(1000000);
-    core::SchedLimits limits;
-    core::PascalScheduler sched(limits);
-    std::vector<std::unique_ptr<workload::Request>> owned;
-    for (int i = 0; i < n; ++i) {
-        workload::RequestSpec s;
-        s.id = i;
-        s.arrival = 0.01 * i;
-        s.promptTokens = 128;
-        s.reasoningTokens = 500;
-        s.answerTokens = 200;
-        owned.push_back(std::make_unique<workload::Request>(s));
-        auto* r = owned.back().get();
-        r->completePrefill(s.arrival, limits.quantum);
-        pool.allocGpu(r->id(), r->kvTokens());
-        r->exec = workload::ExecState::ResidentGpu;
-        sched.add(r);
+    std::string workload;
+    std::string queue;
+    std::uint64_t events;
+    double seconds;
+
+    double
+    eventsPerSec() const
+    {
+        return seconds > 0.0 ? static_cast<double>(events) / seconds
+                             : 0.0;
     }
-    for (auto _ : state) {
-        auto plan = sched.plan(pool);
-        benchmark::DoNotOptimize(plan.decode.size());
-    }
-    state.SetItemsProcessed(state.iterations() * n);
+};
+
+template <typename Fn>
+Measurement
+measure(const std::string& workload, const std::string& queue, Fn&& fn)
+{
+    // One warmup, then timed.
+    fn();
+    auto start = std::chrono::steady_clock::now();
+    std::uint64_t events = fn();
+    double elapsed = secondsSince(start);
+    std::printf("%-14s %-8s %12llu events  %8.3f s  %12.0f ev/s\n",
+                workload.c_str(), queue.c_str(),
+                static_cast<unsigned long long>(events), elapsed,
+                static_cast<double>(events) / elapsed);
+    std::fflush(stdout);
+    return {workload, queue, events, elapsed};
 }
-BENCHMARK(BM_PascalPlan)->Arg(32)->Arg(128)->Arg(512);
 
-void
-BM_EndToEndSimulation(benchmark::State& state)
-{
+} // namespace
+
+int
+main(int argc, char** argv)
+try {
+    const std::string json_path =
+        argc > 1 ? argv[1] : "bench_simulator_perf.json";
+    setQuiet(true);
+
+    constexpr std::uint64_t kChurnRounds = 2000;
+    constexpr int kWidth = 256; // Concurrent in-flight continuations.
+    constexpr std::uint64_t kBudget = 2000000;
+
+    std::printf("== event-queue workloads (legacy vs slotted) ==\n");
+    std::vector<Measurement> results;
+    results.push_back(measure("uniform-churn", "legacy", [] {
+        return uniformChurn<LegacyEventQueue>(kChurnRounds);
+    }));
+    results.push_back(measure("uniform-churn", "slotted", [] {
+        return uniformChurn<sim::EventQueue>(kChurnRounds);
+    }));
+    results.push_back(measure("steady-state", "legacy", [] {
+        return steadyState<LegacyEventQueue>(kWidth, kBudget);
+    }));
+    results.push_back(measure("steady-state", "slotted", [] {
+        return steadyState<sim::EventQueue>(kWidth, kBudget);
+    }));
+    results.push_back(measure("cancel-heavy", "legacy", [] {
+        return cancelHeavy<LegacyEventQueue>(kWidth, kBudget);
+    }));
+    results.push_back(measure("cancel-heavy", "slotted", [] {
+        return cancelHeavy<sim::EventQueue>(kWidth, kBudget);
+    }));
+
+    // End-to-end trajectory point: one full cluster simulation.
+    std::printf("\n== end-to-end simulation ==\n");
     Rng rng(77);
     auto profile = workload::DatasetProfile::alpacaEval();
     profile.reasoning = {200.0, 0.8, 16, 1000};
     profile.answering = {150.0, 0.8, 16, 1000};
-    auto trace = workload::generateTrace(
-        profile, static_cast<int>(state.range(0)), 20.0, rng);
-
+    auto trace = workload::generateTrace(profile, 400, 20.0, rng);
     cluster::SystemConfig cfg = cluster::SystemConfig::pascal(4);
-    TokenCount tokens = 0;
-    for (auto _ : state) {
-        cluster::ServingSystem system(cfg);
-        auto result = system.run(trace);
-        benchmark::DoNotOptimize(result.aggregate.meanTtft);
-        tokens += trace.totalGeneratedTokens();
+
+    auto e2e_start = std::chrono::steady_clock::now();
+    cluster::RunContext ctx(cfg);
+    ctx.submit(trace);
+    std::uint64_t e2e_events = ctx.run();
+    auto e2e_result = ctx.result();
+    double e2e_seconds = secondsSince(e2e_start);
+    double sim_tokens_per_sec =
+        static_cast<double>(trace.totalGeneratedTokens()) / e2e_seconds;
+    std::printf("%llu events in %.3f s  (%.0f ev/s, %.0f simulated "
+                "tok/s, mean TTFT %.2f s)\n",
+                static_cast<unsigned long long>(e2e_events), e2e_seconds,
+                static_cast<double>(e2e_events) / e2e_seconds,
+                sim_tokens_per_sec, e2e_result.aggregate.meanTtft);
+
+    // Speedup summary + JSON trail.
+    std::printf("\n== slotted-vs-legacy speedup ==\n");
+    std::ofstream json(json_path);
+    if (!json)
+        fatal("cannot open '" + json_path + "' for writing");
+    json << "{\n  \"bench\": \"bench_simulator_perf\",\n"
+         << "  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& m = results[i];
+        json << "    {\"workload\": \"" << m.workload
+             << "\", \"queue\": \"" << m.queue << "\", \"events\": "
+             << m.events << ", \"seconds\": " << m.seconds
+             << ", \"events_per_sec\": " << m.eventsPerSec() << "}"
+             << (i + 1 < results.size() ? "," : "") << "\n";
     }
-    state.SetItemsProcessed(tokens); // Simulated tokens per second.
+    json << "  ],\n  \"speedup\": {";
+    bool first = true;
+    for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+        double speedup =
+            results[i + 1].eventsPerSec() / results[i].eventsPerSec();
+        std::printf("%-14s %5.2fx\n", results[i].workload.c_str(),
+                    speedup);
+        json << (first ? "" : ", ") << "\"" << results[i].workload
+             << "\": " << speedup;
+        first = false;
+    }
+    json << "},\n  \"end_to_end\": {\"requests\": "
+         << trace.size() << ", \"events\": " << e2e_events
+         << ", \"seconds\": " << e2e_seconds
+         << ", \"events_per_sec\": "
+         << static_cast<double>(e2e_events) / e2e_seconds
+         << ", \"sim_tokens_per_sec\": " << sim_tokens_per_sec
+         << "}\n}\n";
+    json.close();
+    std::printf("\nJSON written to %s\n", json_path.c_str());
+    return 0;
+} catch (const pascal::FatalError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
 }
-BENCHMARK(BM_EndToEndSimulation)->Arg(100)->Arg(400)
-    ->Unit(benchmark::kMillisecond);
-
-} // namespace
-
-BENCHMARK_MAIN();

@@ -6,10 +6,14 @@
  *
  * Usage:
  *   trace_replay <trace.csv> <out_metrics.csv>
- *                [fcfs|rr|pascal] [instances]
+ *                [fcfs|rr|pascal|all] [instances]
  *
- * With no arguments, a demonstration trace is generated, written to a
- * temp file, replayed, and summarized, so the example is runnable out
+ * Every replay goes through SweepRunner. A single policy (the
+ * default: pascal) writes exactly <out_metrics.csv>; with `all`, the
+ * three policies are swept in parallel and each writes
+ * `<out_metrics>.<policy>.csv` plus a comparison summary. With no
+ * arguments, a demonstration trace is generated, written to a temp
+ * file, and swept across all policies, so the example is runnable out
  * of the box.
  */
 
@@ -18,8 +22,9 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
-#include "src/cluster/serving_system.hh"
+#include "src/cluster/sweep_runner.hh"
 #include "src/common/log.hh"
 #include "src/common/rng.hh"
 #include "src/workload/generator.hh"
@@ -49,17 +54,51 @@ writeMetricsCsv(const std::string& path,
     }
 }
 
-cluster::SchedulerType
-parseScheduler(const char* name)
+struct PolicyChoice
 {
-    if (std::strcmp(name, "fcfs") == 0)
-        return cluster::SchedulerType::Fcfs;
-    if (std::strcmp(name, "rr") == 0)
-        return cluster::SchedulerType::Rr;
-    if (std::strcmp(name, "pascal") == 0)
-        return cluster::SchedulerType::Pascal;
+    std::string name;
+    cluster::SchedulerType scheduler;
+    cluster::PlacementType placement;
+};
+
+std::vector<PolicyChoice>
+allPolicies()
+{
+    using cluster::PlacementType;
+    using cluster::SchedulerType;
+    return {
+        {"fcfs", SchedulerType::Fcfs, PlacementType::Baseline},
+        {"rr", SchedulerType::Rr, PlacementType::Baseline},
+        {"pascal", SchedulerType::Pascal, PlacementType::Pascal},
+    };
+}
+
+std::vector<PolicyChoice>
+parsePolicies(const char* name)
+{
+    if (std::strcmp(name, "all") == 0)
+        return allPolicies();
+    for (const auto& policy : allPolicies()) {
+        if (policy.name == name)
+            return {policy};
+    }
     fatal(std::string("unknown scheduler '") + name +
-          "' (use fcfs|rr|pascal)");
+          "' (use fcfs|rr|pascal|all)");
+}
+
+/** "<base>.<policy>.csv" for sweeps, plain base for single runs. */
+std::string
+outPathFor(const std::string& base, const std::string& policy,
+           bool sweeping)
+{
+    if (!sweeping)
+        return base;
+    std::string stem = base;
+    const std::string ext = ".csv";
+    if (stem.size() > ext.size() &&
+        stem.compare(stem.size() - ext.size(), ext.size(), ext) == 0)
+        stem.resize(stem.size() - ext.size());
+    return stem + "." + policy + ext;
 }
 
 } // namespace
@@ -69,15 +108,18 @@ main(int argc, char** argv)
 {
     std::string trace_path;
     std::string out_path = "trace_replay_metrics.csv";
-    cluster::SchedulerType sched = cluster::SchedulerType::Pascal;
+    std::vector<PolicyChoice> policies = allPolicies();
     int instances = 8;
 
     try {
         if (argc >= 3) {
             trace_path = argv[1];
             out_path = argv[2];
-            if (argc >= 4)
-                sched = parseScheduler(argv[3]);
+            // Explicit-path mode keeps the original contract: without
+            // a policy argument it runs pascal once and writes exactly
+            // <out_metrics.csv>; `all` opts into the parallel sweep.
+            policies = argc >= 4 ? parsePolicies(argv[3])
+                                 : parsePolicies("pascal");
             if (argc >= 5)
                 instances = std::atoi(argv[4]);
             if (instances <= 0)
@@ -93,29 +135,46 @@ main(int argc, char** argv)
                         demo.size(), trace_path.c_str());
         }
 
-        auto trace = workload::Trace::fromCsv(trace_path);
+        cluster::SweepRunner runner;
+        auto trace_index =
+            runner.addTrace(workload::Trace::fromCsv(trace_path));
+        const std::size_t num_requests =
+            runner.trace(trace_index).size();
 
-        cluster::SystemConfig cfg;
-        cfg.scheduler = sched;
-        cfg.placement = sched == cluster::SchedulerType::Pascal
-                            ? cluster::PlacementType::Pascal
-                            : cluster::PlacementType::Baseline;
-        cfg.numInstances = instances;
+        for (const auto& policy : policies) {
+            cluster::SystemConfig cfg;
+            cfg.scheduler = policy.scheduler;
+            cfg.placement = policy.placement;
+            cfg.numInstances = instances;
+            runner.add({policy.name, cfg, trace_index, 0});
+        }
 
-        cluster::ServingSystem system(cfg);
-        auto result = system.run(trace);
-        writeMetricsCsv(out_path, result);
+        const bool sweeping = policies.size() > 1;
+        auto sweep = runner.run();
 
-        std::printf("replayed %zu requests under %s on %d instances\n",
-                    trace.size(), cfg.schedulerName().c_str(),
-                    instances);
-        std::printf("mean TTFT %.2fs  p99 TTFT %.2fs  SLO-vio %.2f%%  "
-                    "throughput %.0f tok/s\n",
-                    result.aggregate.meanTtft, result.aggregate.p99Ttft,
-                    100.0 * result.aggregate.sloViolationRate,
-                    result.aggregate.throughputTokensPerSec);
-        std::printf("per-request metrics written to %s\n",
-                    out_path.c_str());
+        std::printf("replayed %zu requests on %d instances under %zu "
+                    "polic%s\n",
+                    num_requests, instances, policies.size(),
+                    policies.size() == 1 ? "y" : "ies");
+        for (const auto& outcome : sweep.outcomes) {
+            const auto path =
+                outPathFor(out_path, outcome.label, sweeping);
+            writeMetricsCsv(path, outcome.result);
+            const auto& agg = outcome.result.aggregate;
+            std::printf("%-8s mean TTFT %6.2fs  p99 TTFT %6.2fs  "
+                        "SLO-vio %5.2f%%  throughput %6.0f tok/s  -> "
+                        "%s\n",
+                        outcome.label.c_str(), agg.meanTtft,
+                        agg.p99Ttft, 100.0 * agg.sloViolationRate,
+                        agg.throughputTokensPerSec, path.c_str());
+        }
+
+        if (sweeping) {
+            auto* best = sweep.bestBy([](const cluster::RunResult& r) {
+                return r.aggregate.p99Ttft;
+            });
+            std::printf("best p99 TTFT: %s\n", best->label.c_str());
+        }
     } catch (const FatalError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

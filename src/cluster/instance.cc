@@ -161,9 +161,8 @@ Instance::startIteration()
 
     Time step_end = std::max(swaps_done, t0 + latency);
     ++iterations;
-    sim.at(step_end, [this, plan = std::move(plan), t0]() mutable {
-        completeIteration(std::move(plan), t0);
-    });
+    inflight = std::move(plan);
+    sim.at(step_end, [this, t0] { completeIteration(t0); });
 }
 
 void
@@ -188,9 +187,11 @@ Instance::accrueAll(Time now, bool prefill_iteration)
 }
 
 void
-Instance::completeIteration(core::IterationPlan plan, Time step_start)
+Instance::completeIteration(Time step_start)
 {
     (void)step_start;
+    // Take ownership: startIteration() at the bottom refills inflight.
+    core::IterationPlan plan = std::move(inflight);
     Time now = sim.now();
 
     // Book the step's wall time for every hosted request before

@@ -102,7 +102,7 @@ class Instance
 
   private:
     void startIteration();
-    void completeIteration(core::IterationPlan plan, Time step_start);
+    void completeIteration(Time step_start);
 
     /**
      * Accrue waiting/executing time for every hosted request.
@@ -127,6 +127,12 @@ class Instance
 
     bool stepInFlight = false;
     std::unordered_set<RequestId> runningSet; //!< Current step batch.
+
+    /** Plan of the iteration currently executing. Held here (not in
+     *  the continuation closure) so the per-iteration event callback
+     *  stays small enough for EventCallback's inline storage — the
+     *  steady-state event loop then never heap-allocates. */
+    core::IterationPlan inflight;
 
     std::uint64_t iterations = 0;
     std::uint64_t decodeTokens = 0;

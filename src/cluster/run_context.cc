@@ -1,0 +1,72 @@
+#include "src/cluster/run_context.hh"
+
+#include <string>
+
+#include "src/common/log.hh"
+#include "src/qoe/metrics.hh"
+
+namespace pascal
+{
+namespace cluster
+{
+
+RunContext::RunContext(const SystemConfig& cfg) : cfg(cfg)
+{
+    this->cfg.validate();
+    clusterPtr = std::make_unique<Cluster>(sim, this->cfg);
+}
+
+void
+RunContext::submit(const workload::Trace& trace)
+{
+    clusterPtr->submitTrace(trace);
+}
+
+std::uint64_t
+RunContext::run(Time until)
+{
+    if (until < 0.0)
+        until = cfg.maxSimTime;
+    ranToHorizon = until >= cfg.maxSimTime;
+    return sim.run(until);
+}
+
+RunResult
+RunContext::result() const
+{
+    if (ranToHorizon && sim.pendingEvents() > 0) {
+        warn("simulation horizon (" + std::to_string(cfg.maxSimTime) +
+             " s) hit with events pending");
+    }
+
+    RunResult result;
+    result.perRequest = clusterPtr->collectMetrics();
+    result.aggregate = qoe::aggregateMetrics(result.perRequest);
+    result.peakGpuKvTokens = clusterPtr->maxPeakGpuKv();
+    result.kvCapacityTokens = clusterPtr->kvCapacityTokens();
+    result.totalIterations = clusterPtr->totalIterations();
+    result.numUnfinished = clusterPtr->numUnfinished();
+    result.totalMigrations = clusterPtr->totalMigrations();
+    result.kvTransferLatencies = clusterPtr->allKvTransferLatencies();
+    result.schedulerName = cfg.schedulerName();
+    result.placementName = cfg.placementName();
+
+    if (ranToHorizon && result.numUnfinished > 0) {
+        warn(std::to_string(result.numUnfinished) +
+             " requests did not finish (infeasible trace or horizon)");
+    }
+    return result;
+}
+
+RunResult
+RunContext::execute(const SystemConfig& cfg,
+                    const workload::Trace& trace)
+{
+    RunContext ctx(cfg);
+    ctx.submit(trace);
+    ctx.run();
+    return ctx.result();
+}
+
+} // namespace cluster
+} // namespace pascal

@@ -1,10 +1,6 @@
 #include "src/cluster/serving_system.hh"
 
-#include <string>
-
-#include "src/cluster/cluster.hh"
-#include "src/common/log.hh"
-#include "src/sim/simulator.hh"
+#include "src/cluster/run_context.hh"
 
 namespace pascal
 {
@@ -19,33 +15,7 @@ ServingSystem::ServingSystem(SystemConfig cfg) : cfg(std::move(cfg))
 RunResult
 ServingSystem::run(const workload::Trace& trace) const
 {
-    sim::Simulator simulator;
-    Cluster cluster(simulator, cfg);
-    cluster.submitTrace(trace);
-    simulator.run(cfg.maxSimTime);
-
-    if (simulator.pendingEvents() > 0) {
-        warn("simulation horizon (" + std::to_string(cfg.maxSimTime) +
-             " s) hit with events pending");
-    }
-
-    RunResult result;
-    result.perRequest = cluster.collectMetrics();
-    result.aggregate = qoe::aggregateMetrics(result.perRequest);
-    result.peakGpuKvTokens = cluster.maxPeakGpuKv();
-    result.kvCapacityTokens = cluster.kvCapacityTokens();
-    result.totalIterations = cluster.totalIterations();
-    result.numUnfinished = cluster.numUnfinished();
-    result.totalMigrations = cluster.totalMigrations();
-    result.kvTransferLatencies = cluster.allKvTransferLatencies();
-    result.schedulerName = cfg.schedulerName();
-    result.placementName = cfg.placementName();
-
-    if (result.numUnfinished > 0) {
-        warn(std::to_string(result.numUnfinished) +
-             " requests did not finish (infeasible trace or horizon)");
-    }
-    return result;
+    return RunContext::execute(cfg, trace);
 }
 
 } // namespace cluster

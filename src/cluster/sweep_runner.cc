@@ -1,0 +1,196 @@
+#include "src/cluster/sweep_runner.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "src/cluster/run_context.hh"
+#include "src/common/log.hh"
+#include "src/workload/generator.hh"
+
+namespace pascal
+{
+namespace cluster
+{
+
+const SweepOutcome*
+SweepResult::bestBy(const SweepMetric& metric, bool minimize) const
+{
+    const SweepOutcome* best = nullptr;
+    double best_value = 0.0;
+    for (const auto& outcome : outcomes) {
+        double value = metric(outcome.result);
+        if (best == nullptr || (minimize ? value < best_value
+                                         : value > best_value)) {
+            best = &outcome;
+            best_value = value;
+        }
+    }
+    return best;
+}
+
+double
+SweepResult::meanOf(const SweepMetric& metric) const
+{
+    if (outcomes.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto& outcome : outcomes)
+        sum += metric(outcome.result);
+    return sum / static_cast<double>(outcomes.size());
+}
+
+const SweepOutcome*
+SweepResult::find(const std::string& label) const
+{
+    for (const auto& outcome : outcomes) {
+        if (outcome.label == label)
+            return &outcome;
+    }
+    return nullptr;
+}
+
+std::vector<const SweepOutcome*>
+SweepResult::where(
+    const std::function<bool(const SweepOutcome&)>& pred) const
+{
+    std::vector<const SweepOutcome*> matched;
+    for (const auto& outcome : outcomes) {
+        if (pred(outcome))
+            matched.push_back(&outcome);
+    }
+    return matched;
+}
+
+std::size_t
+SweepRunner::addTrace(workload::Trace trace)
+{
+    traces.push_back(std::move(trace));
+    return traces.size() - 1;
+}
+
+std::size_t
+SweepRunner::addGeneratedTrace(const workload::DatasetProfile& profile,
+                               int n, double rate_per_sec,
+                               std::uint64_t seed, Time start_time)
+{
+    Rng rng(seed);
+    return addTrace(workload::generateTrace(profile, n, rate_per_sec,
+                                            rng, start_time));
+}
+
+std::size_t
+SweepRunner::add(SweepPoint point)
+{
+    if (point.traceIndex >= traces.size())
+        fatal("SweepPoint references trace " +
+              std::to_string(point.traceIndex) + " but only " +
+              std::to_string(traces.size()) + " are registered");
+    if (point.label.empty()) {
+        point.label = point.config.schedulerName() + "/" +
+                      point.config.placementName() + "/t" +
+                      std::to_string(point.traceIndex) + "/s" +
+                      std::to_string(point.seed);
+    }
+    points.push_back(std::move(point));
+    return points.size() - 1;
+}
+
+void
+SweepRunner::addGrid(const std::vector<SystemConfig>& configs,
+                     const std::vector<std::size_t>& trace_indices,
+                     const std::vector<std::uint64_t>& seeds)
+{
+    static const std::vector<std::uint64_t> kDefaultSeeds = {0};
+    const auto& seed_list = seeds.empty() ? kDefaultSeeds : seeds;
+    for (const auto& cfg : configs) {
+        for (std::size_t trace_index : trace_indices) {
+            for (std::uint64_t seed : seed_list) {
+                SweepPoint point;
+                point.config = cfg;
+                point.traceIndex = trace_index;
+                point.seed = seed;
+                add(std::move(point));
+            }
+        }
+    }
+}
+
+const workload::Trace&
+SweepRunner::trace(std::size_t i) const
+{
+    if (i >= traces.size())
+        fatal("trace index " + std::to_string(i) + " out of range");
+    return traces[i];
+}
+
+const SweepPoint&
+SweepRunner::point(std::size_t i) const
+{
+    if (i >= points.size())
+        fatal("point index " + std::to_string(i) + " out of range");
+    return points[i];
+}
+
+SweepResult
+SweepRunner::run(int num_threads) const
+{
+    SweepResult result;
+    result.outcomes.resize(points.size());
+
+    if (num_threads <= 0) {
+        num_threads = static_cast<int>(
+            std::max(1u, std::thread::hardware_concurrency()));
+    }
+    num_threads = std::min<int>(num_threads,
+                                std::max<std::size_t>(1, points.size()));
+
+    // Work queue: workers claim grid points by atomic index; each
+    // point writes only its own pre-sized outcome slot, so the
+    // collected order is the grid order regardless of interleaving.
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::string first_error;
+
+    auto worker = [&]() {
+        while (true) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= points.size())
+                return;
+            const SweepPoint& p = points[i];
+            SweepOutcome& out = result.outcomes[i];
+            out.label = p.label;
+            out.traceIndex = p.traceIndex;
+            out.seed = p.seed;
+            try {
+                out.result =
+                    RunContext::execute(p.config, traces[p.traceIndex]);
+            } catch (const std::exception& e) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (first_error.empty())
+                    first_error = "sweep point '" + p.label +
+                                  "' failed: " + e.what();
+            }
+        }
+    };
+
+    if (num_threads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(num_threads));
+        for (int t = 0; t < num_threads; ++t)
+            pool.emplace_back(worker);
+        for (auto& thread : pool)
+            thread.join();
+    }
+
+    if (!first_error.empty())
+        fatal(first_error);
+    return result;
+}
+
+} // namespace cluster
+} // namespace pascal

@@ -1,5 +1,8 @@
 #include "src/sim/event_queue.hh"
 
+#include <algorithm>
+#include <utility>
+
 #include "src/common/log.hh"
 
 namespace pascal
@@ -7,60 +10,156 @@ namespace pascal
 namespace sim
 {
 
+namespace
+{
+
+constexpr std::uint32_t
+slotOf(EventId id)
+{
+    return static_cast<std::uint32_t>(id);
+}
+
+constexpr std::uint32_t
+stampOf(EventId id)
+{
+    return static_cast<std::uint32_t>(id >> 32);
+}
+
+constexpr EventId
+packId(std::uint32_t slot, std::uint32_t generation)
+{
+    return (static_cast<EventId>(generation) << 32) | slot;
+}
+
+} // namespace
+
 EventId
-EventQueue::schedule(Time when, std::function<void()> callback)
+EventQueue::schedule(Time when, EventCallback callback)
 {
-    EventId id = nextId++;
-    heap.push(Entry{when, id, std::move(callback)});
-    return id;
-}
-
-void
-EventQueue::cancel(EventId id)
-{
-    if (id < nextId)
-        cancelled.insert(id);
-}
-
-void
-EventQueue::skipCancelled() const
-{
-    while (!heap.empty()) {
-        auto it = cancelled.find(heap.top().id);
-        if (it == cancelled.end())
-            break;
-        cancelled.erase(it);
-        heap.pop();
+    std::uint32_t index;
+    if (!freeSlots.empty()) {
+        index = freeSlots.back();
+        freeSlots.pop_back();
+        callbackOf[index] = std::move(callback);
+    } else {
+        index = static_cast<std::uint32_t>(callbackOf.size());
+        callbackOf.push_back(std::move(callback));
+        generationOf.push_back(1);
+        heapPosOf.push_back(0);
     }
+
+    const auto pos = static_cast<std::uint32_t>(heap.size());
+    heap.push_back(HeapEntry{when, nextSeq++, index});
+    siftUp(pos, heap[pos]);
+    return packId(index, generationOf[index]);
 }
 
 bool
-EventQueue::empty() const
+EventQueue::cancel(EventId id)
 {
-    skipCancelled();
-    return heap.empty();
-}
-
-Time
-EventQueue::nextTime() const
-{
-    skipCancelled();
-    return heap.empty() ? kTimeInfinity : heap.top().when;
+    const std::uint32_t index = slotOf(id);
+    if (index >= generationOf.size())
+        return false; // Never issued.
+    if (generationOf[index] != stampOf(id))
+        return false; // Already fired or cancelled; id is stale.
+    removeAt(heapPosOf[index]);
+    callbackOf[index] = EventCallback(); // Drop captured state.
+    freeSlot(index);
+    return true;
 }
 
 EventQueue::Fired
 EventQueue::pop()
 {
-    skipCancelled();
     if (heap.empty())
         panic("EventQueue::pop on empty queue");
-    // priority_queue::top returns const&; the callback must be moved
-    // out, so copy the POD fields first and cast away the top entry's
-    // constness only for the move (safe: we pop immediately after).
-    auto& top = const_cast<Entry&>(heap.top());
-    Fired fired{top.when, std::move(top.callback)};
-    heap.pop();
+    const std::uint32_t index = heap[0].slot;
+    Fired fired{heap[0].when, std::move(callbackOf[index])};
+    freeSlot(index);
+
+    const HeapEntry last = heap.back();
+    heap.pop_back();
+    if (!heap.empty())
+        siftDown(0, last);
     return fired;
+}
+
+void
+EventQueue::siftUp(std::uint32_t pos, HeapEntry moving)
+{
+    while (pos > 0) {
+        const std::uint32_t parent = (pos - 1) / kArity;
+        if (!firesBefore(moving, heap[parent]))
+            break;
+        heap[pos] = heap[parent];
+        heapPosOf[heap[pos].slot] = pos;
+        pos = parent;
+    }
+    heap[pos] = moving;
+    heapPosOf[moving.slot] = pos;
+}
+
+void
+EventQueue::siftDown(std::uint32_t pos, HeapEntry moving)
+{
+    const auto count = static_cast<std::uint32_t>(heap.size());
+    while (true) {
+        const std::uint64_t first =
+            static_cast<std::uint64_t>(pos) * kArity + 1;
+        if (first >= count)
+            break;
+        const auto last = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(first + kArity - 1, count - 1));
+        auto best = static_cast<std::uint32_t>(first);
+        if (last - best == kArity - 1) {
+            // Full fan-out: pairwise tournament so the two first-round
+            // comparisons are independent (better ILP than a serial
+            // running-min loop).
+            const auto c0 = best, c1 = best + 1, c2 = best + 2,
+                       c3 = best + 3;
+            const std::uint32_t lo01 =
+                firesBefore(heap[c1], heap[c0]) ? c1 : c0;
+            const std::uint32_t lo23 =
+                firesBefore(heap[c3], heap[c2]) ? c3 : c2;
+            best = firesBefore(heap[lo23], heap[lo01]) ? lo23 : lo01;
+        } else {
+            for (std::uint32_t child = best + 1; child <= last;
+                 ++child) {
+                if (firesBefore(heap[child], heap[best]))
+                    best = child;
+            }
+        }
+        if (!firesBefore(heap[best], moving))
+            break;
+        heap[pos] = heap[best];
+        heapPosOf[heap[pos].slot] = pos;
+        pos = best;
+    }
+    heap[pos] = moving;
+    heapPosOf[moving.slot] = pos;
+}
+
+void
+EventQueue::removeAt(std::uint32_t pos)
+{
+    const auto lastPos = static_cast<std::uint32_t>(heap.size()) - 1;
+    if (pos != lastPos) {
+        const HeapEntry moved = heap[lastPos];
+        heap.pop_back();
+        // The relocated entry may need to move either direction.
+        siftDown(pos, moved);
+        if (heapPosOf[moved.slot] == pos)
+            siftUp(pos, moved);
+    } else {
+        heap.pop_back();
+    }
+}
+
+void
+EventQueue::freeSlot(std::uint32_t index)
+{
+    ++generationOf[index];
+    freeSlots.push_back(index);
 }
 
 } // namespace sim

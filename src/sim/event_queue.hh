@@ -5,26 +5,43 @@
  * Events scheduled for the same timestamp fire in insertion order
  * (FIFO), which keeps whole simulations bit-reproducible regardless of
  * heap implementation details.
+ *
+ * Implementation: a slotted 4-ary heap. The heap array holds small
+ * trivially-copyable entries {when, seq, slot} so sift operations are
+ * plain 24-byte copies and comparisons stay inside the contiguous
+ * heap array; callbacks live in stable side slots (reused through a
+ * free list) and never move while queued. EventIds pack the slot
+ * index with a per-slot generation stamp, giving true O(1)-lookup
+ * cancellation — the entry is unlinked immediately, with no tombstone
+ * set to consult on every pop, and a stale id (already fired,
+ * cancelled, or never issued) is detected exactly by a generation
+ * mismatch.
  */
 
 #ifndef PASCAL_SIM_EVENT_QUEUE_HH
 #define PASCAL_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/types.hh"
+#include "src/sim/event_callback.hh"
 
 namespace pascal
 {
 namespace sim
 {
 
-/** Handle identifying a scheduled event, usable for cancellation. */
+/**
+ * Handle identifying a scheduled event, usable for cancellation.
+ *
+ * Packed as (generation << 32) | slot index. Generations start at 1,
+ * so the default id (kNoEvent == 0) is always stale.
+ */
 using EventId = std::uint64_t;
+
+/** Sentinel id that never identifies a live event. */
+inline constexpr EventId kNoEvent = 0;
 
 /**
  * Time-ordered queue of callbacks.
@@ -39,19 +56,25 @@ class EventQueue
      * Schedule @p callback to fire at absolute time @p when.
      * @return Handle that can be passed to cancel().
      */
-    EventId schedule(Time when, std::function<void()> callback);
+    EventId schedule(Time when, EventCallback callback);
 
     /**
-     * Cancel a pending event. Cancelling an already-fired or unknown
-     * event is a harmless no-op.
+     * Cancel a pending event. Cancelling an already-fired, already-
+     * cancelled, or unknown event is a harmless no-op.
+     *
+     * @return True if a live event was actually cancelled.
      */
-    void cancel(EventId id);
+    bool cancel(EventId id);
 
-    /** True if no live (non-cancelled) events remain. */
-    bool empty() const;
+    /** True if no live events remain. */
+    bool empty() const { return heap.empty(); }
 
     /** Timestamp of the earliest live event (infinity when empty). */
-    Time nextTime() const;
+    Time
+    nextTime() const
+    {
+        return heap.empty() ? kTimeInfinity : heap[0].when;
+    }
 
     /**
      * Pop and return the earliest live event.
@@ -59,39 +82,57 @@ class EventQueue
      */
     struct Fired
     {
-        Time when;                      //!< Scheduled timestamp.
-        std::function<void()> callback; //!< The work to run.
+        Time when;              //!< Scheduled timestamp.
+        EventCallback callback; //!< The work to run.
     };
     Fired pop();
 
     /** Number of live events currently queued. */
-    std::size_t size() const { return heap.size() - cancelled.size(); }
+    std::size_t size() const { return heap.size(); }
 
   private:
-    struct Entry
+    static constexpr std::uint32_t kArity = 4;
+
+    /** Heap node: the full sort key plus its slot link. Trivially
+     *  copyable on purpose — sifting must not run move constructors. */
+    struct HeapEntry
     {
         Time when;
-        EventId id;
-        std::function<void()> callback;
+        std::uint64_t seq;  //!< FIFO tiebreaker.
+        std::uint32_t slot; //!< Index into slots.
     };
 
-    struct Later
+    // Per-slot state lives in parallel arrays rather than one struct:
+    // sifting updates heapPosOf for every hop, and a dense 4-byte
+    // array keeps those scattered writes L1-resident instead of
+    // striding across 64-byte {callback, ...} records. Callbacks are
+    // only touched on schedule, fire, and cancel.
+
+    /** True if @p a fires strictly before @p b (earlier time; FIFO
+     *  among equal timestamps). */
+    static bool
+    firesBefore(const HeapEntry& a, const HeapEntry& b)
     {
-        bool
-        operator()(const Entry& a, const Entry& b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.id > b.id; // FIFO among equal timestamps
-        }
-    };
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
 
-    /** Drop cancelled entries sitting at the top of the heap. */
-    void skipCancelled() const;
+    void siftUp(std::uint32_t pos, HeapEntry moving);
+    void siftDown(std::uint32_t pos, HeapEntry moving);
 
-    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap;
-    mutable std::unordered_set<EventId> cancelled;
-    EventId nextId = 0;
+    /** Unlink heap position @p pos (swap-with-last + re-sift). */
+    void removeAt(std::uint32_t pos);
+
+    /** Retire a slot: bump its generation and recycle the index. */
+    void freeSlot(std::uint32_t index);
+
+    std::vector<HeapEntry> heap;
+    std::vector<EventCallback> callbackOf;  //!< Indexed by slot.
+    std::vector<std::uint32_t> generationOf; //!< Bumped as events die.
+    std::vector<std::uint32_t> heapPosOf;    //!< Heap position while live.
+    std::vector<std::uint32_t> freeSlots; //!< Recyclable slot indices.
+    std::uint64_t nextSeq = 0;
 };
 
 } // namespace sim

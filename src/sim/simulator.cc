@@ -10,7 +10,7 @@ namespace sim
 {
 
 EventId
-Simulator::at(Time when, std::function<void()> cb)
+Simulator::at(Time when, EventCallback cb)
 {
     if (when < clock)
         panic("scheduling event in the past: t=" + std::to_string(when) +
@@ -19,7 +19,7 @@ Simulator::at(Time when, std::function<void()> cb)
 }
 
 EventId
-Simulator::after(Time delay, std::function<void()> cb)
+Simulator::after(Time delay, EventCallback cb)
 {
     if (delay < 0.0)
         panic("negative event delay: " + std::to_string(delay));

@@ -7,9 +7,9 @@
 #define PASCAL_SIM_SIMULATOR_HH
 
 #include <cstdint>
-#include <functional>
 
 #include "src/common/types.hh"
+#include "src/sim/event_callback.hh"
 #include "src/sim/event_queue.hh"
 
 namespace pascal
@@ -32,10 +32,10 @@ class Simulator
     Time now() const { return clock; }
 
     /** Schedule @p cb at absolute time @p when (must be >= now()). */
-    EventId at(Time when, std::function<void()> cb);
+    EventId at(Time when, EventCallback cb);
 
     /** Schedule @p cb @p delay seconds from now (delay >= 0). */
-    EventId after(Time delay, std::function<void()> cb);
+    EventId after(Time delay, EventCallback cb);
 
     /** Cancel a pending event (no-op if already fired). */
     void cancel(EventId id) { events.cancel(id); }

@@ -70,8 +70,115 @@ TEST(EventQueue, CancelUnknownIdIsNoop)
 {
     EventQueue q;
     q.schedule(1.0, [] {});
-    q.cancel(12345); // Never scheduled.
+    EXPECT_FALSE(q.cancel(12345)); // Never scheduled.
+    EXPECT_FALSE(q.cancel(pascal::sim::kNoEvent));
     EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop)
+{
+    // Seed regression: cancelling an already-fired id used to park a
+    // tombstone forever and underflow size() (heap.size() -
+    // cancelled.size() on size_t), corrupting pendingEvents().
+    EventQueue q;
+    auto id = q.schedule(1.0, [] {});
+    q.schedule(2.0, [] {});
+    q.pop().callback(); // Fires the t=1 event; id is now stale.
+
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_FALSE(q.empty());
+    EXPECT_DOUBLE_EQ(q.nextTime(), 2.0);
+}
+
+TEST(EventQueue, DoubleCancelIsNoop)
+{
+    EventQueue q;
+    auto id = q.schedule(1.0, [] {});
+    q.schedule(2.0, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, StaleIdDoesNotCancelRecycledSlot)
+{
+    // After an event dies its slot is recycled; the generation stamp
+    // must keep the old handle from killing the new tenant.
+    EventQueue q;
+    auto stale = q.schedule(1.0, [] {});
+    q.pop().callback();
+
+    bool fired = false;
+    q.schedule(2.0, [&] { fired = true; }); // Likely reuses the slot.
+    EXPECT_FALSE(q.cancel(stale));
+    EXPECT_EQ(q.size(), 1u);
+    while (!q.empty())
+        q.pop().callback();
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, FifoSurvivesInterleavedCancellation)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    std::vector<pascal::sim::EventId> ids;
+    for (int i = 0; i < 20; ++i)
+        ids.push_back(q.schedule(5.0, [&fired, i] { fired.push_back(i); }));
+    for (int i = 1; i < 20; i += 2)
+        EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+
+    while (!q.empty())
+        q.pop().callback();
+    std::vector<int> expected;
+    for (int i = 0; i < 20; i += 2)
+        expected.push_back(i);
+    EXPECT_EQ(fired, expected);
+}
+
+TEST(EventQueue, StressOrderingMatchesReferenceSort)
+{
+    // Pseudo-random times with many collisions; pop order must be the
+    // stable sort by (time, insertion order).
+    EventQueue q;
+    std::uint64_t state = 12345;
+    std::vector<std::pair<double, int>> reference;
+    for (int i = 0; i < 5000; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        double when = static_cast<double>((state >> 33) % 50);
+        reference.emplace_back(when, i);
+        q.schedule(when, [] {});
+    }
+    std::stable_sort(reference.begin(), reference.end(),
+                     [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                     });
+
+    std::size_t at = 0;
+    double prev = -1.0;
+    while (!q.empty()) {
+        auto ev = q.pop();
+        ASSERT_LT(at, reference.size());
+        EXPECT_DOUBLE_EQ(ev.when, reference[at].first);
+        EXPECT_GE(ev.when, prev);
+        prev = ev.when;
+        ++at;
+    }
+    EXPECT_EQ(at, reference.size());
+}
+
+TEST(EventQueue, CancelEveryEventEmptiesQueue)
+{
+    EventQueue q;
+    std::vector<pascal::sim::EventId> ids;
+    for (int i = 0; i < 100; ++i)
+        ids.push_back(q.schedule(static_cast<double>(i % 7), [] {}));
+    for (auto id : ids)
+        EXPECT_TRUE(q.cancel(id));
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_TRUE(std::isinf(q.nextTime()));
 }
 
 TEST(Simulator, ClockAdvancesToEventTime)

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for RunContext and the parallel SweepRunner: facade
+ * equivalence, bit-reproducibility of runs, and serial/parallel
+ * result parity on multi-point grids.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "src/cluster/run_context.hh"
+#include "src/cluster/serving_system.hh"
+#include "src/cluster/sweep_runner.hh"
+#include "src/common/log.hh"
+#include "src/common/rng.hh"
+#include "src/workload/generator.hh"
+
+namespace
+{
+
+using namespace pascal;
+using cluster::RunResult;
+using cluster::SweepRunner;
+using cluster::SystemConfig;
+
+class QuietLogs : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+};
+
+using RunContextTest = QuietLogs;
+using SweepRunnerTest = QuietLogs;
+
+workload::Trace
+smallTrace(std::uint64_t seed, int n = 120, double rate = 10.0)
+{
+    Rng rng(seed);
+    return workload::generateTrace(
+        workload::DatasetProfile::alpacaEval(), n, rate, rng);
+}
+
+/**
+ * Byte-identical comparison of two run results: every scalar compared
+ * exactly (no tolerance), every vector element-wise. Any divergence
+ * between two runs of the same {config, trace} is a determinism bug.
+ */
+void
+expectIdentical(const RunResult& a, const RunResult& b)
+{
+    ASSERT_EQ(a.perRequest.size(), b.perRequest.size());
+    for (std::size_t i = 0; i < a.perRequest.size(); ++i) {
+        const auto& ra = a.perRequest[i];
+        const auto& rb = b.perRequest[i];
+        ASSERT_EQ(ra.id, rb.id);
+        EXPECT_EQ(ra.dataset, rb.dataset);
+        EXPECT_EQ(ra.arrival, rb.arrival);
+        EXPECT_EQ(ra.finished, rb.finished);
+        EXPECT_EQ(ra.ttft, rb.ttft);
+        EXPECT_EQ(ra.ttfat, rb.ttfat);
+        EXPECT_EQ(ra.reasoningLatency, rb.reasoningLatency);
+        EXPECT_EQ(ra.e2eLatency, rb.e2eLatency);
+        EXPECT_EQ(ra.answeringLatency, rb.answeringLatency);
+        EXPECT_EQ(ra.blockingLatency, rb.blockingLatency);
+        EXPECT_EQ(ra.queueingDelay, rb.queueingDelay);
+        EXPECT_EQ(ra.meanTpot, rb.meanTpot);
+        EXPECT_EQ(ra.qoe, rb.qoe);
+        EXPECT_EQ(ra.sloViolated, rb.sloViolated);
+        EXPECT_EQ(ra.migrationCount, rb.migrationCount);
+        EXPECT_EQ(ra.kvTransferLatencies, rb.kvTransferLatencies);
+    }
+    EXPECT_EQ(a.aggregate.numRequests, b.aggregate.numRequests);
+    EXPECT_EQ(a.aggregate.numFinished, b.aggregate.numFinished);
+    EXPECT_EQ(a.aggregate.makespan, b.aggregate.makespan);
+    EXPECT_EQ(a.aggregate.throughputTokensPerSec,
+              b.aggregate.throughputTokensPerSec);
+    EXPECT_EQ(a.aggregate.meanTtft, b.aggregate.meanTtft);
+    EXPECT_EQ(a.aggregate.p50Ttft, b.aggregate.p50Ttft);
+    EXPECT_EQ(a.aggregate.p99Ttft, b.aggregate.p99Ttft);
+    EXPECT_EQ(a.aggregate.maxTtft, b.aggregate.maxTtft);
+    EXPECT_EQ(a.aggregate.meanQoe, b.aggregate.meanQoe);
+    EXPECT_EQ(a.aggregate.sloViolationRate,
+              b.aggregate.sloViolationRate);
+    EXPECT_EQ(a.aggregate.meanE2eLatency, b.aggregate.meanE2eLatency);
+    EXPECT_EQ(a.aggregate.p99E2eLatency, b.aggregate.p99E2eLatency);
+    EXPECT_EQ(a.aggregate.p99BlockingLatency,
+              b.aggregate.p99BlockingLatency);
+    EXPECT_EQ(a.aggregate.p99KvTransferLatency,
+              b.aggregate.p99KvTransferLatency);
+    EXPECT_EQ(a.aggregate.totalMigrations,
+              b.aggregate.totalMigrations);
+    EXPECT_EQ(a.peakGpuKvTokens, b.peakGpuKvTokens);
+    EXPECT_EQ(a.kvCapacityTokens, b.kvCapacityTokens);
+    EXPECT_EQ(a.totalIterations, b.totalIterations);
+    EXPECT_EQ(a.numUnfinished, b.numUnfinished);
+    EXPECT_EQ(a.totalMigrations, b.totalMigrations);
+    EXPECT_EQ(a.kvTransferLatencies, b.kvTransferLatencies);
+    EXPECT_EQ(a.schedulerName, b.schedulerName);
+    EXPECT_EQ(a.placementName, b.placementName);
+}
+
+TEST_F(RunContextTest, MatchesServingSystemFacade)
+{
+    auto trace = smallTrace(7);
+    SystemConfig cfg = SystemConfig::pascal(2);
+
+    cluster::ServingSystem facade(cfg);
+    auto via_facade = facade.run(trace);
+    auto via_context = cluster::RunContext::execute(cfg, trace);
+    expectIdentical(via_facade, via_context);
+}
+
+TEST_F(RunContextTest, StepwiseRunMatchesOneShot)
+{
+    auto trace = smallTrace(11);
+    SystemConfig cfg = SystemConfig::baseline(
+        cluster::SchedulerType::Fcfs, 2);
+
+    cluster::RunContext stepped(cfg);
+    stepped.submit(trace);
+    // Drive in growing horizons; the final result must not depend on
+    // how the run was chunked.
+    stepped.run(5.0);
+    stepped.run(50.0);
+    stepped.run();
+
+    expectIdentical(cluster::RunContext::execute(cfg, trace),
+                    stepped.result());
+}
+
+TEST_F(RunContextTest, ExposesSimulatorAndCluster)
+{
+    SystemConfig cfg = SystemConfig::pascal(2);
+    cluster::RunContext ctx(cfg);
+    EXPECT_EQ(ctx.simulator().now(), 0.0);
+    EXPECT_EQ(ctx.cluster().getInstances().size(), 2u);
+    EXPECT_EQ(ctx.config().numInstances, 2);
+
+    auto trace = smallTrace(3, 20);
+    ctx.submit(trace);
+    EXPECT_EQ(ctx.simulator().pendingEvents(), trace.size());
+    ctx.run();
+    EXPECT_EQ(ctx.simulator().pendingEvents(), 0u);
+    EXPECT_EQ(ctx.result().numUnfinished, 0u);
+}
+
+TEST_F(RunContextTest, SameSeedRunsAreByteIdentical)
+{
+    SystemConfig cfg = SystemConfig::pascal(2);
+    auto first = cluster::RunContext::execute(cfg, smallTrace(42));
+    auto second = cluster::RunContext::execute(cfg, smallTrace(42));
+    expectIdentical(first, second);
+}
+
+TEST_F(SweepRunnerTest, GridOrderAndLabels)
+{
+    SweepRunner runner;
+    auto t0 = runner.addGeneratedTrace(
+        workload::DatasetProfile::alpacaEval(), 40, 10.0, 1);
+    auto t1 = runner.addGeneratedTrace(
+        workload::DatasetProfile::arenaHard(), 40, 5.0, 2);
+    EXPECT_EQ(runner.numTraces(), 2u);
+
+    runner.addGrid({SystemConfig::baseline(cluster::SchedulerType::Fcfs, 2),
+                    SystemConfig::pascal(2)},
+                   {t0, t1}, {1, 2});
+    ASSERT_EQ(runner.numPoints(), 8u);
+
+    // Nested deterministic order: configs, then traces, then seeds.
+    EXPECT_EQ(runner.point(0).traceIndex, t0);
+    EXPECT_EQ(runner.point(0).seed, 1u);
+    EXPECT_EQ(runner.point(1).seed, 2u);
+    EXPECT_EQ(runner.point(2).traceIndex, t1);
+    EXPECT_EQ(runner.point(4).config.scheduler,
+              cluster::SchedulerType::Pascal);
+
+    auto result = runner.run(1);
+    ASSERT_EQ(result.size(), 8u);
+    for (std::size_t i = 0; i < result.size(); ++i)
+        EXPECT_EQ(result.outcomes[i].label, runner.point(i).label);
+    EXPECT_EQ(result.outcomes[0].result.schedulerName, "FCFS");
+    EXPECT_EQ(result.outcomes[4].result.schedulerName, "PASCAL");
+}
+
+TEST_F(SweepRunnerTest, ParallelMatchesSerialOnEightPointGrid)
+{
+    // The acceptance grid: >= 8 points on 4 threads must be
+    // byte-identical to the serial run.
+    SweepRunner runner;
+    auto t0 = runner.addGeneratedTrace(
+        workload::DatasetProfile::alpacaEval(), 100, 12.0, 5);
+    auto t1 = runner.addGeneratedTrace(
+        workload::DatasetProfile::arenaHard(), 60, 4.0, 6);
+
+    runner.addGrid({SystemConfig::baseline(cluster::SchedulerType::Fcfs, 2),
+                    SystemConfig::baseline(cluster::SchedulerType::Rr, 2),
+                    SystemConfig::pascal(2),
+                    SystemConfig::pascal(4)},
+                   {t0, t1});
+    ASSERT_EQ(runner.numPoints(), 8u);
+
+    auto serial = runner.run(1);
+    auto parallel = runner.run(4);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial.outcomes[i].label, parallel.outcomes[i].label);
+        EXPECT_EQ(serial.outcomes[i].seed, parallel.outcomes[i].seed);
+        expectIdentical(serial.outcomes[i].result,
+                        parallel.outcomes[i].result);
+    }
+}
+
+TEST_F(SweepRunnerTest, RepeatedParallelRunsAreIdentical)
+{
+    SweepRunner runner;
+    auto t = runner.addGeneratedTrace(
+        workload::DatasetProfile::alpacaEval(), 80, 10.0, 9);
+    runner.addGrid({SystemConfig::pascal(2)}, {t}, {9});
+
+    auto first = runner.run(4);
+    auto second = runner.run(4);
+    ASSERT_EQ(first.size(), 1u);
+    expectIdentical(first.outcomes[0].result,
+                    second.outcomes[0].result);
+}
+
+TEST_F(SweepRunnerTest, AggregationHelpers)
+{
+    SweepRunner runner;
+    auto t = runner.addGeneratedTrace(
+        workload::DatasetProfile::alpacaEval(), 60, 10.0, 4);
+    runner.add({"fcfs",
+                SystemConfig::baseline(cluster::SchedulerType::Fcfs, 2),
+                t, 4});
+    runner.add({"pascal", SystemConfig::pascal(2), t, 4});
+
+    auto result = runner.run();
+    ASSERT_EQ(result.size(), 2u);
+
+    auto p99 = [](const RunResult& r) { return r.aggregate.p99Ttft; };
+    const auto* best = result.bestBy(p99);
+    ASSERT_NE(best, nullptr);
+    const auto* worst = result.bestBy(p99, /*minimize=*/false);
+    ASSERT_NE(worst, nullptr);
+    EXPECT_LE(best->result.aggregate.p99Ttft,
+              worst->result.aggregate.p99Ttft);
+
+    double mean = result.meanOf(p99);
+    EXPECT_GE(mean, best->result.aggregate.p99Ttft);
+    EXPECT_LE(mean, worst->result.aggregate.p99Ttft);
+
+    ASSERT_NE(result.find("pascal"), nullptr);
+    EXPECT_EQ(result.find("pascal")->result.schedulerName, "PASCAL");
+    EXPECT_EQ(result.find("missing"), nullptr);
+
+    auto finished = result.where([](const cluster::SweepOutcome& o) {
+        return o.result.numUnfinished == 0;
+    });
+    EXPECT_EQ(finished.size(), 2u);
+}
+
+TEST_F(SweepRunnerTest, DefaultLabelsAreDescriptive)
+{
+    SweepRunner runner;
+    auto t = runner.addGeneratedTrace(
+        workload::DatasetProfile::alpacaEval(), 10, 10.0, 1);
+    auto i = runner.add({"", SystemConfig::pascal(2), t, 77});
+    EXPECT_EQ(runner.point(i).label, "PASCAL/PASCAL/t0/s77");
+}
+
+TEST_F(SweepRunnerTest, BadTraceIndexIsFatal)
+{
+    SweepRunner runner;
+    cluster::SweepPoint point;
+    point.config = SystemConfig::pascal(2);
+    point.traceIndex = 3; // No traces registered.
+    EXPECT_THROW(runner.add(std::move(point)), FatalError);
+}
+
+} // namespace
