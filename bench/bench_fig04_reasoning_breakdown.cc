@@ -90,11 +90,13 @@ main()
                            s.answerTokens + 1;
     }
     auto oracle_cfg = baseConfig(cluster::SchedulerType::Fcfs);
-    oracle_cfg.gpuKvCapacityTokens = oracle_capacity;
+    oracle_cfg.gpuKvCapacityTokens = cluster::SystemConfig::alignKvCapacity(
+        oracle_capacity, oracle_cfg.kvBlockSizeTokens);
 
     cluster::ServingSystem oracle_probe(oracle_cfg);
     auto oracle_run = oracle_probe.run(trace);
-    TokenCount constrained = oracle_run.peakGpuKvTokens / 2;
+    TokenCount constrained = cluster::SystemConfig::alignKvCapacity(
+        oracle_run.peakGpuKvTokens / 2, oracle_cfg.kvBlockSizeTokens);
     std::printf("oracle peak KV usage: %lld tokens; constrained "
                 "capacity (50 %%): %lld tokens\n\n",
                 static_cast<long long>(oracle_run.peakGpuKvTokens),

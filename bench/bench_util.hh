@@ -101,7 +101,9 @@ makeTrace(const DatasetBench& bench, double rate, std::uint64_t seed)
 
 /**
  * The Section III memory recipe: run the trace on an oracle-capacity
- * single instance, then return 50 % of the peak KV usage observed.
+ * single instance, then return 50 % of the peak KV usage observed,
+ * rounded up to the oracle config's paged-KV block size (explicit
+ * capacities must be block multiples per SystemConfig::validate).
  */
 inline TokenCount
 constrainedCapacityFromOracle(const workload::Trace& trace,
@@ -109,7 +111,9 @@ constrainedCapacityFromOracle(const workload::Trace& trace,
 {
     cluster::ServingSystem oracle(oracle_cfg);
     auto result = oracle.run(trace);
-    return std::max<TokenCount>(1, result.peakGpuKvTokens / 2);
+    return cluster::SystemConfig::alignKvCapacity(
+        std::max<TokenCount>(1, result.peakGpuKvTokens / 2),
+        oracle_cfg.kvBlockSizeTokens);
 }
 
 /** Print a horizontal rule sized for our tables. */

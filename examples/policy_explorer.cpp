@@ -1,24 +1,24 @@
 /**
  * @file
  * Design-space explorer: sweeps PASCAL's tunables — token quantum,
- * demotion threshold, and the answering-memory reserve extension —
- * over a fixed stressed workload and prints how tail TTFT and SLO
- * violations move. This is the programmatic companion to the paper's
- * parameter choices (quantum 500, demotion 5000).
+ * demotion threshold, the answering-memory reserve extension, and the
+ * new prediction-error knob — over a fixed stressed workload and
+ * prints how tail TTFT and SLO violations move. This is the
+ * programmatic companion to the paper's parameter choices (quantum
+ * 500, demotion 5000) plus the speculative extension's error budget.
  *
- * All 14 grid points are built up front and fanned across a
- * SweepRunner thread pool; the tables below read the deterministic
- * grid-ordered results, so the output is identical however many
- * workers ran it.
+ * All grid points are built up front and fanned across a SweepRunner
+ * thread pool; the tables below read the deterministic grid-ordered
+ * results, so the output is identical however many workers ran it.
  *
  * Run: ./build/examples/policy_explorer [num_threads]
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "examples/example_cli.hh"
 #include "src/cluster/sweep_runner.hh"
 #include "src/workload/generator.hh"
 
@@ -37,11 +37,20 @@ tunedConfig(TokenCount quantum, TokenCount demote, double reserve)
     return cfg;
 }
 
+/** PASCAL-Spec under one predictor configuration. */
+cluster::SystemConfig
+specConfig(predict::PredictorConfig pred)
+{
+    cluster::SystemConfig cfg = cluster::SystemConfig::speculative(
+        cluster::SchedulerType::PascalSpec, pred, 8);
+    return cfg;
+}
+
 void
-printRow(const cluster::SweepOutcome& outcome, long long knob)
+printRow(const cluster::SweepOutcome& outcome, const std::string& knob)
 {
     const auto& agg = outcome.result.aggregate;
-    std::printf("%10lld %9.1fs %8.2f%% %7.0f tok/s\n", knob,
+    std::printf("%12s %9.1fs %8.2f%% %7.0f tok/s\n", knob.c_str(),
                 agg.p99Ttft, 100.0 * agg.sloViolationRate,
                 agg.throughputTokensPerSec);
 }
@@ -51,12 +60,27 @@ printRow(const cluster::SweepOutcome& outcome, long long knob)
 int
 main(int argc, char** argv)
 {
-    const int num_threads = argc > 1 ? std::atoi(argv[1]) : 0;
+    int num_threads = 0;
+    try {
+        if (argc > 1) {
+            num_threads = examples::parseNonNegativeInt(argv[1],
+                                                        "num_threads");
+        }
+    } catch (const FatalError& e) {
+        std::fprintf(stderr, "error: %s\nusage: %s [num_threads]\n",
+                     e.what(), argv[0]);
+        return 1;
+    }
 
     const std::vector<TokenCount> quanta = {100, 250, 500, 1000, 2000};
     const std::vector<TokenCount> demotions = {1000, 2500, 5000, 10000,
                                                100000};
     const std::vector<double> reserves = {0.0, 0.1, 0.2, 0.3};
+
+    // Prediction-error knob: exact oracle, increasingly noisy oracles,
+    // and the two online learners (shared with
+    // bench_predictor_accuracy).
+    const auto predictors = predict::standardSweepPredictors();
 
     // One shared KV-saturating trace; every grid point replays it.
     cluster::SweepRunner runner;
@@ -76,6 +100,10 @@ main(int argc, char** argv)
                         100.0 * r)),
                     tunedConfig(500, 5000, r), trace, 23});
     }
+    for (const auto& pred : predictors) {
+        runner.add({"spec:" + pred.name(), specConfig(pred), trace,
+                    23});
+    }
 
     std::printf("workload: 1600 AlpacaEval requests at 34 req/s "
                 "(KV-saturating load)\n");
@@ -85,26 +113,37 @@ main(int argc, char** argv)
 
     std::printf("\n-- token quantum sweep (demotion 5000, reserve 0) "
                 "--\n");
-    std::printf("%10s %10s %9s %12s\n", "quantum", "p99 TTFT",
+    std::printf("%12s %10s %9s %12s\n", "quantum", "p99 TTFT",
                 "SLO-vio", "throughput");
-    for (TokenCount q : quanta)
-        printRow(*sweep.find("quantum=" + std::to_string(q)), q);
+    for (TokenCount q : quanta) {
+        printRow(*sweep.find("quantum=" + std::to_string(q)),
+                 std::to_string(q));
+    }
 
     std::printf("\n-- demotion threshold sweep (quantum 500, reserve "
                 "0) --\n");
-    std::printf("%10s %10s %9s %12s\n", "demote@", "p99 TTFT",
+    std::printf("%12s %10s %9s %12s\n", "demote@", "p99 TTFT",
                 "SLO-vio", "throughput");
-    for (TokenCount d : demotions)
-        printRow(*sweep.find("demote=" + std::to_string(d)), d);
+    for (TokenCount d : demotions) {
+        printRow(*sweep.find("demote=" + std::to_string(d)),
+                 std::to_string(d));
+    }
 
     std::printf("\n-- answering reserve sweep (quantum 500, demotion "
                 "5000) --\n");
-    std::printf("%10s %10s %9s %12s\n", "reserve", "p99 TTFT",
+    std::printf("%12s %10s %9s %12s\n", "reserve", "p99 TTFT",
                 "SLO-vio", "throughput");
     for (double r : reserves) {
-        auto knob = static_cast<long long>(100.0 * r);
-        printRow(*sweep.find("reserve=" + std::to_string(knob)), knob);
+        auto knob = std::to_string(static_cast<int>(100.0 * r));
+        printRow(*sweep.find("reserve=" + knob), knob);
     }
+
+    std::printf("\n-- PASCAL-Spec prediction-error sweep (paper "
+                "defaults otherwise) --\n");
+    std::printf("%12s %10s %9s %12s\n", "predictor", "p99 TTFT",
+                "SLO-vio", "throughput");
+    for (const auto& pred : predictors)
+        printRow(*sweep.find("spec:" + pred.name()), pred.name());
 
     auto* best = sweep.bestBy(
         [](const cluster::RunResult& r) { return r.aggregate.p99Ttft; });
@@ -114,6 +153,8 @@ main(int argc, char** argv)
     std::printf("The paper's defaults (quantum 500, demotion 5000) "
                 "should sit near the knee of each curve; the reserve "
                 "extension trades reasoning-phase TTFT for answering "
-                "SLO headroom.\n");
+                "SLO headroom, and the predictor sweep shows how fast "
+                "speculation's benefit decays with prediction "
+                "error.\n");
     return 0;
 }

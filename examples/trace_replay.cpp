@@ -5,25 +5,29 @@
  * surface for downstream users with their own traces.
  *
  * Usage:
- *   trace_replay <trace.csv> <out_metrics.csv>
- *                [fcfs|rr|pascal|all] [instances]
+ *   trace_replay [<trace.csv> <out_metrics.csv>]
+ *                [fcfs|rr|pascal|srpt|pascal-spec|all] [instances]
+ *                [--json <path>]
  *
  * Every replay goes through SweepRunner. A single policy (the
  * default: pascal) writes exactly <out_metrics.csv>; with `all`, the
- * three policies are swept in parallel and each writes
- * `<out_metrics>.<policy>.csv` plus a comparison summary. With no
- * arguments, a demonstration trace is generated, written to a temp
- * file, and swept across all policies, so the example is runnable out
- * of the box.
+ * policies are swept in parallel and each writes
+ * `<out_metrics>.<policy>.csv` plus a comparison summary. The
+ * speculative policies (srpt, pascal-spec) run under the oracle
+ * predictor. `--json <path>` additionally emits the per-policy metric
+ * table as JSON, so replay results land next to the BENCH_*.json
+ * trend files. With no positional arguments, a demonstration trace is
+ * generated, written to a temp file, and swept across all policies,
+ * so the example is runnable out of the box.
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "examples/example_cli.hh"
 #include "src/cluster/sweep_runner.hh"
 #include "src/common/log.hh"
 #include "src/common/rng.hh"
@@ -33,6 +37,7 @@ namespace
 {
 
 using namespace pascal;
+using examples::PolicyChoice;
 
 void
 writeMetricsCsv(const std::string& path,
@@ -54,36 +59,73 @@ writeMetricsCsv(const std::string& path,
     }
 }
 
-struct PolicyChoice
+/** Escape a string for embedding in a JSON literal (paths and labels
+ *  are user-supplied and may contain quotes or backslashes). */
+std::string
+jsonEscape(const std::string& s)
 {
-    std::string name;
-    cluster::SchedulerType scheduler;
-    cluster::PlacementType placement;
-};
-
-std::vector<PolicyChoice>
-allPolicies()
-{
-    using cluster::PlacementType;
-    using cluster::SchedulerType;
-    return {
-        {"fcfs", SchedulerType::Fcfs, PlacementType::Baseline},
-        {"rr", SchedulerType::Rr, PlacementType::Baseline},
-        {"pascal", SchedulerType::Pascal, PlacementType::Pascal},
-    };
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
 }
 
-std::vector<PolicyChoice>
-parsePolicies(const char* name)
+/** The per-policy comparison table as a JSON document. */
+void
+writeSummaryJson(const std::string& path, const std::string& trace_path,
+                 int instances,
+                 const std::vector<cluster::SweepOutcome>& outcomes)
 {
-    if (std::strcmp(name, "all") == 0)
-        return allPolicies();
-    for (const auto& policy : allPolicies()) {
-        if (policy.name == name)
-            return {policy};
+    std::ofstream json(path);
+    if (!json)
+        fatal("cannot open '" + path + "' for writing");
+    json << "{\n  \"trace\": \"" << jsonEscape(trace_path)
+         << "\",\n  \"instances\": " << instances
+         << ",\n  \"policies\": [\n";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const auto& o = outcomes[i];
+        const auto& agg = o.result.aggregate;
+        json << "    {\"label\": \"" << jsonEscape(o.label)
+             << "\", \"scheduler\": \""
+             << o.result.schedulerName << "\", \"placement\": \""
+             << o.result.placementName << "\", \"predictor\": \""
+             << o.result.predictorName
+             << "\", \"mean_ttft\": " << agg.meanTtft
+             << ", \"p50_ttft\": " << agg.p50Ttft
+             << ", \"p99_ttft\": " << agg.p99Ttft
+             << ", \"slo_violation_rate\": " << agg.sloViolationRate
+             << ", \"throughput_tokens_per_sec\": "
+             << agg.throughputTokensPerSec
+             << ", \"mean_answering_latency\": "
+             << agg.meanAnsweringLatency
+             << ", \"migrations\": " << o.result.totalMigrations
+             << ", \"unfinished\": " << o.result.numUnfinished << "}"
+             << (i + 1 < outcomes.size() ? "," : "") << "\n";
     }
-    fatal(std::string("unknown scheduler '") + name +
-          "' (use fcfs|rr|pascal|all)");
+    json << "  ]\n}\n";
 }
 
 /** "<base>.<policy>.csv" for sweeps, plain base for single runs. */
@@ -108,23 +150,37 @@ main(int argc, char** argv)
 {
     std::string trace_path;
     std::string out_path = "trace_replay_metrics.csv";
-    std::vector<PolicyChoice> policies = allPolicies();
+    std::string json_path;
+    std::vector<PolicyChoice> policies = examples::allPolicies();
     int instances = 8;
 
     try {
-        if (argc >= 3) {
-            trace_path = argv[1];
-            out_path = argv[2];
+        // Split --json off first; the rest stays positional for
+        // backward compatibility.
+        std::vector<const char*> positional;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--json") == 0) {
+                if (i + 1 >= argc)
+                    fatal("--json needs a path argument");
+                json_path = argv[++i];
+            } else {
+                positional.push_back(argv[i]);
+            }
+        }
+
+        if (positional.size() >= 2) {
+            trace_path = positional[0];
+            out_path = positional[1];
             // Explicit-path mode keeps the original contract: without
             // a policy argument it runs pascal once and writes exactly
             // <out_metrics.csv>; `all` opts into the parallel sweep.
-            policies = argc >= 4 ? parsePolicies(argv[3])
-                                 : parsePolicies("pascal");
-            if (argc >= 5)
-                instances = std::atoi(argv[4]);
-            if (instances <= 0)
-                fatal("instances must be positive");
-        } else {
+            policies = examples::parsePolicies(
+                positional.size() >= 3 ? positional[2] : "pascal");
+            if (positional.size() >= 4) {
+                instances = examples::parsePositiveInt(positional[3],
+                                                       "instances");
+            }
+        } else if (positional.empty()) {
             // Demo mode: synthesize and persist a trace first.
             trace_path = "trace_replay_demo.csv";
             Rng rng(31);
@@ -133,6 +189,9 @@ main(int argc, char** argv)
             demo.toCsv(trace_path);
             std::printf("demo mode: wrote %zu requests to %s\n",
                         demo.size(), trace_path.c_str());
+        } else {
+            fatal("usage: trace_replay [<trace.csv> <out.csv>] "
+                  "[policy] [instances] [--json <path>]");
         }
 
         cluster::SweepRunner runner;
@@ -142,11 +201,9 @@ main(int argc, char** argv)
             runner.trace(trace_index).size();
 
         for (const auto& policy : policies) {
-            cluster::SystemConfig cfg;
-            cfg.scheduler = policy.scheduler;
-            cfg.placement = policy.placement;
-            cfg.numInstances = instances;
-            runner.add({policy.name, cfg, trace_index, 0});
+            runner.add({policy.name,
+                        examples::configFor(policy, instances),
+                        trace_index, 0});
         }
 
         const bool sweeping = policies.size() > 1;
@@ -161,12 +218,18 @@ main(int argc, char** argv)
                 outPathFor(out_path, outcome.label, sweeping);
             writeMetricsCsv(path, outcome.result);
             const auto& agg = outcome.result.aggregate;
-            std::printf("%-8s mean TTFT %6.2fs  p99 TTFT %6.2fs  "
+            std::printf("%-12s mean TTFT %6.2fs  p99 TTFT %6.2fs  "
                         "SLO-vio %5.2f%%  throughput %6.0f tok/s  -> "
                         "%s\n",
                         outcome.label.c_str(), agg.meanTtft,
                         agg.p99Ttft, 100.0 * agg.sloViolationRate,
                         agg.throughputTokensPerSec, path.c_str());
+        }
+
+        if (!json_path.empty()) {
+            writeSummaryJson(json_path, trace_path, instances,
+                             sweep.outcomes);
+            std::printf("summary JSON -> %s\n", json_path.c_str());
         }
 
         if (sweeping) {

@@ -24,14 +24,22 @@ Cluster::Cluster(sim::Simulator& sim, const SystemConfig& cfg)
     if (kvCapacity <= 0)
         fatal("Cluster: resolved KV capacity is not positive");
 
+    predictor = predict::makePredictor(cfg.predictor);
     placement = makePlacement(cfg.placement);
+    placement->setPredictor(predictor.get());
 
     InstanceCallbacks callbacks;
     callbacks.onPhaseTransition = [this](workload::Request* r,
                                          InstanceId from) {
         onPhaseTransition(r, from);
     };
-    callbacks.onFinished = [](workload::Request*, InstanceId) {};
+    // Completions are the online predictors' training signal; feeding
+    // them from the cluster (not per instance) lets one predictor
+    // learn from the whole deployment.
+    callbacks.onFinished = [this](workload::Request* r, InstanceId) {
+        if (predictor)
+            predictor->observeCompletion(*r);
+    };
 
     instances.reserve(cfg.numInstances);
     ingress.reserve(cfg.numInstances);
@@ -39,6 +47,9 @@ Cluster::Cluster(sim::Simulator& sim, const SystemConfig& cfg)
         instances.push_back(std::make_unique<Instance>(
             i, sim, perf, makeScheduler(cfg.scheduler, cfg.limits),
             kvCapacity, cfg.slo, callbacks, cfg.kvBlockSizeTokens));
+        instances.back()->setPredictor(
+            predictor.get(),
+            cfg.placement == PlacementType::PascalPredictive);
         ingress.push_back(std::make_unique<model::Link>(
             sim, cfg.hardware.effFabricBandwidth(),
             "fabric-ingress-" + std::to_string(i)));

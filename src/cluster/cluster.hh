@@ -18,6 +18,7 @@
 #include "src/cluster/instance.hh"
 #include "src/cluster/system_config.hh"
 #include "src/core/placement.hh"
+#include "src/predict/predictor.hh"
 #include "src/qoe/metrics.hh"
 #include "src/sim/simulator.hh"
 #include "src/workload/trace.hh"
@@ -69,6 +70,13 @@ class Cluster
 
     const SystemConfig& config() const { return cfg; }
 
+    /** The shared length predictor (nullptr when cfg.predictor is
+     *  None). Exposed so harnesses can inspect what a run learned. */
+    const predict::LengthPredictor* lengthPredictor() const
+    {
+        return predictor.get();
+    }
+
   private:
     /** Route a new arrival via Placement::placeNew (Algorithm 1). */
     void onArrival(workload::Request* req);
@@ -87,6 +95,7 @@ class Cluster
     SystemConfig cfg;
     model::PerfModel perf;
     TokenCount kvCapacity;
+    std::unique_ptr<predict::LengthPredictor> predictor;
     std::unique_ptr<core::Placement> placement;
     std::vector<std::unique_ptr<Instance>> instances;
     std::vector<std::unique_ptr<model::Link>> ingress;

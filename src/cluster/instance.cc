@@ -276,6 +276,23 @@ Instance::snapshot(Time now) const
     snap.numFreshAnswering = sched->numFreshAnswering();
     snap.gpuFreeTokens = kvPool.gpuFree();
     snap.gpuCapacityTokens = kvPool.gpuCapacity();
+    snap.predictedKvFootprintTokens = snap.kvFootprintTokens;
+    if (predictor != nullptr) {
+        double growth = 0.0;
+        for (const auto* r : sched->hosted()) {
+            if (r->finished())
+                continue;
+            growth += predictor->predictRemainingTokens(*r);
+            // Queued arrivals own no pool KV yet, but their prompt
+            // will be allocated the moment they prefill; without it a
+            // burst of large-prompt arrivals keeps looking free and
+            // predictive placement herds the burst onto one instance.
+            if (r->exec == ExecState::WaitingNew)
+                growth += static_cast<double>(r->spec().promptTokens);
+        }
+        snap.predictedKvFootprintTokens +=
+            static_cast<TokenCount>(std::llround(growth));
+    }
     return snap;
 }
 

@@ -24,6 +24,7 @@
 #include "src/model/kv_pool.hh"
 #include "src/model/link.hh"
 #include "src/model/perf_model.hh"
+#include "src/predict/predictor.hh"
 #include "src/qoe/slo.hh"
 #include "src/sim/simulator.hh"
 #include "src/workload/request.hh"
@@ -86,6 +87,22 @@ class Instance
     /** Monitor snapshot for the placement algorithms. */
     core::InstanceSnapshot snapshot(Time now) const;
 
+    /**
+     * Wire the cluster's shared length predictor (not owned; may be
+     * nullptr). Forwards to the intra-instance scheduler.
+     *
+     * @param predictive_snapshots Also fill the snapshot's
+     *        predicted-KV-footprint signal — O(hosted) predictor
+     *        calls per snapshot, so the Cluster enables it only when
+     *        the placement policy actually routes on it.
+     */
+    void setPredictor(const predict::LengthPredictor* p,
+                      bool predictive_snapshots)
+    {
+        predictor = predictive_snapshots ? p : nullptr;
+        sched->setPredictor(p);
+    }
+
     const model::KvPool& pool() const { return kvPool; }
     core::IntraScheduler& scheduler() { return *sched; }
     const core::IntraScheduler& scheduler() const { return *sched; }
@@ -124,6 +141,7 @@ class Instance
     qoe::SloConfig slo;
     InstanceCallbacks callbacks;
     model::Link pcie;
+    const predict::LengthPredictor* predictor = nullptr;
 
     bool stepInFlight = false;
     std::unordered_set<RequestId> runningSet; //!< Current step batch.

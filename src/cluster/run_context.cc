@@ -50,6 +50,7 @@ RunContext::result() const
     result.kvTransferLatencies = clusterPtr->allKvTransferLatencies();
     result.schedulerName = cfg.schedulerName();
     result.placementName = cfg.placementName();
+    result.predictorName = cfg.predictorName();
 
     if (ranToHorizon && result.numUnfinished > 0) {
         warn(std::to_string(result.numUnfinished) +

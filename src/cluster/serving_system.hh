@@ -46,6 +46,7 @@ struct RunResult
 
     std::string schedulerName;
     std::string placementName;
+    std::string predictorName; //!< "none" when running reactively.
 };
 
 /** Facade running complete serving simulations. */

@@ -89,8 +89,12 @@ SweepRunner::add(SweepPoint point)
               std::to_string(point.traceIndex) + " but only " +
               std::to_string(traces.size()) + " are registered");
     if (point.label.empty()) {
+        std::string pred =
+            point.config.predictor.type == predict::PredictorType::None
+                ? ""
+                : "/" + point.config.predictorName();
         point.label = point.config.schedulerName() + "/" +
-                      point.config.placementName() + "/t" +
+                      point.config.placementName() + pred + "/t" +
                       std::to_string(point.traceIndex) + "/s" +
                       std::to_string(point.seed);
     }
@@ -114,6 +118,22 @@ SweepRunner::addGrid(const std::vector<SystemConfig>& configs,
                 point.seed = seed;
                 add(std::move(point));
             }
+        }
+    }
+}
+
+void
+SweepRunner::addPredictorGrid(
+    const std::vector<SystemConfig>& configs,
+    const std::vector<predict::PredictorConfig>& predictors,
+    const std::vector<std::size_t>& trace_indices,
+    const std::vector<std::uint64_t>& seeds)
+{
+    for (const auto& cfg : configs) {
+        for (const auto& pred : predictors) {
+            SystemConfig crossed = cfg;
+            crossed.predictor = pred;
+            addGrid({crossed}, trace_indices, seeds);
         }
     }
 }

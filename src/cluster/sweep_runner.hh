@@ -104,7 +104,9 @@ class SweepRunner
                                   Time start_time = 0.0);
 
     /** Append one grid point. An empty label is auto-filled with
-     *  "<scheduler>/<placement>/t<trace>/s<seed>".
+     *  "<scheduler>/<placement>/t<trace>/s<seed>", with
+     *  "/<predictor>" spliced in after the placement when the config
+     *  carries one.
      *  @return The point's index (== its position in the results). */
     std::size_t add(SweepPoint point);
 
@@ -116,6 +118,19 @@ class SweepRunner
     void addGrid(const std::vector<SystemConfig>& configs,
                  const std::vector<std::size_t>& trace_indices,
                  const std::vector<std::uint64_t>& seeds = {});
+
+    /**
+     * Predictor-crossed grid: every config is additionally run under
+     * every predictor of @p predictors (overwriting the config's own
+     * predictor knobs). Order: configs outermost, then predictors,
+     * then traces, then seeds. Reactive configs crossed with a
+     * PredictorType::None entry reproduce the plain addGrid point.
+     */
+    void addPredictorGrid(
+        const std::vector<SystemConfig>& configs,
+        const std::vector<predict::PredictorConfig>& predictors,
+        const std::vector<std::size_t>& trace_indices,
+        const std::vector<std::uint64_t>& seeds = {});
 
     /**
      * Run every grid point and collect results in grid order.

@@ -14,6 +14,7 @@
 #include "src/core/placement.hh"
 #include "src/model/hardware_config.hh"
 #include "src/model/model_config.hh"
+#include "src/predict/predictor.hh"
 #include "src/qoe/slo.hh"
 
 namespace pascal
@@ -24,9 +25,13 @@ namespace cluster
 /** Intra-instance scheduling policy selector. */
 enum class SchedulerType
 {
-    Fcfs,   //!< vLLM default (Section II-C).
-    Rr,     //!< Token-quantum round robin.
-    Pascal, //!< Hierarchical phase-aware queues (Section IV-C).
+    Fcfs,       //!< vLLM default (Section II-C).
+    Rr,         //!< Token-quantum round robin.
+    Pascal,     //!< Hierarchical phase-aware queues (Section IV-C).
+    Srpt,       //!< Speculative shortest-remaining-first (needs a
+                //!< predictor).
+    PascalSpec, //!< PASCAL + predictive demotion and predicted-length
+                //!< tie-breaking (needs a predictor).
 };
 
 /** Instance-level placement policy selector. */
@@ -36,6 +41,8 @@ enum class PlacementType
     Pascal,            //!< Algorithms 1+2 with adaptive migration.
     PascalNonAdaptive, //!< Always follow Algorithm 2 (Section V-D).
     PascalNoMigration, //!< Pin to the Algorithm-1 instance (V-D).
+    PascalPredictive,  //!< Route on predicted KV footprint (needs a
+                       //!< predictor).
 };
 
 /** Everything needed to build a ServingSystem. */
@@ -51,6 +58,15 @@ struct SystemConfig
 
     core::SchedLimits limits; //!< Quantum 500, demotion 5000, caps.
     qoe::SloConfig slo;
+
+    /**
+     * Length-prediction knobs (src/predict/). Default: None — the
+     * paper's reactive behaviour. Required (validate() enforces it)
+     * whenever the scheduler is Srpt/PascalSpec or the placement is
+     * PascalPredictive. One predictor instance is shared by the whole
+     * cluster and learns from every instance's completions.
+     */
+    predict::PredictorConfig predictor;
 
     /**
      * Explicit per-instance GPU KV capacity in tokens; 0 derives it
@@ -73,6 +89,17 @@ struct SystemConfig
 
     std::string schedulerName() const;
     std::string placementName() const;
+    std::string predictorName() const { return predictor.name(); }
+
+    /** Round @p tokens up to a multiple of @p block (validate()
+     *  rejects explicit capacities that are not). */
+    static TokenCount
+    alignKvCapacity(TokenCount tokens, TokenCount block)
+    {
+        if (block <= 1 || tokens <= 0)
+            return tokens;
+        return ((tokens + block - 1) / block) * block;
+    }
 
     /** Baseline deployment: FCFS or RR with min-KV routing. */
     static SystemConfig baseline(SchedulerType sched,
@@ -80,6 +107,15 @@ struct SystemConfig
 
     /** Full PASCAL deployment. */
     static SystemConfig pascal(int num_instances = 8);
+
+    /**
+     * Speculative deployment: @p sched (Srpt or PascalSpec) over
+     * predictive placement, with @p pred supplying the length
+     * estimates.
+     */
+    static SystemConfig speculative(SchedulerType sched,
+                                    predict::PredictorConfig pred,
+                                    int num_instances = 8);
 };
 
 /** Build the intra-instance scheduler for one instance. */

@@ -29,6 +29,16 @@ struct InstanceSnapshot
     /** Paper m_i: total KV footprint (GPU + CPU tiers), in tokens. */
     TokenCount kvFootprintTokens = 0;
 
+    /**
+     * Speculative m_i: current footprint plus the predicted remaining
+     * decode tokens of every hosted request (each future token appends
+     * one KV entry). Equals kvFootprintTokens when the cluster runs
+     * without a predictor. The predictive placement variant routes on
+     * this, so an instance full of nearly-done requests looks emptier
+     * than one full of just-started monsters.
+     */
+    TokenCount predictedKvFootprintTokens = 0;
+
     /** Paper r_i: reasoning requests in the high-priority queue. */
     int numReasoning = 0;
 

@@ -24,6 +24,10 @@ SchedLimits::validate() const
         fatal("SchedLimits: answeringReserveFraction must be in "
               "[0, 1)");
     }
+    if (demoteLookaheadTokens < 0) {
+        fatal("SchedLimits: demoteLookaheadTokens must be >= 0 "
+              "(0 disables predictive demotion lookahead)");
+    }
 }
 
 IntraScheduler::IntraScheduler(SchedLimits limits) : limits(limits)
@@ -92,6 +96,19 @@ IntraScheduler::schedulable(const workload::Request* req)
       default:
         return false;
     }
+}
+
+void
+IntraScheduler::annotatePrediction(IterationPlan& plan) const
+{
+    if (lengthPredictor == nullptr)
+        return;
+    double remaining = 0.0;
+    for (const auto* r : plan.prefill)
+        remaining += lengthPredictor->predictRemainingTokens(*r);
+    for (const auto* r : plan.decode)
+        remaining += lengthPredictor->predictRemainingTokens(*r);
+    plan.predictedRemainingTokens = remaining;
 }
 
 IterationPlan

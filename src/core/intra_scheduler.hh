@@ -17,6 +17,7 @@
 #include "src/common/types.hh"
 #include "src/core/iteration_plan.hh"
 #include "src/model/kv_pool.hh"
+#include "src/predict/predictor.hh"
 #include "src/workload/request.hh"
 
 namespace pascal
@@ -63,6 +64,22 @@ class IntraScheduler
 
     const SchedLimits& schedLimits() const { return limits; }
 
+    /**
+     * Wire a length predictor (not owned; may be nullptr). Speculative
+     * policies (SRPT, PASCAL-Spec) consult it when ordering requests
+     * and deciding demotion; phase-reactive policies ignore it. The
+     * Cluster shares one predictor across all of its instances.
+     */
+    void setPredictor(const predict::LengthPredictor* p)
+    {
+        lengthPredictor = p;
+    }
+
+    const predict::LengthPredictor* predictor() const
+    {
+        return lengthPredictor;
+    }
+
   protected:
     /** True if @p req can be considered for scheduling at all. */
     static bool schedulable(const workload::Request* req);
@@ -90,8 +107,13 @@ class IntraScheduler
         std::size_t high_prefix_len = 0,
         TokenCount high_budget_cap = 0) const;
 
+    /** Fill @p plan's predictedRemainingTokens from the wired
+     *  predictor (no-op without one). */
+    void annotatePrediction(IterationPlan& plan) const;
+
     std::vector<workload::Request*> requests;
     SchedLimits limits;
+    const predict::LengthPredictor* lengthPredictor = nullptr;
 };
 
 } // namespace core

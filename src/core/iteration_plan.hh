@@ -41,6 +41,15 @@ struct IterationPlan
     /** Decode batch: each member emits one token this iteration. */
     std::vector<workload::Request*> decode;
 
+    /**
+     * Predicted decode tokens the selected work (prefill + decode)
+     * still owes after this iteration, summed over the batch by
+     * predictor-aware schedulers (0 when no predictor is wired).
+     * Diagnostic: lets harnesses watch how much speculative backlog a
+     * plan commits to.
+     */
+    double predictedRemainingTokens = 0.0;
+
     bool
     idle() const
     {
@@ -70,6 +79,17 @@ struct SchedLimits
     /** PASCAL: reasoning requests whose KV exceeds this many tokens
      *  are demoted to the low-priority queue (paper: 5000). */
     TokenCount demoteThresholdTokens = 5000;
+
+    /**
+     * PASCAL-Spec: how far below the demotion threshold predictive
+     * demotion may fire. A reasoning request whose *predicted* final
+     * reasoning KV exceeds demoteThresholdTokens is demoted as soon as
+     * its current KV enters this window (i.e. up to this many tokens
+     * early), instead of waiting for the threshold to actually be
+     * crossed. 0 disables lookahead and reproduces the reactive rule;
+     * must stay below demoteThresholdTokens.
+     */
+    TokenCount demoteLookaheadTokens = 512;
 
     /**
      * PASCAL extension (suggested by the paper's Fig. 13 analysis:

@@ -1,5 +1,7 @@
 #include "src/core/pascal_placement.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -35,6 +37,8 @@ PascalPlacement::name() const
         return "PASCAL(NonAdaptive)";
       case Variant::NoMigration:
         return "PASCAL(NoMigration)";
+      case Variant::Predictive:
+        return "PASCAL(Predictive)";
     }
     return "PASCAL(?)";
 }
@@ -47,7 +51,10 @@ PascalPlacement::placeNew(const ClusterView& view,
     if (view.empty())
         fatal("PascalPlacement: empty cluster");
 
-    // Algorithm 1: E <- {i | t_i}; if empty, E <- I; argmin m_i.
+    // Algorithm 1: E <- {i | t_i}; if empty, E <- I; argmin m_i. The
+    // predictive variant scores m_i as the footprint the instance is
+    // *heading toward*, not the one it has.
+    bool predictive = mode == Variant::Predictive;
     bool any_slo_ok = false;
     for (const auto& snap : view)
         any_slo_ok = any_slo_ok || snap.answeringSloOk;
@@ -57,8 +64,10 @@ PascalPlacement::placeNew(const ClusterView& view,
     for (const auto& snap : view) {
         if (any_slo_ok && !snap.answeringSloOk)
             continue;
-        if (snap.kvFootprintTokens < best_kv) {
-            best_kv = snap.kvFootprintTokens;
+        TokenCount kv = predictive ? snap.predictedKvFootprintTokens
+                                   : snap.kvFootprintTokens;
+        if (kv < best_kv) {
+            best_kv = kv;
             best = snap.id;
         }
     }
@@ -115,8 +124,18 @@ PascalPlacement::placeTransition(const ClusterView& view,
 
     bool home_sufficient =
         home_snap->gpuFreeTokens >= kAdaptiveHomeMarginTokens;
-    bool target_sufficient =
-        target_snap->gpuFreeTokens >= req.kvTokens() + 1;
+    // The incoming KV the target must absorb: at least the current
+    // cache plus one decode token; the predictive variant charges the
+    // request's predicted *final* footprint so migrations that would
+    // stall mid-answering are vetoed up front (Fig. 13's neglected
+    // answering memory).
+    TokenCount incoming = req.kvTokens() + 1;
+    if (mode == Variant::Predictive && predictor != nullptr) {
+        auto growth = static_cast<TokenCount>(
+            std::llround(predictor->predictRemainingTokens(req)));
+        incoming = req.kvTokens() + std::max<TokenCount>(growth, 1);
+    }
+    bool target_sufficient = target_snap->gpuFreeTokens >= incoming;
     if (home_sufficient && !target_sufficient)
         return home;
     return best;

@@ -43,6 +43,20 @@ class PascalPlacement : public Placement
         Full,        //!< Algorithms 1+2 with adaptive override.
         NonAdaptive, //!< Always follow Algorithm 2's choice.
         NoMigration, //!< Pin requests to their Algorithm-1 instance.
+
+        /**
+         * Speculative: Algorithm 1 routes on the *predicted* KV
+         * footprint (current KV plus predicted remaining growth of
+         * every hosted request) instead of the current footprint, and
+         * the adaptive override checks whether the target can hold the
+         * migrating request's predicted *final* KV rather than just
+         * its current KV + 1. Fig. 13's critique — "the placement
+         * policy only considers the KV cache footprint during
+         * reasoning [and] neglects the memory required for answering"
+         * — is exactly the blind spot this removes. Requires a wired
+         * predictor; falls back to Full behaviour without one.
+         */
+        Predictive,
     };
 
     explicit PascalPlacement(Variant variant = Variant::Full);
@@ -60,8 +74,14 @@ class PascalPlacement : public Placement
 
     Variant variant() const { return mode; }
 
+    void setPredictor(const predict::LengthPredictor* p) override
+    {
+        predictor = p;
+    }
+
   private:
     Variant mode;
+    const predict::LengthPredictor* predictor = nullptr;
 };
 
 } // namespace core

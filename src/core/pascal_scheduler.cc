@@ -1,6 +1,7 @@
 #include "src/core/pascal_scheduler.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/common/log.hh"
 
@@ -22,18 +23,70 @@ PascalScheduler::isHighPriority(const workload::Request* req)
     return req->phase() == workload::Phase::Reasoning && !req->demoted;
 }
 
+bool
+PascalScheduler::shouldDemote(const workload::Request* req) const
+{
+    return req->kvTokens() > limits.demoteThresholdTokens;
+}
+
+double
+PascalScheduler::queueKey(const workload::Request*) const
+{
+    return 0.0; // Pure round robin: quantaConsumed then arrival.
+}
+
 void
 PascalScheduler::applyDemotion()
 {
     for (auto* r : requests) {
         if (!r->demoted && r->phase() == workload::Phase::Reasoning &&
-            r->kvTokens() > limits.demoteThresholdTokens) {
+            shouldDemote(r)) {
             // The request now competes as a low-priority request; its
             // quantum restarts in the new queue.
             r->demoted = true;
             r->resetQuantum();
         }
     }
+}
+
+void
+PascalScheduler::sortQueue(std::vector<workload::Request*>& queue) const
+{
+    if (!usesQueueKeys()) {
+        // Reactive round robin: allocation-free in-place sort (the
+        // per-iteration hot path of every plain-PASCAL instance).
+        std::sort(queue.begin(), queue.end(),
+            [](const workload::Request* a, const workload::Request* b) {
+                if (a->quantaConsumed != b->quantaConsumed)
+                    return a->quantaConsumed < b->quantaConsumed;
+                if (a->spec().arrival != b->spec().arrival)
+                    return a->spec().arrival < b->spec().arrival;
+                return a->id() < b->id();
+            });
+        return;
+    }
+
+    // Precompute keys so predictor-backed variants pay one prediction
+    // per request, not one per comparison.
+    std::vector<std::pair<double, workload::Request*>> keyed;
+    keyed.reserve(queue.size());
+    for (auto* r : queue)
+        keyed.emplace_back(queueKey(r), r);
+    std::sort(keyed.begin(), keyed.end(),
+        [](const std::pair<double, workload::Request*>& a,
+           const std::pair<double, workload::Request*>& b) {
+            const auto* ra = a.second;
+            const auto* rb = b.second;
+            if (ra->quantaConsumed != rb->quantaConsumed)
+                return ra->quantaConsumed < rb->quantaConsumed;
+            if (a.first != b.first)
+                return a.first < b.first;
+            if (ra->spec().arrival != rb->spec().arrival)
+                return ra->spec().arrival < rb->spec().arrival;
+            return ra->id() < rb->id();
+        });
+    for (std::size_t i = 0; i < keyed.size(); ++i)
+        queue[i] = keyed[i].second;
 }
 
 IterationPlan
@@ -53,16 +106,8 @@ PascalScheduler::plan(const model::KvPool& pool)
         (isHighPriority(r) ? high : low).push_back(r);
     }
 
-    auto rr_order = [](const workload::Request* a,
-                       const workload::Request* b) {
-        if (a->quantaConsumed != b->quantaConsumed)
-            return a->quantaConsumed < b->quantaConsumed;
-        if (a->spec().arrival != b->spec().arrival)
-            return a->spec().arrival < b->spec().arrival;
-        return a->id() < b->id();
-    };
-    std::sort(high.begin(), high.end(), rr_order);
-    std::sort(low.begin(), low.end(), rr_order);
+    sortQueue(high);
+    sortQueue(low);
 
     std::vector<workload::Request*> order;
     order.reserve(high.size() + low.size());
@@ -77,8 +122,11 @@ PascalScheduler::plan(const model::KvPool& pool)
     std::size_t prefix =
         limits.answeringReserveFraction > 0.0 ? high.size() : 0;
 
-    return greedySelect(order, pool, /*stop_at_unfit=*/false, prefix,
-                        high_cap);
+    IterationPlan plan = greedySelect(order, pool,
+                                      /*stop_at_unfit=*/false, prefix,
+                                      high_cap);
+    annotatePrediction(plan);
+    return plan;
 }
 
 void

@@ -28,7 +28,14 @@ namespace pascal
 namespace core
 {
 
-/** Phase-aware two-queue scheduler. */
+/**
+ * Phase-aware two-queue scheduler.
+ *
+ * The demotion rule and the within-queue priority are virtual hooks so
+ * speculative variants (PascalSpecScheduler) can demote on *predicted*
+ * KV growth and break round-robin ties by predicted remaining length
+ * without duplicating the queue mechanics.
+ */
 class PascalScheduler : public IntraScheduler
 {
   public:
@@ -45,12 +52,37 @@ class PascalScheduler : public IntraScheduler
     /** r_i counts the high-priority queue only (excludes demoted). */
     int numReasoning() const override;
 
+  protected:
+    /**
+     * Demotion rule for a not-yet-demoted reasoning request. The paper
+     * reacts to the KV actually exceeding the threshold; speculative
+     * variants may fire earlier.
+     */
+    virtual bool shouldDemote(const workload::Request* req) const;
+
+    /**
+     * Within-queue priority key consulted after quantaConsumed and
+     * before arrival/id (ascending = served first). The paper's pure
+     * round-robin uses a constant; speculative variants return a
+     * predicted-remaining-length score. Only called when
+     * usesQueueKeys() is true.
+     */
+    virtual double queueKey(const workload::Request* req) const;
+
+    /** Whether queueKey() varies per request. False keeps the
+     *  reactive policy's allocation-free in-place sort on the hot
+     *  path. */
+    virtual bool usesQueueKeys() const { return false; }
+
   private:
     /** True if @p req belongs to the high-priority queue. */
     static bool isHighPriority(const workload::Request* req);
 
-    /** Apply the KV-size demotion rule to hosted reasoning requests. */
+    /** Apply the demotion rule to hosted reasoning requests. */
     void applyDemotion();
+
+    /** Sort @p queue by (quantaConsumed, queueKey, arrival, id). */
+    void sortQueue(std::vector<workload::Request*>& queue) const;
 };
 
 } // namespace core

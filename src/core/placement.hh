@@ -13,6 +13,7 @@
 #include <string>
 
 #include "src/core/cluster_view.hh"
+#include "src/predict/predictor.hh"
 #include "src/workload/request.hh"
 
 namespace pascal
@@ -39,6 +40,13 @@ class Placement
     virtual InstanceId placeTransition(const ClusterView& view,
                                        const workload::Request& req,
                                        InstanceId home) = 0;
+
+    /** Wire a length predictor (not owned; may be nullptr). Only
+     *  speculative variants consult it; the default ignores it. */
+    virtual void setPredictor(const predict::LengthPredictor* p)
+    {
+        (void)p;
+    }
 };
 
 /** Min-KV-footprint routing, no migration (the baselines' router). */

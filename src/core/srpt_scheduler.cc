@@ -1,0 +1,65 @@
+#include "src/core/srpt_scheduler.hh"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace core
+{
+
+SrptScheduler::SrptScheduler(SchedLimits limits)
+    : IntraScheduler(limits)
+{
+    // Priorities are purely predicted; disable quantum accounting so
+    // the RR key never moves (as FCFS does).
+    this->limits.quantum = 0;
+}
+
+IterationPlan
+SrptScheduler::plan(const model::KvPool& pool)
+{
+    if (lengthPredictor == nullptr) {
+        fatal("SrptScheduler: no length predictor wired; set "
+              "SystemConfig::predictor (e.g. PredictorType::Oracle) "
+              "or use FCFS/RR/PASCAL");
+    }
+
+    // Shortest predicted remaining work first; stable arrival/id
+    // tie-breaks keep runs deterministic when predictions collide.
+    std::vector<std::pair<double, workload::Request*>> keyed;
+    keyed.reserve(requests.size());
+    for (auto* r : requests) {
+        if (schedulable(r))
+            keyed.emplace_back(lengthPredictor->rankScore(*r), r);
+    }
+    std::sort(keyed.begin(), keyed.end(),
+        [](const std::pair<double, workload::Request*>& a,
+           const std::pair<double, workload::Request*>& b) {
+            if (a.first != b.first)
+                return a.first < b.first;
+            const auto* ra = a.second;
+            const auto* rb = b.second;
+            if (ra->spec().arrival != rb->spec().arrival)
+                return ra->spec().arrival < rb->spec().arrival;
+            return ra->id() < rb->id();
+        });
+
+    std::vector<workload::Request*> order;
+    order.reserve(keyed.size());
+    for (const auto& [score, r] : keyed)
+        order.push_back(r);
+
+    // Skip semantics: a long request that does not fit must not block
+    // the shorter ones behind it (that would re-create FCFS blocking).
+    IterationPlan plan =
+        greedySelect(order, pool, /*stop_at_unfit=*/false);
+    annotatePrediction(plan);
+    return plan;
+}
+
+} // namespace core
+} // namespace pascal

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Speculative shortest-remaining-processing-time scheduler.
+ *
+ * Orders every schedulable request by the wired LengthPredictor's rank
+ * score (predicted remaining decode tokens for length predictors, a
+ * win-rate score for the pairwise rank predictor) and serves the
+ * shortest first. With the oracle predictor this is true preemptive
+ * SRPT — the classical mean-latency optimum — which bounds what any
+ * speculative policy can gain; with noisy/learned predictors it
+ * degrades gracefully because mis-ranked requests are merely scheduled
+ * late, never starved of correctness.
+ *
+ * Like FCFS, SRPT needs no token quantum: priorities come entirely
+ * from the predictions, so quantum accounting is disabled.
+ */
+
+#ifndef PASCAL_CORE_SRPT_SCHEDULER_HH
+#define PASCAL_CORE_SRPT_SCHEDULER_HH
+
+#include <string>
+
+#include "src/core/intra_scheduler.hh"
+
+namespace pascal
+{
+namespace core
+{
+
+/** Predicted-shortest-remaining-first scheduler. */
+class SrptScheduler : public IntraScheduler
+{
+  public:
+    explicit SrptScheduler(SchedLimits limits);
+
+    std::string name() const override { return "SRPT"; }
+
+    /** @throws FatalError if no predictor is wired (SRPT cannot rank
+     *  requests blind). */
+    IterationPlan plan(const model::KvPool& pool) override;
+};
+
+} // namespace core
+} // namespace pascal
+
+#endif // PASCAL_CORE_SRPT_SCHEDULER_HH

@@ -1,0 +1,87 @@
+#include "src/predict/oracle_predictor.hh"
+
+#include "src/common/rng.hh"
+
+namespace pascal
+{
+namespace predict
+{
+
+double
+OraclePredictor::predictRemainingTokens(
+    const workload::Request& req) const
+{
+    return static_cast<double>(req.totalToGenerate() - req.generated());
+}
+
+double
+OraclePredictor::predictRemainingReasoningTokens(
+    const workload::Request& req) const
+{
+    return static_cast<double>(req.spec().reasoningTokens -
+                               req.reasoningGenerated());
+}
+
+namespace
+{
+
+/** SplitMix64 finalizer: decorrelates {seed, id} pairs so consecutive
+ *  request ids do not get correlated noise factors. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+NoisyOraclePredictor::NoisyOraclePredictor(double sigma,
+                                           std::uint64_t seed)
+    : sigma(sigma), seed(seed)
+{}
+
+std::string
+NoisyOraclePredictor::name() const
+{
+    // Delegate to the config's single format: sweep labels and the
+    // bench's error join key on the exact same string.
+    PredictorConfig cfg;
+    cfg.type = PredictorType::NoisyOracle;
+    cfg.noiseSigma = sigma;
+    return cfg.name();
+}
+
+double
+NoisyOraclePredictor::noiseFactor(RequestId id) const
+{
+    auto it = factors.find(id);
+    if (it != factors.end())
+        return it->second;
+    Rng rng(mix64(seed ^ mix64(static_cast<std::uint64_t>(id))));
+    // mu = -sigma^2/2 makes E[factor] = 1 (unbiased predictions).
+    double factor = rng.lognormal(-0.5 * sigma * sigma, sigma);
+    factors.emplace(id, factor);
+    return factor;
+}
+
+double
+NoisyOraclePredictor::predictRemainingTokens(
+    const workload::Request& req) const
+{
+    return OraclePredictor::predictRemainingTokens(req) *
+           noiseFactor(req.id());
+}
+
+double
+NoisyOraclePredictor::predictRemainingReasoningTokens(
+    const workload::Request& req) const
+{
+    return OraclePredictor::predictRemainingReasoningTokens(req) *
+           noiseFactor(req.id());
+}
+
+} // namespace predict
+} // namespace pascal

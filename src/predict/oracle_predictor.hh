@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Oracle predictors: exact spec-reading lookahead, optionally
+ * corrupted by per-request multiplicative log-normal noise.
+ *
+ * The oracle bounds what speculative scheduling can gain; the noisy
+ * oracle sweeps the gain against prediction error (the Pareto frontier
+ * bench_predictor_accuracy plots). Neither learns online.
+ */
+
+#ifndef PASCAL_PREDICT_ORACLE_PREDICTOR_HH
+#define PASCAL_PREDICT_ORACLE_PREDICTOR_HH
+
+#include <string>
+#include <unordered_map>
+
+#include "src/predict/predictor.hh"
+
+namespace pascal
+{
+namespace predict
+{
+
+/** Exact remaining lengths read from the request spec. */
+class OraclePredictor : public LengthPredictor
+{
+  public:
+    std::string name() const override { return "oracle"; }
+
+    double predictRemainingTokens(
+        const workload::Request& req) const override;
+
+    double predictRemainingReasoningTokens(
+        const workload::Request& req) const override;
+};
+
+/**
+ * Oracle scaled by one persistent log-normal factor per request.
+ *
+ * The factor is drawn from lognormal(-sigma^2/2, sigma) — mean 1, so
+ * predictions are unbiased in expectation — seeded from
+ * {config seed, request id}. Both remaining-token estimates of one
+ * request share the factor, and the value is independent of when or
+ * how often the predictor is queried, which keeps SweepRunner grids
+ * bit-reproducible.
+ */
+class NoisyOraclePredictor : public OraclePredictor
+{
+  public:
+    NoisyOraclePredictor(double sigma, std::uint64_t seed);
+
+    std::string name() const override;
+
+    double predictRemainingTokens(
+        const workload::Request& req) const override;
+
+    double predictRemainingReasoningTokens(
+        const workload::Request& req) const override;
+
+    /** The request's persistent multiplicative error factor. */
+    double noiseFactor(RequestId id) const;
+
+  private:
+    double sigma;
+    std::uint64_t seed;
+
+    /** Cache: the factor is a pure function of {seed, id}, so caching
+     *  cannot introduce call-order dependence. */
+    mutable std::unordered_map<RequestId, double> factors;
+};
+
+} // namespace predict
+} // namespace pascal
+
+#endif // PASCAL_PREDICT_ORACLE_PREDICTOR_HH

@@ -1,0 +1,105 @@
+#include "src/predict/predictor.hh"
+
+#include <cstdio>
+
+#include "src/common/log.hh"
+#include "src/predict/oracle_predictor.hh"
+#include "src/predict/profile_predictor.hh"
+#include "src/predict/rank_predictor.hh"
+
+namespace pascal
+{
+namespace predict
+{
+
+void
+PredictorConfig::validate() const
+{
+    if (type == PredictorType::NoisyOracle && noiseSigma <= 0.0) {
+        fatal("PredictorConfig: the noisy-oracle predictor needs "
+              "noiseSigma > 0 (log-space error stddev); use "
+              "PredictorType::Oracle for exact predictions");
+    }
+    if (type != PredictorType::NoisyOracle && noiseSigma != 0.0) {
+        fatal("PredictorConfig: noiseSigma is only meaningful for "
+              "PredictorType::NoisyOracle; leave it 0 for '" +
+              name() + "'");
+    }
+    if (quantile <= 0.0 || quantile >= 1.0) {
+        fatal("PredictorConfig: quantile must lie strictly inside "
+              "(0, 1); 0.5 predicts with the running median");
+    }
+    if (warmupCompletions < 0) {
+        fatal("PredictorConfig: warmupCompletions must be >= 0 "
+              "(completions before per-dataset/bucket statistics are "
+              "trusted)");
+    }
+}
+
+std::string
+PredictorConfig::name() const
+{
+    switch (type) {
+      case PredictorType::None:
+        return "none";
+      case PredictorType::Oracle:
+        return "oracle";
+      case PredictorType::NoisyOracle: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "noisy(%.2f)", noiseSigma);
+        return buf;
+      }
+      case PredictorType::Profile:
+        return "profile";
+      case PredictorType::Rank:
+        return "rank";
+    }
+    return "?";
+}
+
+std::unique_ptr<LengthPredictor>
+makePredictor(const PredictorConfig& cfg)
+{
+    cfg.validate();
+    switch (cfg.type) {
+      case PredictorType::None:
+        return nullptr;
+      case PredictorType::Oracle:
+        return std::make_unique<OraclePredictor>();
+      case PredictorType::NoisyOracle:
+        return std::make_unique<NoisyOraclePredictor>(cfg.noiseSigma,
+                                                      cfg.seed);
+      case PredictorType::Profile:
+        return std::make_unique<DatasetProfilePredictor>(
+            cfg.quantile, cfg.warmupCompletions);
+      case PredictorType::Rank:
+        return std::make_unique<PairwiseRankPredictor>(
+            cfg.warmupCompletions);
+    }
+    fatal("makePredictor: unknown predictor type");
+}
+
+std::vector<PredictorConfig>
+standardSweepPredictors()
+{
+    std::vector<PredictorConfig> sweep;
+    PredictorConfig p;
+    p.type = PredictorType::Oracle;
+    sweep.push_back(p);
+    for (double sigma : {0.2, 0.5, 1.0}) {
+        p = {};
+        p.type = PredictorType::NoisyOracle;
+        p.noiseSigma = sigma;
+        sweep.push_back(p);
+    }
+    p = {};
+    p.type = PredictorType::Profile;
+    sweep.push_back(p);
+    p = {};
+    p.type = PredictorType::Rank;
+    sweep.push_back(p);
+    return sweep;
+}
+
+} // namespace predict
+} // namespace pascal

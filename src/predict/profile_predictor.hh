@@ -1,0 +1,109 @@
+/**
+ * @file
+ * DatasetProfilePredictor: online per-dataset running quantiles of
+ * reasoning/answering lengths, updated as requests complete.
+ *
+ * Traces label every request with its source dataset
+ * (RequestSpec::dataset), and the paper's Fig. 8/14 show the datasets
+ * have very different length profiles. The predictor exploits exactly
+ * that: it keeps a running quantile (default: median) of the observed
+ * reasoning and answering lengths per dataset and predicts remaining
+ * work as "the dataset's typical length minus what this request has
+ * already generated". Until a dataset has seen warmupCompletions
+ * finishes it falls back to the all-dataset statistics, and before any
+ * completion at all to fixed chat-scale priors.
+ */
+
+#ifndef PASCAL_PREDICT_PROFILE_PREDICTOR_HH
+#define PASCAL_PREDICT_PROFILE_PREDICTOR_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/predict/predictor.hh"
+
+namespace pascal
+{
+namespace predict
+{
+
+/**
+ * Exact running quantile: samples accumulate online and the quantile
+ * is computed from a lazily re-sorted buffer. Completion counts per
+ * run are small (thousands), so exactness is cheaper than an
+ * approximate sketch would be to verify.
+ */
+class RunningQuantile
+{
+  public:
+    /** Record one observation. */
+    void add(double x);
+
+    /** Empirical @p q quantile (q in (0,1)); 0 when empty. */
+    double quantile(double q) const;
+
+    std::size_t count() const { return samples.size(); }
+
+  private:
+    mutable std::vector<double> samples;
+    mutable bool sorted = true;
+};
+
+/** Online per-dataset running-quantile length predictor. */
+class DatasetProfilePredictor : public LengthPredictor
+{
+  public:
+    /**
+     * @param quantile Which quantile to predict with (0.5 = median).
+     * @param warmup_completions Completions a dataset needs before its
+     *        own statistics are used.
+     */
+    DatasetProfilePredictor(double quantile, int warmup_completions);
+
+    std::string name() const override { return "profile"; }
+
+    double predictRemainingTokens(
+        const workload::Request& req) const override;
+
+    double predictRemainingReasoningTokens(
+        const workload::Request& req) const override;
+
+    /** Feeds the finished request's realized lengths into its
+     *  dataset's (and the global) running quantiles. */
+    void observeCompletion(const workload::Request& req) override;
+
+    /** Completions observed for @p dataset (diagnostics/tests). */
+    std::size_t observations(const std::string& dataset) const;
+
+  private:
+    struct Lengths
+    {
+        RunningQuantile reasoning;
+        RunningQuantile answering;
+    };
+
+    /** Expected total reasoning length for @p req's dataset. */
+    double expectedReasoningTokens(const workload::Request& req) const;
+
+    /** Expected total answering length for @p req's dataset. */
+    double expectedAnswerTokens(const workload::Request& req) const;
+
+    /** The dataset's stats if warmed up, else global, else nullptr
+     *  (caller applies the fixed prior). */
+    const RunningQuantile* pick(const std::string& dataset,
+                                bool reasoning) const;
+
+    double q;
+    int warmup;
+
+    /** std::map: deterministic iteration and no rehash jitter. */
+    std::map<std::string, Lengths> perDataset;
+    Lengths global;
+};
+
+} // namespace predict
+} // namespace pascal
+
+#endif // PASCAL_PREDICT_PROFILE_PREDICTOR_HH

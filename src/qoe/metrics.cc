@@ -70,6 +70,7 @@ aggregateMetrics(const std::vector<RequestMetrics>& requests)
 
     std::vector<double> ttfts, e2es, blockings, transfers;
     stats::Summary qoe_sum;
+    stats::Summary answering_sum;
     Time first_arrival = kTimeInfinity;
     Time last_finish = 0.0;
     TokenCount total_tokens = 0;
@@ -82,6 +83,7 @@ aggregateMetrics(const std::vector<RequestMetrics>& requests)
         ++agg.numFinished;
         ttfts.push_back(m.ttft);
         e2es.push_back(m.e2eLatency);
+        answering_sum.add(m.answeringLatency);
         blockings.push_back(m.blockingLatency);
         for (double t : m.kvTransferLatencies)
             transfers.push_back(t);
@@ -116,6 +118,7 @@ aggregateMetrics(const std::vector<RequestMetrics>& requests)
     agg.meanE2eLatency = e2e_sum.mean();
     agg.p50E2eLatency = stats::percentile(e2es, 50.0);
     agg.p99E2eLatency = stats::percentile(e2es, 99.0);
+    agg.meanAnsweringLatency = answering_sum.mean();
 
     agg.p99BlockingLatency = stats::percentile(blockings, 99.0);
     agg.p99KvTransferLatency = stats::percentile(transfers, 99.0);

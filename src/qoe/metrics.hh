@@ -90,6 +90,9 @@ struct AggregateMetrics
     double meanE2eLatency = 0.0;
     double p50E2eLatency = 0.0;
     double p99E2eLatency = 0.0;
+    /** Mean answering-phase latency over finished requests (the
+     *  speculative schedulers' headline metric). */
+    double meanAnsweringLatency = 0.0;
     double p99BlockingLatency = 0.0;
     double p99KvTransferLatency = 0.0;
     int totalMigrations = 0;

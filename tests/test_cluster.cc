@@ -132,7 +132,7 @@ TEST(Cluster, ConstrainedCapacitySlowerThanOracle)
     auto oracle_cfg = smallConfig(SchedulerType::Fcfs,
                                   PlacementType::Baseline, 2000000, 2);
     auto tight_cfg = smallConfig(SchedulerType::Fcfs,
-                                 PlacementType::Baseline, 1500, 2);
+                                 PlacementType::Baseline, 1504, 2);
 
     auto oracle = ServingSystem(oracle_cfg).run(trace);
     auto tight = ServingSystem(tight_cfg).run(trace);

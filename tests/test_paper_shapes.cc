@@ -34,7 +34,11 @@ singleInstance(SchedulerType sched, TokenCount capacity)
     cfg.scheduler = sched;
     cfg.placement = PlacementType::Baseline;
     cfg.numInstances = 1;
-    cfg.gpuKvCapacityTokens = capacity;
+    // Derived capacities (oracle peaks, halved budgets) are arbitrary
+    // token counts; align them to the paged-KV block size validate()
+    // now insists on.
+    cfg.gpuKvCapacityTokens =
+        SystemConfig::alignKvCapacity(capacity, cfg.kvBlockSizeTokens);
     cfg.limits.maxPrefillTokens = 16384;
     cfg.limits.maxPrefillSeqs = 64;
     return cfg;

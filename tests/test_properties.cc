@@ -11,6 +11,7 @@
 
 #include "src/cluster/serving_system.hh"
 #include "src/common/rng.hh"
+#include "src/predict/predictor.hh"
 #include "src/workload/generator.hh"
 
 namespace
@@ -31,6 +32,7 @@ struct GridPoint
     TokenCount blockSize = 1;
     bool chunkedPrefill = false;
     double answeringReserve = 0.0;
+    predict::PredictorType predictor = predict::PredictorType::None;
 };
 
 std::string
@@ -48,6 +50,12 @@ gridName(const testing::TestParamInfo<GridPoint>& info)
       case SchedulerType::Pascal:
         s = "Pascal";
         break;
+      case SchedulerType::Srpt:
+        s = "Srpt";
+        break;
+      case SchedulerType::PascalSpec:
+        s = "PascalSpec";
+        break;
     }
     switch (p.placement) {
       case PlacementType::Baseline:
@@ -61,6 +69,9 @@ gridName(const testing::TestParamInfo<GridPoint>& info)
       case PlacementType::PascalNoMigration:
         s += "NoMigration";
         break;
+      case PlacementType::PascalPredictive:
+        s += "Predictive";
+        break;
     }
     s += "_cap" + std::to_string(p.capacity);
     s += "_rate" + std::to_string(static_cast<int>(p.rate));
@@ -70,6 +81,22 @@ gridName(const testing::TestParamInfo<GridPoint>& info)
         s += "_chunked";
     if (p.answeringReserve > 0.0)
         s += "_reserve";
+    switch (p.predictor) {
+      case predict::PredictorType::None:
+        break;
+      case predict::PredictorType::Oracle:
+        s += "_oracle";
+        break;
+      case predict::PredictorType::NoisyOracle:
+        s += "_noisy";
+        break;
+      case predict::PredictorType::Profile:
+        s += "_profile";
+        break;
+      case predict::PredictorType::Rank:
+        s += "_rank";
+        break;
+    }
     return s;
 }
 
@@ -100,6 +127,9 @@ class SchedulerGrid : public testing::TestWithParam<GridPoint>
         cfg.limits.chunkedPrefill = GetParam().chunkedPrefill;
         cfg.limits.answeringReserveFraction =
             GetParam().answeringReserve;
+        cfg.predictor.type = GetParam().predictor;
+        if (cfg.predictor.type == predict::PredictorType::NoisyOracle)
+            cfg.predictor.noiseSigma = 0.5;
         return cfg;
     }
 };
@@ -172,20 +202,45 @@ INSTANTIATE_TEST_SUITE_P(
                   PlacementType::PascalNonAdaptive, 2500, 20.0},
         GridPoint{SchedulerType::Pascal,
                   PlacementType::PascalNoMigration, 2500, 20.0},
-        GridPoint{SchedulerType::Pascal, PlacementType::Pascal, 2500,
+        // Block-granular points: capacities must be multiples of the
+        // paged-KV block size (SystemConfig::validate enforces it).
+        GridPoint{SchedulerType::Pascal, PlacementType::Pascal, 2560,
                   20.0, /*blockSize=*/16},
-        GridPoint{SchedulerType::Fcfs, PlacementType::Baseline, 2500,
+        GridPoint{SchedulerType::Fcfs, PlacementType::Baseline, 2560,
                   20.0, /*blockSize=*/64},
         GridPoint{SchedulerType::Pascal, PlacementType::Pascal, 2500,
                   20.0, /*blockSize=*/1, /*chunkedPrefill=*/true},
-        GridPoint{SchedulerType::Rr, PlacementType::Baseline, 2500,
+        GridPoint{SchedulerType::Rr, PlacementType::Baseline, 2560,
                   20.0, /*blockSize=*/16, /*chunkedPrefill=*/true},
-        GridPoint{SchedulerType::Pascal, PlacementType::Pascal, 2500,
+        GridPoint{SchedulerType::Pascal, PlacementType::Pascal, 2560,
                   20.0, /*blockSize=*/16, /*chunkedPrefill=*/false,
                   /*answeringReserve=*/0.25},
-        GridPoint{SchedulerType::Pascal, PlacementType::Pascal, 2500,
+        GridPoint{SchedulerType::Pascal, PlacementType::Pascal, 2560,
                   40.0, /*blockSize=*/16, /*chunkedPrefill=*/true,
-                  /*answeringReserve=*/0.2}),
+                  /*answeringReserve=*/0.2},
+        // Speculative policies under every predictor family: the
+        // conservation/ordering/QoE invariants must hold no matter how
+        // wrong the predictions are.
+        GridPoint{SchedulerType::Srpt, PlacementType::PascalPredictive,
+                  2500, 20.0, /*blockSize=*/1, false, 0.0,
+                  predict::PredictorType::Oracle},
+        GridPoint{SchedulerType::Srpt, PlacementType::PascalPredictive,
+                  2500, 20.0, /*blockSize=*/1, false, 0.0,
+                  predict::PredictorType::NoisyOracle},
+        GridPoint{SchedulerType::Srpt, PlacementType::Baseline, 2500,
+                  20.0, /*blockSize=*/1, false, 0.0,
+                  predict::PredictorType::Rank},
+        GridPoint{SchedulerType::PascalSpec,
+                  PlacementType::PascalPredictive, 2500, 20.0,
+                  /*blockSize=*/1, false, 0.0,
+                  predict::PredictorType::Oracle},
+        GridPoint{SchedulerType::PascalSpec,
+                  PlacementType::PascalPredictive, 2560, 20.0,
+                  /*blockSize=*/16, /*chunkedPrefill=*/true, 0.0,
+                  predict::PredictorType::Profile},
+        GridPoint{SchedulerType::PascalSpec, PlacementType::Pascal,
+                  2500, 40.0, /*blockSize=*/1, false, 0.0,
+                  predict::PredictorType::NoisyOracle}),
     gridName);
 
 /** The motivation result (Section III): under memory pressure, FCFS

@@ -86,6 +86,8 @@ expectIdentical(const RunResult& a, const RunResult& b)
               b.aggregate.sloViolationRate);
     EXPECT_EQ(a.aggregate.meanE2eLatency, b.aggregate.meanE2eLatency);
     EXPECT_EQ(a.aggregate.p99E2eLatency, b.aggregate.p99E2eLatency);
+    EXPECT_EQ(a.aggregate.meanAnsweringLatency,
+              b.aggregate.meanAnsweringLatency);
     EXPECT_EQ(a.aggregate.p99BlockingLatency,
               b.aggregate.p99BlockingLatency);
     EXPECT_EQ(a.aggregate.p99KvTransferLatency,
@@ -100,6 +102,7 @@ expectIdentical(const RunResult& a, const RunResult& b)
     EXPECT_EQ(a.kvTransferLatencies, b.kvTransferLatencies);
     EXPECT_EQ(a.schedulerName, b.schedulerName);
     EXPECT_EQ(a.placementName, b.placementName);
+    EXPECT_EQ(a.predictorName, b.predictorName);
 }
 
 TEST_F(RunContextTest, MatchesServingSystemFacade)
@@ -270,6 +273,86 @@ TEST_F(SweepRunnerTest, DefaultLabelsAreDescriptive)
         workload::DatasetProfile::alpacaEval(), 10, 10.0, 1);
     auto i = runner.add({"", SystemConfig::pascal(2), t, 77});
     EXPECT_EQ(runner.point(i).label, "PASCAL/PASCAL/t0/s77");
+
+    // Predictor-carrying configs splice the predictor into the label.
+    predict::PredictorConfig noisy;
+    noisy.type = predict::PredictorType::NoisyOracle;
+    noisy.noiseSigma = 0.2;
+    auto cfg = SystemConfig::speculative(cluster::SchedulerType::Srpt,
+                                         noisy, 2);
+    auto j = runner.add({"", cfg, t, 3});
+    EXPECT_EQ(runner.point(j).label,
+              "SRPT/PASCAL(Predictive)/noisy(0.20)/t0/s3");
+}
+
+TEST_F(SweepRunnerTest, PredictorGridCrossesConfigsAndPredictors)
+{
+    SweepRunner runner;
+    auto t = runner.addGeneratedTrace(
+        workload::DatasetProfile::alpacaEval(), 20, 10.0, 1);
+
+    predict::PredictorConfig oracle;
+    oracle.type = predict::PredictorType::Oracle;
+    predict::PredictorConfig profile;
+    profile.type = predict::PredictorType::Profile;
+
+    SystemConfig spec;
+    spec.scheduler = cluster::SchedulerType::PascalSpec;
+    spec.placement = cluster::PlacementType::Pascal;
+    spec.numInstances = 2;
+    runner.addPredictorGrid({spec}, {oracle, profile}, {t}, {1, 2});
+
+    ASSERT_EQ(runner.numPoints(), 4u);
+    // Predictors vary before traces/seeds, configs outermost.
+    EXPECT_EQ(runner.point(0).label,
+              "PASCAL-Spec/PASCAL/oracle/t0/s1");
+    EXPECT_EQ(runner.point(1).label,
+              "PASCAL-Spec/PASCAL/oracle/t0/s2");
+    EXPECT_EQ(runner.point(2).label,
+              "PASCAL-Spec/PASCAL/profile/t0/s1");
+    EXPECT_EQ(runner.point(3).config.predictor.type,
+              predict::PredictorType::Profile);
+}
+
+TEST_F(SweepRunnerTest, ParallelMatchesSerialWithPredictorsEnabled)
+{
+    // Acceptance: byte-identical SweepResults serial vs. multi-
+    // threaded with predictors in the grid (the online learners must
+    // not leak state across grid points or depend on worker
+    // interleaving).
+    SweepRunner runner;
+    auto t0 = runner.addGeneratedTrace(
+        workload::DatasetProfile::gpqa(), 80, 6.0, 5);
+    auto t1 = runner.addGeneratedTrace(
+        workload::DatasetProfile::alpacaEval(), 80, 12.0, 6);
+
+    std::vector<predict::PredictorConfig> predictors(4);
+    predictors[0].type = predict::PredictorType::Oracle;
+    predictors[1].type = predict::PredictorType::NoisyOracle;
+    predictors[1].noiseSigma = 0.5;
+    predictors[2].type = predict::PredictorType::Profile;
+    predictors[3].type = predict::PredictorType::Rank;
+
+    SystemConfig srpt;
+    srpt.scheduler = cluster::SchedulerType::Srpt;
+    srpt.placement = cluster::PlacementType::PascalPredictive;
+    srpt.numInstances = 2;
+    SystemConfig spec;
+    spec.scheduler = cluster::SchedulerType::PascalSpec;
+    spec.placement = cluster::PlacementType::PascalPredictive;
+    spec.numInstances = 2;
+    runner.addPredictorGrid({srpt, spec}, predictors, {t0, t1});
+    ASSERT_EQ(runner.numPoints(), 16u);
+
+    auto serial = runner.run(1);
+    auto parallel = runner.run(4);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial.outcomes[i].label, parallel.outcomes[i].label);
+        expectIdentical(serial.outcomes[i].result,
+                        parallel.outcomes[i].result);
+    }
 }
 
 TEST_F(SweepRunnerTest, BadTraceIndexIsFatal)

@@ -6,12 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "src/cluster/system_config.hh"
 #include "src/common/log.hh"
 #include "src/core/fcfs_scheduler.hh"
 #include "src/core/pascal_placement.hh"
 #include "src/core/pascal_scheduler.hh"
+#include "src/core/pascal_spec_scheduler.hh"
 #include "src/core/rr_scheduler.hh"
+#include "src/core/srpt_scheduler.hh"
+#include "src/predict/predictor.hh"
 
 namespace
 {
@@ -91,20 +96,137 @@ TEST(SystemConfig, ValidationCatchesBadKnobs)
     EXPECT_THROW(cfg.validate(), FatalError);
 }
 
+TEST(SystemConfig, RejectsCapacityNotBlockMultiple)
+{
+    SystemConfig cfg;
+    cfg.gpuKvCapacityTokens = 1000; // Default block size 16: 1000 % 16
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    // The message is actionable: it names the rounded-up capacity.
+    try {
+        cfg.validate();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("1008"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    cfg.gpuKvCapacityTokens = 1008;
+    cfg.validate();
+
+    // Token-granular accounting admits any capacity.
+    cfg.gpuKvCapacityTokens = 1000;
+    cfg.kvBlockSizeTokens = 1;
+    cfg.validate();
+
+    // Derived capacity (0) is never block-checked.
+    cfg = SystemConfig{};
+    cfg.gpuKvCapacityTokens = 0;
+    cfg.validate();
+
+    EXPECT_EQ(SystemConfig::alignKvCapacity(1000, 16), 1008);
+    EXPECT_EQ(SystemConfig::alignKvCapacity(1008, 16), 1008);
+    EXPECT_EQ(SystemConfig::alignKvCapacity(1000, 1), 1000);
+}
+
+TEST(SystemConfig, RejectsSpeculativePoliciesWithoutPredictor)
+{
+    SystemConfig cfg;
+    cfg.scheduler = SchedulerType::Srpt;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = SystemConfig{};
+    cfg.scheduler = SchedulerType::PascalSpec;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = SystemConfig{};
+    cfg.placement = PlacementType::PascalPredictive;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    // Wiring any predictor fixes all three.
+    cfg = SystemConfig{};
+    cfg.scheduler = SchedulerType::Srpt;
+    cfg.placement = PlacementType::PascalPredictive;
+    cfg.predictor.type = predict::PredictorType::Oracle;
+    cfg.validate();
+}
+
+TEST(SystemConfig, RejectsInconsistentPredictorAndQuantumKnobs)
+{
+    // PASCAL-Spec without a quantum cannot time-share its queues.
+    SystemConfig cfg;
+    cfg.scheduler = SchedulerType::PascalSpec;
+    cfg.predictor.type = predict::PredictorType::Oracle;
+    cfg.limits.quantum = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    // Lookahead at/above the demotion threshold would demote every
+    // predicted-long request from birth.
+    cfg = SystemConfig{};
+    cfg.scheduler = SchedulerType::PascalSpec;
+    cfg.predictor.type = predict::PredictorType::Oracle;
+    cfg.limits.demoteThresholdTokens = 500;
+    cfg.limits.demoteLookaheadTokens = 500;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.limits.demoteLookaheadTokens = 499;
+    cfg.validate();
+
+    // Plain PASCAL ignores the lookahead: no rejection.
+    cfg = SystemConfig{};
+    cfg.scheduler = SchedulerType::Pascal;
+    cfg.limits.demoteThresholdTokens = 200;
+    cfg.validate();
+
+    // Noise knobs must match the predictor type.
+    cfg = SystemConfig{};
+    cfg.predictor.type = predict::PredictorType::Oracle;
+    cfg.predictor.noiseSigma = 0.5;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.predictor.type = predict::PredictorType::NoisyOracle;
+    cfg.validate();
+    cfg.predictor.noiseSigma = 0.0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(SystemConfig, SpeculativeFactoryAndNames)
+{
+    predict::PredictorConfig pred;
+    pred.type = predict::PredictorType::Profile;
+    auto cfg = SystemConfig::speculative(SchedulerType::PascalSpec,
+                                         pred, 4);
+    cfg.validate();
+    EXPECT_EQ(cfg.numInstances, 4);
+    EXPECT_EQ(cfg.schedulerName(), "PASCAL-Spec");
+    EXPECT_EQ(cfg.placementName(), "PASCAL(Predictive)");
+    EXPECT_EQ(cfg.predictorName(), "profile");
+
+    auto srpt = SystemConfig::speculative(SchedulerType::Srpt, pred);
+    EXPECT_EQ(srpt.schedulerName(), "SRPT");
+    EXPECT_EQ(SystemConfig{}.predictorName(), "none");
+}
+
 TEST(Factories, MakeSchedulerReturnsMatchingPolicy)
 {
     core::SchedLimits limits;
     auto fcfs = makeScheduler(SchedulerType::Fcfs, limits);
     auto rr = makeScheduler(SchedulerType::Rr, limits);
     auto pascal = makeScheduler(SchedulerType::Pascal, limits);
+    auto srpt = makeScheduler(SchedulerType::Srpt, limits);
+    auto spec = makeScheduler(SchedulerType::PascalSpec, limits);
 
     EXPECT_NE(dynamic_cast<core::FcfsScheduler*>(fcfs.get()), nullptr);
     EXPECT_NE(dynamic_cast<core::RrScheduler*>(rr.get()), nullptr);
     EXPECT_NE(dynamic_cast<core::PascalScheduler*>(pascal.get()),
               nullptr);
+    EXPECT_NE(dynamic_cast<core::SrptScheduler*>(srpt.get()), nullptr);
+    EXPECT_NE(dynamic_cast<core::PascalSpecScheduler*>(spec.get()),
+              nullptr);
     EXPECT_EQ(fcfs->name(), "FCFS");
     EXPECT_EQ(rr->name(), "RR");
     EXPECT_EQ(pascal->name(), "PASCAL");
+    EXPECT_EQ(srpt->name(), "SRPT");
+    EXPECT_EQ(spec->name(), "PASCAL-Spec");
 }
 
 TEST(Factories, MakePlacementReturnsMatchingPolicy)
@@ -123,6 +245,14 @@ TEST(Factories, MakePlacementReturnsMatchingPolicy)
     ASSERT_NE(pinned_p, nullptr);
     EXPECT_EQ(pinned_p->variant(),
               core::PascalPlacement::Variant::NoMigration);
+
+    auto predictive = makePlacement(PlacementType::PascalPredictive);
+    auto* pred_p =
+        dynamic_cast<core::PascalPlacement*>(predictive.get());
+    ASSERT_NE(pred_p, nullptr);
+    EXPECT_EQ(pred_p->variant(),
+              core::PascalPlacement::Variant::Predictive);
+    EXPECT_EQ(pred_p->name(), "PASCAL(Predictive)");
 }
 
 TEST(Factories, FcfsSchedulerForcesQuantumOff)
