@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/cluster/run_context.hh"
+#include "src/cluster/sweep_runner.hh"
 #include "src/common/log.hh"
 #include "src/common/rng.hh"
 #include "src/sim/event_queue.hh"
@@ -340,6 +341,36 @@ try {
                 static_cast<double>(e2e_events) / e2e_seconds,
                 sim_tokens_per_sec, e2e_result.aggregate.meanTtft);
 
+    // Sweep throughput: the multi-instance grid workload the
+    // iteration fast path targets (every simulated instance spends
+    // most of its iterations in the reusable decode-only regime).
+    std::printf("\n== sweep throughput ==\n");
+    cluster::SweepRunner sweep;
+    auto sweep_profile = workload::DatasetProfile::alpacaEval();
+    sweep_profile.reasoning = {400.0, 0.6, 64, 2000};
+    sweep_profile.answering = {150.0, 0.6, 16, 800};
+    auto sweep_trace =
+        sweep.addGeneratedTrace(sweep_profile, 400, 25.0, 3);
+    sweep.addGrid(
+        {cluster::SystemConfig::baseline(cluster::SchedulerType::Fcfs, 2),
+         cluster::SystemConfig::pascal(2),
+         cluster::SystemConfig::pascal(4)},
+        {sweep_trace}, {1, 2});
+    auto sweep_start = std::chrono::steady_clock::now();
+    auto sweep_result = sweep.run(2);
+    double sweep_seconds = secondsSince(sweep_start);
+    std::uint64_t sweep_iters = 0;
+    for (const auto& outcome : sweep_result.outcomes)
+        sweep_iters += outcome.result.totalIterations;
+    double sweep_points_per_sec =
+        static_cast<double>(sweep_result.size()) / sweep_seconds;
+    double sweep_iters_per_sec =
+        static_cast<double>(sweep_iters) / sweep_seconds;
+    std::printf("%zu grid points in %.3f s  (%.2f points/s, %.0f "
+                "simulated iterations/s)\n",
+                sweep_result.size(), sweep_seconds,
+                sweep_points_per_sec, sweep_iters_per_sec);
+
     // Speedup summary + JSON trail.
     std::printf("\n== slotted-vs-legacy speedup ==\n");
     std::ofstream json(json_path);
@@ -372,6 +403,10 @@ try {
          << ", \"events_per_sec\": "
          << static_cast<double>(e2e_events) / e2e_seconds
          << ", \"sim_tokens_per_sec\": " << sim_tokens_per_sec
+         << "},\n  \"sweep\": {\"points\": " << sweep_result.size()
+         << ", \"seconds\": " << sweep_seconds
+         << ", \"points_per_sec\": " << sweep_points_per_sec
+         << ", \"sim_iterations_per_sec\": " << sweep_iters_per_sec
          << "}\n}\n";
     json.close();
     std::printf("\nJSON written to %s\n", json_path.c_str());

@@ -34,6 +34,12 @@ Instance::Instance(InstanceId id, sim::Simulator& sim,
 {
     if (this->sched == nullptr)
         panic("Instance needs a scheduler");
+    this->sched->setInstanceId(id);
+    // Incremental queue maintenance + the steady-state plan-reuse
+    // fast path. enableIncremental() itself backs off when the
+    // force-resort debug mode (SchedLimits::forceResort or the
+    // PASCAL_FORCE_RESORT env var) asks for recompute-from-scratch.
+    this->sched->enableIncremental();
 }
 
 void
@@ -41,6 +47,7 @@ Instance::addRequest(Request* req)
 {
     req->exec = ExecState::WaitingNew;
     req->home = instanceId;
+    req->runEpoch = 0;
     req->resetAccrual(sim.now());
     sched->add(req);
     kick();
@@ -52,6 +59,7 @@ Instance::landMigration(Request* req)
     // The in-transit interval counts as answering-phase preemption.
     req->accrue(sim.now(), BucketKind::Preempted);
     req->home = instanceId;
+    req->runEpoch = 0;
     if (kvPool.canAllocGpu(req->kvTokens())) {
         kvPool.allocGpu(req->id(), req->kvTokens());
         req->exec = ExecState::ResidentGpu;
@@ -86,7 +94,15 @@ Instance::kick()
 void
 Instance::startIteration()
 {
-    core::IterationPlan plan = sched->plan(kvPool);
+    // Steady-state fast path: when the scheduler observed no state
+    // change since it built the in-flight plan (the dominant
+    // decode-only regime), the previous plan is provably what a full
+    // replan would produce — run it again verbatim.
+    if (sched->reusePlan(inflight, kvPool))
+        ++planReuses;
+    else
+        sched->buildPlan(kvPool, inflight);
+    const core::IterationPlan& plan = inflight;
     if (plan.idle())
         return;
 
@@ -125,7 +141,7 @@ Instance::startIteration()
             r->firstScheduled = t0;
     }
 
-    runningSet.clear();
+    ++iterationEpoch;
 
     TokenCount prompt_tokens = 0;
     for (auto* r : plan.prefill) {
@@ -137,7 +153,7 @@ Instance::startIteration()
         if (r->firstScheduled < 0.0)
             r->firstScheduled = t0;
         prompt_tokens += r->spec().promptTokens;
-        runningSet.insert(r->id());
+        r->runEpoch = iterationEpoch;
         ++prefills;
     }
 
@@ -151,7 +167,7 @@ Instance::startIteration()
             r->firstAnswerScheduled < 0.0) {
             r->firstAnswerScheduled = t0;
         }
-        runningSet.insert(r->id());
+        r->runEpoch = iterationEpoch;
     }
 
     // Scheduler contract: prefill and decode only coexist in chunked
@@ -161,7 +177,6 @@ Instance::startIteration()
 
     Time step_end = std::max(swaps_done, t0 + latency);
     ++iterations;
-    inflight = std::move(plan);
     sim.at(step_end, [this, t0] { completeIteration(t0); });
 }
 
@@ -169,7 +184,7 @@ void
 Instance::accrueAll(Time now, bool prefill_iteration)
 {
     for (auto* r : sched->hosted()) {
-        if (runningSet.count(r->id())) {
+        if (r->runEpoch == iterationEpoch) {
             r->accrue(now, BucketKind::Executed);
         } else if (r->exec == ExecState::WaitingNew) {
             r->accrue(now, BucketKind::Blocked);
@@ -190,8 +205,10 @@ void
 Instance::completeIteration(Time step_start)
 {
     (void)step_start;
-    // Take ownership: startIteration() at the bottom refills inflight.
-    core::IterationPlan plan = std::move(inflight);
+    // The plan stays parked in `inflight` so the steady-state fast
+    // path can run it again verbatim; the next startIteration()
+    // rebuilds it only if the scheduler observed a state change.
+    const core::IterationPlan& plan = inflight;
     Time now = sim.now();
 
     // Book the step's wall time for every hosted request before
@@ -201,21 +218,20 @@ Instance::completeIteration(Time step_start)
 
     TokenCount quantum = sched->schedLimits().quantum;
 
-    for (auto* r : plan.prefill)
+    // Emissions first (dirty-set contract: every mutation is reported
+    // via noteExecuted before any callback can observe the scheduler's
+    // counters), then completions and phase transitions.
+    for (auto* r : plan.prefill) {
         r->completePrefill(now, quantum);
+        sched->noteExecuted(r);
+    }
     for (auto* r : plan.decode) {
         r->emitToken(now, quantum);
         ++decodeTokens;
+        sched->noteExecuted(r);
     }
 
-    // Handle completions and phase transitions after all emissions.
-    std::vector<Request*> emitted;
-    emitted.reserve(plan.prefill.size() + plan.decode.size());
-    emitted.insert(emitted.end(), plan.prefill.begin(),
-                   plan.prefill.end());
-    emitted.insert(emitted.end(), plan.decode.begin(), plan.decode.end());
-
-    for (auto* r : emitted) {
+    auto handle = [&](Request* r) {
         if (r->finished()) {
             kvPool.release(r->id());
             r->exec = ExecState::Done;
@@ -231,9 +247,12 @@ Instance::completeIteration(Time step_start)
             if (callbacks.onPhaseTransition)
                 callbacks.onPhaseTransition(r, instanceId);
         }
-    }
+    };
+    for (auto* r : plan.prefill)
+        handle(r);
+    for (auto* r : plan.decode)
+        handle(r);
 
-    runningSet.clear();
     stepInFlight = false;
     startIteration();
 }
@@ -279,7 +298,12 @@ Instance::snapshot(Time now) const
     snap.predictedKvFootprintTokens = snap.kvFootprintTokens;
     if (predictor != nullptr) {
         double growth = 0.0;
-        for (const auto* r : sched->hosted()) {
+        // Insertion-order walk: the float sum depends on summation
+        // order, so iterating the swap-pop hosted vector would let a
+        // mere removal perturb the rounded footprint (and with it a
+        // placement tie-break).
+        for (const workload::Request* r = sched->hostedHead();
+             r != nullptr; r = r->schedNextHosted) {
             if (r->finished())
                 continue;
             growth += predictor->predictRemainingTokens(*r);

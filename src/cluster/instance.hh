@@ -17,7 +17,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_set>
 
 #include "src/core/cluster_view.hh"
 #include "src/core/intra_scheduler.hh"
@@ -115,6 +114,9 @@ class Instance
     std::uint64_t numPrefills() const { return prefills; }
     std::uint64_t numSwapOuts() const { return swapOuts; }
     std::uint64_t numSwapIns() const { return swapIns; }
+    /** Iterations that ran the previous IterationPlan verbatim via
+     *  the scheduler's steady-state fast path. */
+    std::uint64_t numPlanReuses() const { return planReuses; }
     /** @} */
 
   private:
@@ -144,12 +146,25 @@ class Instance
     const predict::LengthPredictor* predictor = nullptr;
 
     bool stepInFlight = false;
-    std::unordered_set<RequestId> runningSet; //!< Current step batch.
+
+    /**
+     * Epoch stamp for batch membership: startIteration bumps it and
+     * stamps every running request's runEpoch, so accrueAll's "did
+     * this request run in the completed step?" test is one integer
+     * compare instead of a hash-set lookup (and there is no per-
+     * iteration set to clear). Requests arriving or migrating in get
+     * their stamp reset so a stale epoch from a previous host can
+     * never collide.
+     */
+    std::uint64_t iterationEpoch = 0;
 
     /** Plan of the iteration currently executing. Held here (not in
      *  the continuation closure) so the per-iteration event callback
      *  stays small enough for EventCallback's inline storage — the
-     *  steady-state event loop then never heap-allocates. */
+     *  steady-state event loop then never heap-allocates. In the
+     *  decode-only steady state the scheduler's reusePlan() lets the
+     *  next iteration run this plan verbatim, so the buffers are
+     *  never even rebuilt. */
     core::IterationPlan inflight;
 
     std::uint64_t iterations = 0;
@@ -157,6 +172,7 @@ class Instance
     std::uint64_t prefills = 0;
     std::uint64_t swapOuts = 0;
     std::uint64_t swapIns = 0;
+    std::uint64_t planReuses = 0;
 };
 
 } // namespace cluster

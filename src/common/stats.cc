@@ -35,23 +35,67 @@ Summary::stddev() const
     return std::sqrt(variance());
 }
 
+namespace
+{
+
+/** Shared rank arithmetic of the two percentile flavours. */
+struct Ranks
+{
+    std::size_t lo;
+    std::size_t hi;
+    double frac;
+};
+
+Ranks
+ranksFor(std::size_t n, double p)
+{
+    if (p < 0.0 || p > 100.0)
+        fatal("percentile p must be in [0,100], got " + std::to_string(p));
+    double rank = p / 100.0 * static_cast<double>(n - 1);
+    Ranks r;
+    r.lo = static_cast<std::size_t>(std::floor(rank));
+    r.hi = static_cast<std::size_t>(std::ceil(rank));
+    r.frac = rank - static_cast<double>(r.lo);
+    return r;
+}
+
+} // namespace
+
 double
 percentile(std::vector<double> values, double p)
 {
     if (values.empty())
         return 0.0;
-    if (p < 0.0 || p > 100.0)
-        fatal("percentile p must be in [0,100], got " + std::to_string(p));
-
-    std::sort(values.begin(), values.end());
-    if (values.size() == 1)
+    if (values.size() == 1) {
+        ranksFor(1, p); // Range-check p even for the trivial case.
         return values.front();
+    }
 
-    double rank = p / 100.0 * static_cast<double>(values.size() - 1);
-    auto lo = static_cast<std::size_t>(std::floor(rank));
-    auto hi = static_cast<std::size_t>(std::ceil(rank));
-    double frac = rank - static_cast<double>(lo);
-    return values[lo] + frac * (values[hi] - values[lo]);
+    // Two nth_element selections instead of a full sort: the lower
+    // rank partitions the data, leaving the upper neighbour as the
+    // minimum of the right partition. Yields bit-identical results to
+    // sort-then-interpolate (the rank values are the same elements).
+    Ranks r = ranksFor(values.size(), p);
+    auto lo_it = values.begin() + static_cast<std::ptrdiff_t>(r.lo);
+    std::nth_element(values.begin(), lo_it, values.end());
+    double lo_val = *lo_it;
+    if (r.hi == r.lo)
+        return lo_val;
+    double hi_val = *std::min_element(lo_it + 1, values.end());
+    return lo_val + r.frac * (hi_val - lo_val);
+}
+
+double
+percentileOfSorted(const std::vector<double>& sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (sorted.size() == 1) {
+        ranksFor(1, p);
+        return sorted.front();
+    }
+    Ranks r = ranksFor(sorted.size(), p);
+    return sorted[r.lo] + r.frac * (sorted[r.hi] - sorted[r.lo]);
 }
 
 std::optional<double>

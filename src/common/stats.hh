@@ -64,11 +64,27 @@ class Summary
 /**
  * Percentile with linear interpolation between closest ranks.
  *
- * @param values Samples; copied and sorted internally.
+ * Selects the two neighbouring ranks with nth_element instead of
+ * fully sorting, so a single-quantile query is O(n). Callers that
+ * need several quantiles of the same data should sort once and use
+ * percentileOfSorted() for each.
+ *
+ * @param values Samples; copied and partially reordered internally.
  * @param p Percentile in [0, 100].
  * @return The interpolated percentile, or 0 for an empty input.
  */
 double percentile(std::vector<double> values, double p);
+
+/**
+ * Percentile of an already ascending-sorted sample vector. Reads the
+ * interpolated ranks directly, so any number of quantiles costs one
+ * shared sort. Returns exactly what percentile() returns for the same
+ * data.
+ *
+ * @param sorted Samples in ascending order (not checked).
+ * @param p Percentile in [0, 100].
+ */
+double percentileOfSorted(const std::vector<double>& sorted, double p);
 
 /**
  * The paper's adaptive tail statistic (Fig. 10 caption): maximum for

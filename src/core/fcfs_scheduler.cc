@@ -15,8 +15,8 @@ FcfsScheduler::FcfsScheduler(SchedLimits limits)
     this->limits.quantum = 0;
 }
 
-IterationPlan
-FcfsScheduler::plan(const model::KvPool& pool)
+void
+FcfsScheduler::planInto(const model::KvPool& pool, IterationPlan& out)
 {
     // Strict arrival order across all states. Swapped requests are
     // older than waiting ones by construction, so one ordered walk
@@ -24,20 +24,20 @@ FcfsScheduler::plan(const model::KvPool& pool)
     // resume-before-admit, block new arrivals behind the first
     // request that does not fit, and evict from the back (the most
     // recently arrived) when the decode batch cannot grow.
-    std::vector<workload::Request*> order;
-    order.reserve(requests.size());
+    if (incrementalEnabled()) {
+        queue.repair(); // No-op except after add/remove.
+        greedySelectInto(queue.items(), pool, /*stop_at_unfit=*/true,
+                         out);
+        return;
+    }
+
+    orderScratch.clear();
     for (auto* r : requests) {
         if (schedulable(r))
-            order.push_back(r);
+            orderScratch.push_back(r);
     }
-    std::sort(order.begin(), order.end(),
-        [](const workload::Request* a, const workload::Request* b) {
-            if (a->spec().arrival != b->spec().arrival)
-                return a->spec().arrival < b->spec().arrival;
-            return a->id() < b->id();
-        });
-
-    return greedySelect(order, pool, /*stop_at_unfit=*/true);
+    std::sort(orderScratch.begin(), orderScratch.end(), FcfsOrder{});
+    greedySelectInto(orderScratch, pool, /*stop_at_unfit=*/true, out);
 }
 
 } // namespace core

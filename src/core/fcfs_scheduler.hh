@@ -9,6 +9,10 @@
  * preempted requests resume before any newer request is admitted. The
  * resulting head-of-line blocking is the behaviour Figs. 2(b), 4 and 5
  * characterize.
+ *
+ * The (arrival, id) key is immutable, so in incremental mode the
+ * queue only ever changes on add/remove — the per-iteration sort of
+ * the recompute path disappears entirely.
  */
 
 #ifndef PASCAL_CORE_FCFS_SCHEDULER_HH
@@ -17,11 +21,25 @@
 #include <string>
 
 #include "src/core/intra_scheduler.hh"
+#include "src/core/ordered_queue.hh"
 
 namespace pascal
 {
 namespace core
 {
+
+/** Strict arrival order (immutable key). */
+struct FcfsOrder
+{
+    bool
+    operator()(const workload::Request* a,
+               const workload::Request* b) const
+    {
+        if (a->spec().arrival != b->spec().arrival)
+            return a->spec().arrival < b->spec().arrival;
+        return a->id() < b->id();
+    }
+};
 
 /** Strict arrival-order scheduling with preempt-latest eviction. */
 class FcfsScheduler : public IntraScheduler
@@ -31,7 +49,22 @@ class FcfsScheduler : public IntraScheduler
 
     std::string name() const override { return "FCFS"; }
 
-    IterationPlan plan(const model::KvPool& pool) override;
+  protected:
+    void planInto(const model::KvPool& pool,
+                  IterationPlan& out) override;
+
+    void onHostedAdded(workload::Request* req) override
+    {
+        queue.insert(req);
+    }
+
+    void onHostedRemoved(workload::Request* req) override
+    {
+        queue.erase(req);
+    }
+
+  private:
+    OrderedQueue<FcfsOrder> queue{1};
 };
 
 } // namespace core

@@ -1,6 +1,7 @@
 #include "src/core/intra_scheduler.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 
 #include "src/common/log.hh"
@@ -36,31 +37,140 @@ IntraScheduler::IntraScheduler(SchedLimits limits) : limits(limits)
 }
 
 void
+IntraScheduler::enableIncremental()
+{
+    // Read per call (construction-time only, not the hot path) so an
+    // embedder toggling the variable between runs is honored.
+    if (std::getenv("PASCAL_FORCE_RESORT") != nullptr ||
+        limits.forceResort) {
+        return;
+    }
+    if (!requests.empty())
+        panic("enableIncremental: must be called before requests are "
+              "added");
+    incremental = true;
+    stateChanged = true;
+    lastPlanReusable = false;
+}
+
+void
 IntraScheduler::add(workload::Request* req)
 {
     if (req == nullptr)
         panic("IntraScheduler::add(nullptr)");
+    req->schedHostedPos = requests.size();
     requests.push_back(req);
+    req->schedPrevHosted = hostedLast;
+    req->schedNextHosted = nullptr;
+    if (hostedLast != nullptr)
+        hostedLast->schedNextHosted = req;
+    else
+        hostedFirst = req;
+    hostedLast = req;
+    if (!incremental)
+        return;
+    // A migrated request carries stale bookkeeping from its previous
+    // host; start from a clean slate.
+    req->schedQueueTag = 0;
+    req->schedDirtyPending = false;
+    req->schedDemotionPending = false;
+    req->schedCountedReasoning = false;
+    req->schedCountedFreshAns = false;
+    req->schedScore = 0.0;
+    req->schedCachedQuanta = req->quantaConsumed;
+    syncCounters(req);
+    noteStateChanged();
+    onHostedAdded(req);
 }
 
 void
 IntraScheduler::remove(workload::Request* req)
 {
-    auto it = std::find(requests.begin(), requests.end(), req);
-    if (it == requests.end())
+    std::size_t pos = req->schedHostedPos;
+    if (pos >= requests.size() || requests[pos] != req) {
         panic("IntraScheduler::remove: request " +
-              std::to_string(req->id()) + " not hosted");
-    requests.erase(it);
+              std::to_string(req->id()) + " not hosted on instance " +
+              (instanceId == kNoInstance ? std::string("?")
+                                         : std::to_string(instanceId)));
+    }
+    requests[pos] = requests.back();
+    requests[pos]->schedHostedPos = pos;
+    requests.pop_back();
+    if (req->schedPrevHosted != nullptr)
+        req->schedPrevHosted->schedNextHosted = req->schedNextHosted;
+    else
+        hostedFirst = req->schedNextHosted;
+    if (req->schedNextHosted != nullptr)
+        req->schedNextHosted->schedPrevHosted = req->schedPrevHosted;
+    else
+        hostedLast = req->schedPrevHosted;
+    req->schedPrevHosted = nullptr;
+    req->schedNextHosted = nullptr;
+    if (!incremental)
+        return;
+    if (req->schedCountedReasoning)
+        --reasoningCount;
+    if (req->schedCountedFreshAns)
+        --freshAnsweringCount;
+    req->schedCountedReasoning = false;
+    req->schedCountedFreshAns = false;
+    req->schedDemotionPending = false;
+    noteStateChanged();
+    onHostedRemoved(req);
+}
+
+void
+IntraScheduler::syncCounters(workload::Request* req)
+{
+    workload::Phase phase = req->phase();
+    bool reasoning =
+        phase == workload::Phase::Reasoning && !req->demoted;
+    bool fresh = phase == workload::Phase::Answering &&
+                 req->quantaConsumed == 0;
+    if (reasoning != req->schedCountedReasoning) {
+        reasoningCount += reasoning ? 1 : -1;
+        req->schedCountedReasoning = reasoning;
+    }
+    if (fresh != req->schedCountedFreshAns) {
+        freshAnsweringCount += fresh ? 1 : -1;
+        req->schedCountedFreshAns = fresh;
+    }
+}
+
+void
+IntraScheduler::noteExecuted(workload::Request* req)
+{
+    if (!incremental)
+        return;
+    bool quanta_changed =
+        req->quantaConsumed != req->schedCachedQuanta;
+    req->schedCachedQuanta = req->quantaConsumed;
+    syncCounters(req);
+    onRequestExecuted(req, quanta_changed);
 }
 
 void
 IntraScheduler::onPhaseTransition(workload::Request*)
 {
-    // Phase-unaware baselines need no bookkeeping.
+    // Phase-unaware baselines need no bookkeeping. (The counter move
+    // itself was already synced by noteExecuted when the transition
+    // token was emitted.)
 }
 
 int
 IntraScheduler::numReasoning() const
+{
+    return incremental ? reasoningCount : scanReasoning();
+}
+
+int
+IntraScheduler::numFreshAnswering() const
+{
+    return incremental ? freshAnsweringCount : scanFreshAnswering();
+}
+
+int
+IntraScheduler::scanReasoning() const
 {
     int n = 0;
     for (const auto* r : requests) {
@@ -71,7 +181,7 @@ IntraScheduler::numReasoning() const
 }
 
 int
-IntraScheduler::numFreshAnswering() const
+IntraScheduler::scanFreshAnswering() const
 {
     int n = 0;
     for (const auto* r : requests) {
@@ -98,6 +208,109 @@ IntraScheduler::schedulable(const workload::Request* req)
     }
 }
 
+bool
+IntraScheduler::predictorMoved() const
+{
+    return keysUsePredictions() &&
+           currentPredictorVersion() != lastPredictorVersion;
+}
+
+void
+IntraScheduler::buildPlan(const model::KvPool& pool, IterationPlan& out)
+{
+    out.reset();
+    if (incremental) {
+        lastKeptResidents.clear();
+        lastDecodeCapped.clear();
+        lastHighBudgetCap = -1;
+    }
+    planInto(pool, out);
+    if (!incremental)
+        return;
+    stateChanged = false;
+    lastPredictorVersion = currentPredictorVersion();
+    lastPlanReusable =
+        out.prefill.empty() && out.prewarm.empty() &&
+        out.swapIn.empty() && out.swapOut.empty() &&
+        !out.decode.empty() &&
+        lastDecodeCapped.size() == out.decode.size();
+    reusesSinceBuild = 0;
+    if (lastPlanReusable && lastHighBudgetCap < 0) {
+        auto block = static_cast<std::size_t>(pool.blockSize());
+        blockOffsetHist.assign(block, 0);
+        for (const auto* r : out.decode) {
+            ++blockOffsetHist[static_cast<std::size_t>(
+                r->kvTokens() % pool.blockSize())];
+        }
+    }
+}
+
+bool
+IntraScheduler::reusePlan(const IterationPlan& prev,
+                          const model::KvPool& pool)
+{
+    if (!incremental || !lastPlanReusable || stateChanged)
+        return false;
+    if (predictorMoved())
+        return false;
+    // Deferred plan-time decisions (demotion) fire exactly here, the
+    // same point recompute mode applies them, so their timing relative
+    // to snapshots and callbacks is identical in both modes.
+    if (reuseVeto())
+        return false;
+    if (lastHighBudgetCap < 0) {
+        // Uncapped walk: one integer comparison decides the whole
+        // budget revalidation (see blockOffsetHist).
+        TokenCount block = pool.blockSize();
+        std::uint64_t k = reusesSinceBuild + 1;
+        std::uint64_t crossings = blockOffsetHist[static_cast<
+            std::size_t>((static_cast<std::uint64_t>(block) -
+                          k % static_cast<std::uint64_t>(block)) %
+                         static_cast<std::uint64_t>(block))];
+        if (pool.gpuUsed() +
+                block * static_cast<TokenCount>(crossings) >
+            pool.gpuCapacity()) {
+            return false;
+        }
+    } else if (!revalidate(prev, pool)) {
+        return false;
+    }
+    ++reusesSinceBuild;
+    return true;
+}
+
+bool
+IntraScheduler::revalidate(const IterationPlan& prev,
+                           const model::KvPool& pool) const
+{
+    if (lastDecodeCapped.size() != prev.decode.size())
+        return false;
+    TokenCount budget = pool.gpuCapacity();
+    TokenCount high =
+        lastHighBudgetCap >= 0 ? lastHighBudgetCap : budget;
+    for (std::size_t i = 0; i < prev.decode.size(); ++i) {
+        const auto* r = prev.decode[i];
+        TokenCount cost = pool.chargeFor(r->kvTokens() + 1);
+        bool capped = lastDecodeCapped[i] != 0;
+        TokenCount avail = capped ? std::min(budget, high) : budget;
+        if (cost > avail)
+            return false;
+        budget -= cost;
+        if (capped)
+            high -= cost;
+    }
+    // Unselected residents were kept, not evicted; they still must
+    // fit in the leftover (their own KV did not grow — they did not
+    // run — but the decode batch's growth shrank the leftover).
+    for (const auto* r : lastKeptResidents) {
+        TokenCount cost = pool.chargeFor(r->kvTokens());
+        if (cost > budget)
+            return false;
+        budget -= cost;
+    }
+    return true;
+}
+
 void
 IntraScheduler::annotatePrediction(IterationPlan& plan) const
 {
@@ -111,21 +324,23 @@ IntraScheduler::annotatePrediction(IterationPlan& plan) const
     plan.predictedRemainingTokens = remaining;
 }
 
-IterationPlan
-IntraScheduler::greedySelect(const std::vector<workload::Request*>& order,
-                             const model::KvPool& pool,
-                             bool stop_at_unfit,
-                             std::size_t high_prefix_len,
-                             TokenCount high_budget_cap) const
+void
+IntraScheduler::greedySelectInto(
+    const std::vector<workload::Request*>& order,
+    const model::KvPool& pool, bool stop_at_unfit, IterationPlan& out,
+    std::size_t high_prefix_len, TokenCount high_budget_cap)
 {
-    IterationPlan plan;
     TokenCount budget = pool.gpuCapacity();
     TokenCount high_budget =
         high_prefix_len > 0 ? high_budget_cap : budget;
     TokenCount prefill_tokens = 0;
     int batch = 0;
     bool stopped = false;
-    std::vector<workload::Request*> unselected_residents;
+    std::vector<workload::Request*>& unselected_residents =
+        lastKeptResidents; // Reused buffer; doubles as the record.
+    unselected_residents.clear();
+    lastDecodeCapped.clear();
+    lastHighBudgetCap = high_prefix_len > 0 ? high_budget_cap : -1;
 
     for (std::size_t idx = 0; idx < order.size(); ++idx) {
         auto* r = order[idx];
@@ -156,7 +371,7 @@ IntraScheduler::greedySelect(const std::vector<workload::Request*>& order,
                 pool.chargeFor(r->spec().promptTokens + 1);
             bool prewarm = r->spec().startInAnswering;
             bool caps_ok = prewarm ||
-                (static_cast<int>(plan.prefill.size()) <
+                (static_cast<int>(out.prefill.size()) <
                      limits.maxPrefillSeqs &&
                  prefill_tokens + r->spec().promptTokens <=
                      limits.maxPrefillTokens);
@@ -168,9 +383,9 @@ IntraScheduler::greedySelect(const std::vector<workload::Request*>& order,
             charge(cost);
             ++batch;
             if (prewarm) {
-                plan.prewarm.push_back(r);
+                out.prewarm.push_back(r);
             } else {
-                plan.prefill.push_back(r);
+                out.prefill.push_back(r);
                 prefill_tokens += r->spec().promptTokens;
             }
             break;
@@ -185,7 +400,8 @@ IntraScheduler::greedySelect(const std::vector<workload::Request*>& order,
             }
             charge(cost);
             ++batch;
-            plan.decode.push_back(r);
+            out.decode.push_back(r);
+            lastDecodeCapped.push_back(capped ? 1 : 0);
             break;
           }
           case workload::ExecState::SwappedCpu: {
@@ -197,8 +413,9 @@ IntraScheduler::greedySelect(const std::vector<workload::Request*>& order,
             }
             charge(cost);
             ++batch;
-            plan.swapIn.push_back(r);
-            plan.decode.push_back(r);
+            out.swapIn.push_back(r);
+            out.decode.push_back(r);
+            lastDecodeCapped.push_back(capped ? 1 : 0);
             break;
           }
           default:
@@ -211,29 +428,31 @@ IntraScheduler::greedySelect(const std::vector<workload::Request*>& order,
     // evicted, lowest priority first because the walk preserved
     // priority order and we evict from the back.
     TokenCount keep_budget = budget;
-    std::vector<workload::Request*> evict;
+    std::size_t kept = 0;
     for (auto* r : unselected_residents) {
         TokenCount keep_cost = pool.chargeFor(r->kvTokens());
-        if (keep_cost <= keep_budget)
+        if (keep_cost <= keep_budget) {
             keep_budget -= keep_cost;
-        else
-            evict.push_back(r);
+            unselected_residents[kept++] = r;
+        } else {
+            out.swapOut.push_back(r);
+        }
     }
-    plan.swapOut = std::move(evict);
+    unselected_residents.resize(kept); // Record: residents kept.
 
-    if (!plan.prefill.empty() && !limits.chunkedPrefill) {
+    if (!out.prefill.empty() && !limits.chunkedPrefill) {
         // Prefill iterations do not decode (vLLM prefill priority).
         // Selected decode candidates stay resident and run next
         // iteration; swap-ins still execute so they are ready.
-        plan.decode.clear();
+        out.decode.clear();
+        lastDecodeCapped.clear();
     } else {
         // Prewarmed requests join the decode batch immediately: their
         // KV allocation is free of charge. Under chunked prefill the
         // decode batch additionally runs alongside the prefills.
-        for (auto* r : plan.prewarm)
-            plan.decode.push_back(r);
+        for (auto* r : out.prewarm)
+            out.decode.push_back(r);
     }
-    return plan;
 }
 
 } // namespace core

@@ -6,11 +6,48 @@
  * every iteration boundary, produces an IterationPlan deciding which
  * requests prefill, decode, swap in, or are evicted, subject to the
  * GPU KV capacity.
+ *
+ * Incremental mode and the dirty-set contract
+ * -------------------------------------------
+ * The per-iteration scheduling path is the simulator's hottest loop,
+ * so the base class supports two modes:
+ *
+ *  - Recompute mode (default; also PASCAL_FORCE_RESORT /
+ *    SchedLimits::forceResort): every buildPlan() call rebuilds and
+ *    re-sorts the priority order from scratch. Simple, and the
+ *    reference behaviour the invariance tests compare against.
+ *
+ *  - Incremental mode (enabled by the owning Instance via
+ *    enableIncremental()): the scheduler maintains its priority
+ *    queues, the r_i / a_i monitor counters, and demotion candidates
+ *    across iterations, repairing only requests whose ordering key
+ *    actually changed. In the dominant decode-only steady state
+ *    reusePlan() lets the instance run the previous IterationPlan
+ *    verbatim, skipping plan construction entirely.
+ *
+ * Incremental mode relies on the *dirty-set contract*: every mutation
+ * of a hosted request's scheduler-visible state must reach the
+ * scheduler through one of the notification points —
+ *
+ *  - add() / remove()          membership (arrival, migration, finish),
+ *  - noteExecuted()            after each emitToken()/completePrefill()
+ *                              (token progress, quantum rollover, phase
+ *                              flip, KV growth),
+ *  - onPhaseTransition()       reasoning->answering staying home,
+ *
+ * plus LengthPredictor::version() for predictor-driven key changes.
+ * Code that mutates requests behind the scheduler's back (unit tests
+ * poking exec states directly) must simply leave incremental mode off.
+ * Subclasses hook the notifications via onHostedAdded/onHostedRemoved/
+ * onRequestExecuted and must keep their queues equal to what their
+ * recompute path would build — the randomized force-resort invariance
+ * tests enforce byte-identical RunResults across the two modes.
  */
 
 #ifndef PASCAL_CORE_INTRA_SCHEDULER_HH
 #define PASCAL_CORE_INTRA_SCHEDULER_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -38,31 +75,88 @@ class IntraScheduler
     /** A request was routed to this instance (arrival or migration). */
     void add(workload::Request* req);
 
-    /** A request left this instance (finished or migrated away). */
+    /** A request left this instance (finished or migrated away).
+     *  O(1) via the request's intrusive hosted-position index. */
     void remove(workload::Request* req);
 
-    /** Requests currently hosted, in insertion order. */
+    /** Requests currently hosted. Removal swaps the last request into
+     *  the vacated slot, so the order is arbitrary (every consumer is
+     *  order-independent or establishes its own order; for insertion
+     *  order use hostedHead()/schedNextHosted). */
     const std::vector<workload::Request*>& hosted() const
     {
         return requests;
     }
 
-    /** Build the next iteration's plan. */
-    virtual IterationPlan plan(const model::KvPool& pool) = 0;
+    /** Head of the intrusive insertion-ordered hosted list (walk via
+     *  schedNextHosted). Consumers whose result depends on iteration
+     *  order — the snapshot's floating-point prediction sum — use
+     *  this so O(1) swap-pop removal cannot perturb their output. */
+    workload::Request* hostedHead() const { return hostedFirst; }
+
+    /**
+     * Build the next iteration's plan into @p out. @p out is reset
+     * first with its capacity retained, so steady-state replans do
+     * not allocate.
+     */
+    void buildPlan(const model::KvPool& pool, IterationPlan& out);
+
+    /** Convenience wrapper building a fresh plan. */
+    IterationPlan
+    plan(const model::KvPool& pool)
+    {
+        IterationPlan out;
+        buildPlan(pool, out);
+        return out;
+    }
+
+    /**
+     * Steady-state fast path: true if @p prev (the plan built by the
+     * last buildPlan() and since executed once) is still *exactly*
+     * what buildPlan() would produce, in which case the instance runs
+     * it again verbatim. Holds when (a) incremental mode is on, (b)
+     * the previous plan was pure decode (no prefill / prewarm /
+     * swaps), (c) no membership, key, demotion, or predictor change
+     * was observed since, and (d) re-walking the recorded selection
+     * against the pool shows every decode member still fits and every
+     * kept resident still holds its memory. (d) is O(batch) integer
+     * arithmetic — no sorting, no allocation, no predictor calls.
+     */
+    bool reusePlan(const IterationPlan& prev, const model::KvPool& pool);
 
     /** Notification that @p req crossed the reasoning->answering
      *  boundary and stays on this instance. */
     virtual void onPhaseTransition(workload::Request* req);
 
-    /** Paper r_i: reasoning requests in the high-priority queue. For
-     *  phase-unaware baselines this counts reasoning-phase requests. */
-    virtual int numReasoning() const;
+    /**
+     * Instance notification: @p req just emitted a token (or finished
+     * prefill) in the iteration being completed. Updates the
+     * maintained counters and forwards key changes to the subclass.
+     * No-op in recompute mode.
+     */
+    void noteExecuted(workload::Request* req);
+
+    /** Paper r_i: reasoning requests in the high-priority queue
+     *  (excludes demoted ones). O(1) in incremental mode. */
+    int numReasoning() const;
 
     /** Paper a_i: answering requests that have not exhausted their
-     *  first time quantum. */
-    virtual int numFreshAnswering() const;
+     *  first time quantum. O(1) in incremental mode. */
+    int numFreshAnswering() const;
 
     const SchedLimits& schedLimits() const { return limits; }
+
+    /**
+     * Switch on incremental maintenance. Must be called before any
+     * request is added. Ignored when SchedLimits::forceResort is set
+     * or the PASCAL_FORCE_RESORT environment variable is present.
+     */
+    void enableIncremental();
+
+    bool incrementalEnabled() const { return incremental; }
+
+    /** Instance id for diagnostics (placement-bug panics). */
+    void setInstanceId(InstanceId id) { instanceId = id; }
 
     /**
      * Wire a length predictor (not owned; may be nullptr). Speculative
@@ -84,6 +178,69 @@ class IntraScheduler
     /** True if @p req can be considered for scheduling at all. */
     static bool schedulable(const workload::Request* req);
 
+    /** Policy hook: produce the plan. @p out arrives reset. */
+    virtual void planInto(const model::KvPool& pool,
+                          IterationPlan& out) = 0;
+
+    /** @name Incremental-mode subclass hooks */
+    /** @{ */
+
+    /** @p req joined the hosted set (insert it into your queues and
+     *  seed its cached ordering key). */
+    virtual void onHostedAdded(workload::Request* req) { (void)req; }
+
+    /** @p req left the hosted set (erase it from your queues). */
+    virtual void onHostedRemoved(workload::Request* req) { (void)req; }
+
+    /**
+     * @p req ran in the just-completed iteration: its generated-token
+     * count (hence KV) advanced, and possibly its quantum or phase.
+     * Mark it dirty in your queues if its ordering key changed.
+     */
+    virtual void onRequestExecuted(workload::Request* req,
+                                   bool quanta_changed)
+    {
+        (void)req;
+        (void)quanta_changed;
+    }
+
+    /**
+     * Last gate before verbatim plan reuse; runs any deferred
+     * decisions that recompute mode would take at plan time (PASCAL's
+     * demotion rule). Return true to veto the reuse. May mutate
+     * scheduler state (an applied demotion both vetoes and updates
+     * the queues).
+     */
+    virtual bool reuseVeto() { return false; }
+
+    /** True if ordering keys come from the predictor, so a predictor
+     *  version bump re-keys every request. */
+    virtual bool keysUsePredictions() const { return false; }
+
+    /** Subclasses call this whenever queue contents or keys changed
+     *  outside buildPlan (blocks verbatim reuse until the next
+     *  buildPlan). */
+    void noteStateChanged() { stateChanged = true; }
+
+    /** Recompute @p req's contribution to the maintained monitor
+     *  counters from its live state. */
+    void syncCounters(workload::Request* req);
+
+    /** Predictor version() changed since the last buildPlan (only
+     *  meaningful when keysUsePredictions()). */
+    bool predictorMoved() const;
+
+    /** True if @p req is currently hosted by *this* scheduler (the
+     *  intrusive fields alone cannot tell schedulers apart). */
+    bool
+    isHosted(const workload::Request* req) const
+    {
+        return req->schedHostedPos < requests.size() &&
+               requests[req->schedHostedPos] == req;
+    }
+
+    /** @} */
+
     /**
      * Shared greedy selection: walk @p order by priority, charging
      * each candidate's full memory footprint (KV + one token of decode
@@ -97,23 +254,100 @@ class IntraScheduler
      * stop_at_unfit = false; strict-order policies stop the walk at
      * the first candidate that does not fit.
      *
+     * In incremental mode the walk also records the reuse-validation
+     * state (per-decode-member budget caps and the kept residents)
+     * that reusePlan() re-checks each steady-state iteration.
+     *
      * @param high_prefix_len The first this-many entries of @p order
      *        are additionally capped at @p high_budget_cap charged
      *        tokens (PASCAL's answering-reserve extension; 0 disables).
      */
-    IterationPlan greedySelect(
-        const std::vector<workload::Request*>& order,
-        const model::KvPool& pool, bool stop_at_unfit,
-        std::size_t high_prefix_len = 0,
-        TokenCount high_budget_cap = 0) const;
+    void greedySelectInto(const std::vector<workload::Request*>& order,
+                          const model::KvPool& pool, bool stop_at_unfit,
+                          IterationPlan& out,
+                          std::size_t high_prefix_len = 0,
+                          TokenCount high_budget_cap = 0);
+
+    /** Legacy convenience (unit probes): greedySelectInto on a fresh
+     *  plan. */
+    IterationPlan
+    greedySelect(const std::vector<workload::Request*>& order,
+                 const model::KvPool& pool, bool stop_at_unfit,
+                 std::size_t high_prefix_len = 0,
+                 TokenCount high_budget_cap = 0)
+    {
+        IterationPlan out;
+        greedySelectInto(order, pool, stop_at_unfit, out,
+                         high_prefix_len, high_budget_cap);
+        return out;
+    }
 
     /** Fill @p plan's predictedRemainingTokens from the wired
      *  predictor (no-op without one). */
     void annotatePrediction(IterationPlan& plan) const;
 
     std::vector<workload::Request*> requests;
+
+    /** Insertion-ordered intrusive hosted list (see hostedHead()). */
+    workload::Request* hostedFirst = nullptr;
+    workload::Request* hostedLast = nullptr;
+
     SchedLimits limits;
     const predict::LengthPredictor* lengthPredictor = nullptr;
+
+    /** Reusable order buffer for planInto implementations. */
+    std::vector<workload::Request*> orderScratch;
+
+    bool incremental = false;
+    InstanceId instanceId = kNoInstance;
+
+  private:
+    /** O(batch) re-walk of the recorded greedy selection. */
+    bool revalidate(const IterationPlan& prev,
+                    const model::KvPool& pool) const;
+
+    /** Recompute-mode counter scans. */
+    int scanReasoning() const;
+    int scanFreshAnswering() const;
+
+    std::uint64_t
+    currentPredictorVersion() const
+    {
+        return lengthPredictor ? lengthPredictor->version() : 0;
+    }
+
+    /** Maintained monitor counters (incremental mode). */
+    int reasoningCount = 0;
+    int freshAnsweringCount = 0;
+
+    /** Any membership/key/queue change since the last buildPlan. */
+    bool stateChanged = true;
+
+    /** Last plan qualifies for verbatim reuse (pure decode). */
+    bool lastPlanReusable = false;
+
+    std::uint64_t lastPredictorVersion = 0;
+
+    /** @name Reuse-validation record of the last greedy walk */
+    /** @{ */
+    std::vector<workload::Request*> lastKeptResidents;
+    std::vector<std::uint8_t> lastDecodeCapped;
+    TokenCount lastHighBudgetCap = -1; //!< -1: no high-queue cap.
+
+    /**
+     * O(1) steady-state budget check (uncapped walks only): histogram
+     * of the decode members' kv % blockSize at build time. During a
+     * run of verbatim reuses every member's KV grows by exactly one
+     * token per iteration, so the number of members crossing a paged
+     * block boundary at reuse k is blockOffsetHist[(block - k%block) %
+     * block], and the whole walk revalidation collapses to
+     *   gpuUsed + blockSize * crossings <= capacity
+     * (selection prefix sums and the kept-resident walk are both
+     * bounded by that total when no per-member cap applies).
+     */
+    std::vector<std::uint32_t> blockOffsetHist;
+    std::uint64_t reusesSinceBuild = 0;
+    /** @} */
 };
 
 } // namespace core

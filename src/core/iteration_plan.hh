@@ -58,6 +58,19 @@ struct IterationPlan
     }
 
     bool isPrefillIteration() const { return !prefill.empty(); }
+
+    /** Clear all decisions but keep the vectors' capacity, so a plan
+     *  rebuilt every iteration stops allocating once warm. */
+    void
+    reset()
+    {
+        prefill.clear();
+        prewarm.clear();
+        swapIn.clear();
+        swapOut.clear();
+        decode.clear();
+        predictedRemainingTokens = 0.0;
+    }
 };
 
 /** Tunables shared by every scheduling policy. */
@@ -108,6 +121,16 @@ struct SchedLimits
      * decode stalls at the cost of longer mixed iterations.
      */
     bool chunkedPrefill = false;
+
+    /**
+     * Debug mode: disable the incremental scheduling fast path and
+     * recompute every queue from scratch at every iteration (the
+     * pre-optimization behaviour). The PASCAL_FORCE_RESORT environment
+     * variable forces this globally. Results must be byte-identical
+     * either way — the plan-reuse invariance tests run the same traces
+     * in both modes and compare RunResults field by field.
+     */
+    bool forceResort = false;
 
     /** Validate; calls fatal() on nonsense values. */
     void validate() const;

@@ -1,7 +1,6 @@
 #include "src/core/pascal_scheduler.hh"
 
 #include <algorithm>
-#include <utility>
 
 #include "src/common/log.hh"
 
@@ -35,6 +34,20 @@ PascalScheduler::queueKey(const workload::Request*) const
     return 0.0; // Pure round robin: quantaConsumed then arrival.
 }
 
+OrderedQueue<PascalQueueOrder>&
+PascalScheduler::queueOf(const workload::Request* r)
+{
+    switch (r->schedQueueTag) {
+      case 1:
+        return highQueue;
+      case 2:
+        return lowQueue;
+      default:
+        panic("PascalScheduler: request " + std::to_string(r->id()) +
+              " not in any queue");
+    }
+}
+
 void
 PascalScheduler::applyDemotion()
 {
@@ -50,47 +63,125 @@ PascalScheduler::applyDemotion()
 }
 
 void
-PascalScheduler::sortQueue(std::vector<workload::Request*>& queue) const
+PascalScheduler::demote(workload::Request* req)
 {
-    if (!usesQueueKeys()) {
-        // Reactive round robin: allocation-free in-place sort (the
-        // per-iteration hot path of every plain-PASCAL instance).
-        std::sort(queue.begin(), queue.end(),
-            [](const workload::Request* a, const workload::Request* b) {
-                if (a->quantaConsumed != b->quantaConsumed)
-                    return a->quantaConsumed < b->quantaConsumed;
-                if (a->spec().arrival != b->spec().arrival)
-                    return a->spec().arrival < b->spec().arrival;
-                return a->id() < b->id();
-            });
-        return;
-    }
-
-    // Precompute keys so predictor-backed variants pay one prediction
-    // per request, not one per comparison.
-    std::vector<std::pair<double, workload::Request*>> keyed;
-    keyed.reserve(queue.size());
-    for (auto* r : queue)
-        keyed.emplace_back(queueKey(r), r);
-    std::sort(keyed.begin(), keyed.end(),
-        [](const std::pair<double, workload::Request*>& a,
-           const std::pair<double, workload::Request*>& b) {
-            const auto* ra = a.second;
-            const auto* rb = b.second;
-            if (ra->quantaConsumed != rb->quantaConsumed)
-                return ra->quantaConsumed < rb->quantaConsumed;
-            if (a.first != b.first)
-                return a.first < b.first;
-            if (ra->spec().arrival != rb->spec().arrival)
-                return ra->spec().arrival < rb->spec().arrival;
-            return ra->id() < rb->id();
-        });
-    for (std::size_t i = 0; i < keyed.size(); ++i)
-        queue[i] = keyed[i].second;
+    req->demoted = true;
+    req->resetQuantum();
+    req->schedCachedQuanta = req->quantaConsumed;
+    syncCounters(req);
+    highQueue.erase(req);
+    lowQueue.insert(req);
+    noteStateChanged();
 }
 
-IterationPlan
-PascalScheduler::plan(const model::KvPool& pool)
+bool
+PascalScheduler::processPendingDemotions()
+{
+    bool any = false;
+    for (auto* r : demotionCandidates) {
+        if (!isHosted(r)) {
+            // Migrated away since being flagged; the pending flag (if
+            // set) now belongs to its new host's candidate list.
+            continue;
+        }
+        if (!r->schedDemotionPending)
+            continue; // Superseded (removed+readded, or a duplicate).
+        r->schedDemotionPending = false;
+        if (r->schedQueueTag == 1 && !r->demoted &&
+            r->phase() == workload::Phase::Reasoning &&
+            shouldDemote(r)) {
+            demote(r);
+            any = true;
+        }
+    }
+    demotionCandidates.clear();
+    return any;
+}
+
+bool
+PascalScheduler::reuseVeto()
+{
+    return processPendingDemotions();
+}
+
+void
+PascalScheduler::onHostedAdded(workload::Request* req)
+{
+    if (usesQueueKeys())
+        req->schedScore = queueKey(req);
+    if (isHighPriority(req)) {
+        highQueue.insert(req);
+        // A request arriving with a fat KV (or inside the speculative
+        // lookahead window) may demote at the very next plan boundary,
+        // just as recompute mode's full applyDemotion scan would find
+        // it.
+        if (demotionPossible(req)) {
+            req->schedDemotionPending = true;
+            demotionCandidates.push_back(req);
+        }
+    } else {
+        lowQueue.insert(req);
+    }
+}
+
+void
+PascalScheduler::onHostedRemoved(workload::Request* req)
+{
+    queueOf(req).erase(req);
+}
+
+void
+PascalScheduler::onRequestExecuted(workload::Request* req,
+                                   bool quanta_changed)
+{
+    bool high = isHighPriority(req);
+    if (req->schedQueueTag == 1 && !high) {
+        // The </think> token (or a completion) just moved the request
+        // out of the high queue.
+        if (usesQueueKeys())
+            req->schedScore = queueKey(req);
+        highQueue.erase(req);
+        lowQueue.insert(req);
+        noteStateChanged();
+    } else if (quanta_changed || usesQueueKeys()) {
+        if (usesQueueKeys())
+            req->schedScore = queueKey(req);
+        queueOf(req).markDirty(req);
+        noteStateChanged();
+    }
+    if (high && !req->schedDemotionPending && demotionPossible(req)) {
+        // Its KV grew into reach of the demotion rule; re-check at
+        // the next plan boundary.
+        req->schedDemotionPending = true;
+        demotionCandidates.push_back(req);
+    }
+}
+
+void
+PascalScheduler::sortQueue(std::vector<workload::Request*>& queue) const
+{
+    if (usesQueueKeys()) {
+        // Precompute keys so predictor-backed variants pay one
+        // prediction per request, not one per comparison. The cached
+        // score is the same field the incremental queues order by.
+        for (auto* r : queue)
+            r->schedScore = queueKey(r);
+    }
+    std::sort(queue.begin(), queue.end(), PascalQueueOrder{});
+}
+
+void
+PascalScheduler::planInto(const model::KvPool& pool, IterationPlan& out)
+{
+    if (incrementalEnabled())
+        incrementalPlan(pool, out);
+    else
+        recomputePlan(pool, out);
+}
+
+void
+PascalScheduler::recomputePlan(const model::KvPool& pool,
+                               IterationPlan& out)
 {
     applyDemotion();
 
@@ -98,52 +189,89 @@ PascalScheduler::plan(const model::KvPool& pool)
     // round-robin ordered. The greedy walk then gives reasoning
     // requests preferential KV allocation and evicts answering
     // requests first when memory runs short.
-    std::vector<workload::Request*> high;
-    std::vector<workload::Request*> low;
+    highScratch.clear();
+    lowScratch.clear();
     for (auto* r : requests) {
         if (!schedulable(r))
             continue;
-        (isHighPriority(r) ? high : low).push_back(r);
+        (isHighPriority(r) ? highScratch : lowScratch).push_back(r);
     }
 
-    sortQueue(high);
-    sortQueue(low);
+    sortQueue(highScratch);
+    sortQueue(lowScratch);
 
-    std::vector<workload::Request*> order;
-    order.reserve(high.size() + low.size());
-    order.insert(order.end(), high.begin(), high.end());
-    order.insert(order.end(), low.begin(), low.end());
+    orderScratch.clear();
+    orderScratch.insert(orderScratch.end(), highScratch.begin(),
+                        highScratch.end());
+    orderScratch.insert(orderScratch.end(), lowScratch.begin(),
+                        lowScratch.end());
 
     // Optional answering reserve: cap how much KV the high queue may
     // claim so the low queue is never fully squeezed out.
     TokenCount high_cap = static_cast<TokenCount>(
         static_cast<double>(pool.gpuCapacity()) *
         (1.0 - limits.answeringReserveFraction));
+    std::size_t prefix = limits.answeringReserveFraction > 0.0
+                             ? highScratch.size()
+                             : 0;
+
+    greedySelectInto(orderScratch, pool, /*stop_at_unfit=*/false, out,
+                     prefix, high_cap);
+    annotatePrediction(out);
+}
+
+void
+PascalScheduler::incrementalPlan(const model::KvPool& pool,
+                                 IterationPlan& out)
+{
+    if (predictorMoved()) {
+        // The predictor learned: every cached score is suspect. Re-key
+        // and re-sort everything, and re-check every high-queue
+        // resident against the (possibly moved) demotion rule.
+        for (auto* r : requests) {
+            r->schedScore = queueKey(r);
+            queueOf(r).markDirty(r);
+            if (isHighPriority(r) && !r->schedDemotionPending &&
+                demotionPossible(r)) {
+                r->schedDemotionPending = true;
+                demotionCandidates.push_back(r);
+            }
+        }
+        noteStateChanged();
+    }
+    processPendingDemotions();
+    highQueue.repair();
+    lowQueue.repair();
+
+    const auto& high = highQueue.items();
+    const auto& low = lowQueue.items();
+    orderScratch.clear();
+    orderScratch.insert(orderScratch.end(), high.begin(), high.end());
+    orderScratch.insert(orderScratch.end(), low.begin(), low.end());
+
+    TokenCount high_cap = static_cast<TokenCount>(
+        static_cast<double>(pool.gpuCapacity()) *
+        (1.0 - limits.answeringReserveFraction));
     std::size_t prefix =
         limits.answeringReserveFraction > 0.0 ? high.size() : 0;
 
-    IterationPlan plan = greedySelect(order, pool,
-                                      /*stop_at_unfit=*/false, prefix,
-                                      high_cap);
-    annotatePrediction(plan);
-    return plan;
+    greedySelectInto(orderScratch, pool, /*stop_at_unfit=*/false, out,
+                     prefix, high_cap);
+    annotatePrediction(out);
 }
 
 void
 PascalScheduler::onPhaseTransition(workload::Request* req)
 {
     req->resetQuantum();
-}
-
-int
-PascalScheduler::numReasoning() const
-{
-    int n = 0;
-    for (const auto* r : requests) {
-        if (isHighPriority(r) && !r->finished())
-            ++n;
-    }
-    return n;
+    if (!incrementalEnabled())
+        return;
+    req->schedCachedQuanta = req->quantaConsumed;
+    syncCounters(req); // The quantum reset makes it "fresh" again.
+    // noteExecuted already moved it into the low queue when the
+    // transition token was emitted; the reset re-keys it there.
+    queueOf(req).markDirty(req);
+    noteStateChanged();
 }
 
 } // namespace core

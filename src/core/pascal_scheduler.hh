@@ -14,19 +14,49 @@
  * A reasoning request whose KV cache exceeds the demotion threshold
  * (paper: 5000 tokens) is demoted to the low-priority queue so one
  * monster request cannot starve the answering phase.
+ *
+ * In incremental mode both queues are OrderedQueues repaired only for
+ * requests whose (quantaConsumed, score) key or phase/demotion
+ * membership changed, and the demotion rule is re-checked only for
+ * requests whose KV (or prediction) moved since the last plan.
  */
 
 #ifndef PASCAL_CORE_PASCAL_SCHEDULER_HH
 #define PASCAL_CORE_PASCAL_SCHEDULER_HH
 
 #include <string>
+#include <vector>
 
 #include "src/core/intra_scheduler.hh"
+#include "src/core/ordered_queue.hh"
 
 namespace pascal
 {
 namespace core
 {
+
+/**
+ * Within-queue strict total order shared by the reactive and
+ * speculative PASCAL variants (and by both the incremental repair and
+ * the recompute-mode full sort, so the two modes cannot diverge):
+ * fewest quanta consumed, then cached rank score (always 0 for the
+ * reactive policy, making the level a no-op), then arrival, then id.
+ */
+struct PascalQueueOrder
+{
+    bool
+    operator()(const workload::Request* a,
+               const workload::Request* b) const
+    {
+        if (a->quantaConsumed != b->quantaConsumed)
+            return a->quantaConsumed < b->quantaConsumed;
+        if (a->schedScore != b->schedScore)
+            return a->schedScore < b->schedScore;
+        if (a->spec().arrival != b->spec().arrival)
+            return a->spec().arrival < b->spec().arrival;
+        return a->id() < b->id();
+    }
+};
 
 /**
  * Phase-aware two-queue scheduler.
@@ -43,16 +73,28 @@ class PascalScheduler : public IntraScheduler
 
     std::string name() const override { return "PASCAL"; }
 
-    IterationPlan plan(const model::KvPool& pool) override;
-
     /** Entering the low-priority queue restarts quantum accounting:
      *  each queue has its own token quantum (Section V-A). */
     void onPhaseTransition(workload::Request* req) override;
 
-    /** r_i counts the high-priority queue only (excludes demoted). */
-    int numReasoning() const override;
-
   protected:
+    void planInto(const model::KvPool& pool,
+                  IterationPlan& out) override;
+
+    /** @name Incremental-mode hooks */
+    /** @{ */
+    void onHostedAdded(workload::Request* req) override;
+    void onHostedRemoved(workload::Request* req) override;
+    void onRequestExecuted(workload::Request* req,
+                           bool quanta_changed) override;
+    /** Applies pending demotions; vetoes the reuse if any fired. */
+    bool reuseVeto() override;
+    bool keysUsePredictions() const override
+    {
+        return usesQueueKeys();
+    }
+    /** @} */
+
     /**
      * Demotion rule for a not-yet-demoted reasoning request. The paper
      * reacts to the KV actually exceeding the threshold; speculative
@@ -70,19 +112,66 @@ class PascalScheduler : public IntraScheduler
     virtual double queueKey(const workload::Request* req) const;
 
     /** Whether queueKey() varies per request. False keeps the
-     *  reactive policy's allocation-free in-place sort on the hot
-     *  path. */
+     *  reactive policy's score level inert. */
     virtual bool usesQueueKeys() const { return false; }
+
+    /**
+     * Cheap necessary condition for shouldDemote(): only requests
+     * passing it are queued as demotion candidates, so a steady batch
+     * far below the threshold re-checks nothing at all. Must be
+     * implied by shouldDemote() for every subclass (a request failing
+     * demotionPossible() must never satisfy shouldDemote() with the
+     * same KV), or incremental mode would miss demotions that
+     * recompute mode applies.
+     */
+    virtual bool
+    demotionPossible(const workload::Request* req) const
+    {
+        return req->kvTokens() > limits.demoteThresholdTokens;
+    }
 
   private:
     /** True if @p req belongs to the high-priority queue. */
     static bool isHighPriority(const workload::Request* req);
 
-    /** Apply the demotion rule to hosted reasoning requests. */
+    /** Recompute-mode path: rebuild, sort, select (the reference
+     *  implementation the incremental path must match bit-for-bit). */
+    void recomputePlan(const model::KvPool& pool, IterationPlan& out);
+
+    /** Incremental path: process demotions, repair queues, select. */
+    void incrementalPlan(const model::KvPool& pool, IterationPlan& out);
+
+    /** Recompute mode: apply the demotion rule to every hosted
+     *  reasoning request. */
     void applyDemotion();
 
-    /** Sort @p queue by (quantaConsumed, queueKey, arrival, id). */
+    /**
+     * Incremental mode: re-check the demotion rule for the pending
+     * candidates only (requests whose KV or prediction moved).
+     * @return true if any request was demoted.
+     */
+    bool processPendingDemotions();
+
+    /** Demote @p req into the low queue (flag, quantum, queues). */
+    void demote(workload::Request* req);
+
+    /** Sort @p queue by (quantaConsumed, key, arrival, id), caching
+     *  queueKey() into schedScore first when keys are in use. */
     void sortQueue(std::vector<workload::Request*>& queue) const;
+
+    /** Queue of @p req per its tag, for incremental maintenance. */
+    OrderedQueue<PascalQueueOrder>& queueOf(const workload::Request* r);
+
+    OrderedQueue<PascalQueueOrder> highQueue{1};
+    OrderedQueue<PascalQueueOrder> lowQueue{2};
+
+    /** Requests whose demotion rule must be re-checked at the next
+     *  plan boundary (deduped via schedDemotionPending). */
+    std::vector<workload::Request*> demotionCandidates;
+
+    /** Recompute-mode scratch partitions (capacity reused). */
+    std::vector<workload::Request*> highScratch;
+    std::vector<workload::Request*> lowScratch;
 };
 
 } // namespace core

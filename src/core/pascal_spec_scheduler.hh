@@ -59,6 +59,15 @@ class PascalSpecScheduler : public PascalScheduler
     {
         return lengthPredictor != nullptr;
     }
+
+    /** Inside the lookahead window below the threshold (necessary for
+     *  both the reactive rule and predictive demotion). */
+    bool
+    demotionPossible(const workload::Request* req) const override
+    {
+        return req->kvTokens() + limits.demoteLookaheadTokens >
+               limits.demoteThresholdTokens;
+    }
 };
 
 } // namespace core

@@ -15,29 +15,27 @@ RrScheduler::RrScheduler(SchedLimits limits) : IntraScheduler(limits)
         fatal("RrScheduler requires a positive token quantum");
 }
 
-IterationPlan
-RrScheduler::plan(const model::KvPool& pool)
+void
+RrScheduler::planInto(const model::KvPool& pool, IterationPlan& out)
 {
     // Priority: fewest quanta consumed first (the classic RR key),
     // then arrival order. Candidates that do not fit are skipped
     // rather than blocking the walk: time-sharing interleaves around
     // memory obstacles instead of queueing behind them.
-    std::vector<workload::Request*> order;
-    order.reserve(requests.size());
+    if (incrementalEnabled()) {
+        queue.repair();
+        greedySelectInto(queue.items(), pool, /*stop_at_unfit=*/false,
+                         out);
+        return;
+    }
+
+    orderScratch.clear();
     for (auto* r : requests) {
         if (schedulable(r))
-            order.push_back(r);
+            orderScratch.push_back(r);
     }
-    std::sort(order.begin(), order.end(),
-        [](const workload::Request* a, const workload::Request* b) {
-            if (a->quantaConsumed != b->quantaConsumed)
-                return a->quantaConsumed < b->quantaConsumed;
-            if (a->spec().arrival != b->spec().arrival)
-                return a->spec().arrival < b->spec().arrival;
-            return a->id() < b->id();
-        });
-
-    return greedySelect(order, pool, /*stop_at_unfit=*/false);
+    std::sort(orderScratch.begin(), orderScratch.end(), RrOrder{});
+    greedySelectInto(orderScratch, pool, /*stop_at_unfit=*/false, out);
 }
 
 } // namespace core

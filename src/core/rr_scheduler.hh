@@ -9,6 +9,11 @@
  * blocking at the cost of preemption overhead. The policy is
  * phase-unaware: reasoning and answering tokens count against the same
  * quantum.
+ *
+ * The (quantaConsumed, arrival, id) key only moves on a quantum
+ * rollover — once every `quantum` emitted tokens per request — so in
+ * incremental mode the queue repair touches at most the handful of
+ * requests that rolled over since the last plan.
  */
 
 #ifndef PASCAL_CORE_RR_SCHEDULER_HH
@@ -17,11 +22,27 @@
 #include <string>
 
 #include "src/core/intra_scheduler.hh"
+#include "src/core/ordered_queue.hh"
 
 namespace pascal
 {
 namespace core
 {
+
+/** Classic RR priority: fewest quanta, then arrival order. */
+struct RrOrder
+{
+    bool
+    operator()(const workload::Request* a,
+               const workload::Request* b) const
+    {
+        if (a->quantaConsumed != b->quantaConsumed)
+            return a->quantaConsumed < b->quantaConsumed;
+        if (a->spec().arrival != b->spec().arrival)
+            return a->spec().arrival < b->spec().arrival;
+        return a->id() < b->id();
+    }
+};
 
 /** Token-quantum round-robin across all hosted requests. */
 class RrScheduler : public IntraScheduler
@@ -31,7 +52,31 @@ class RrScheduler : public IntraScheduler
 
     std::string name() const override { return "RR"; }
 
-    IterationPlan plan(const model::KvPool& pool) override;
+  protected:
+    void planInto(const model::KvPool& pool,
+                  IterationPlan& out) override;
+
+    void onHostedAdded(workload::Request* req) override
+    {
+        queue.insert(req);
+    }
+
+    void onHostedRemoved(workload::Request* req) override
+    {
+        queue.erase(req);
+    }
+
+    void onRequestExecuted(workload::Request* req,
+                           bool quanta_changed) override
+    {
+        if (quanta_changed) {
+            queue.markDirty(req);
+            noteStateChanged();
+        }
+    }
+
+  private:
+    OrderedQueue<RrOrder> queue{1};
 };
 
 } // namespace core

@@ -1,8 +1,6 @@
 #include "src/core/srpt_scheduler.hh"
 
 #include <algorithm>
-#include <utility>
-#include <vector>
 
 #include "src/common/log.hh"
 
@@ -19,8 +17,8 @@ SrptScheduler::SrptScheduler(SchedLimits limits)
     this->limits.quantum = 0;
 }
 
-IterationPlan
-SrptScheduler::plan(const model::KvPool& pool)
+void
+SrptScheduler::planInto(const model::KvPool& pool, IterationPlan& out)
 {
     if (lengthPredictor == nullptr) {
         fatal("SrptScheduler: no length predictor wired; set "
@@ -30,35 +28,35 @@ SrptScheduler::plan(const model::KvPool& pool)
 
     // Shortest predicted remaining work first; stable arrival/id
     // tie-breaks keep runs deterministic when predictions collide.
-    std::vector<std::pair<double, workload::Request*>> keyed;
-    keyed.reserve(requests.size());
-    for (auto* r : requests) {
-        if (schedulable(r))
-            keyed.emplace_back(lengthPredictor->rankScore(*r), r);
-    }
-    std::sort(keyed.begin(), keyed.end(),
-        [](const std::pair<double, workload::Request*>& a,
-           const std::pair<double, workload::Request*>& b) {
-            if (a.first != b.first)
-                return a.first < b.first;
-            const auto* ra = a.second;
-            const auto* rb = b.second;
-            if (ra->spec().arrival != rb->spec().arrival)
-                return ra->spec().arrival < rb->spec().arrival;
-            return ra->id() < rb->id();
-        });
-
-    std::vector<workload::Request*> order;
-    order.reserve(keyed.size());
-    for (const auto& [score, r] : keyed)
-        order.push_back(r);
-
     // Skip semantics: a long request that does not fit must not block
     // the shorter ones behind it (that would re-create FCFS blocking).
-    IterationPlan plan =
-        greedySelect(order, pool, /*stop_at_unfit=*/false);
-    annotatePrediction(plan);
-    return plan;
+    if (incrementalEnabled()) {
+        if (predictorMoved()) {
+            // The online learner updated: every cached score is
+            // suspect, re-key the whole queue.
+            for (auto* r : requests) {
+                r->schedScore = lengthPredictor->rankScore(*r);
+                queue.markDirty(r);
+            }
+            noteStateChanged();
+        }
+        queue.repair();
+        greedySelectInto(queue.items(), pool, /*stop_at_unfit=*/false,
+                         out);
+        annotatePrediction(out);
+        return;
+    }
+
+    orderScratch.clear();
+    for (auto* r : requests) {
+        if (schedulable(r)) {
+            r->schedScore = lengthPredictor->rankScore(*r);
+            orderScratch.push_back(r);
+        }
+    }
+    std::sort(orderScratch.begin(), orderScratch.end(), SrptOrder{});
+    greedySelectInto(orderScratch, pool, /*stop_at_unfit=*/false, out);
+    annotatePrediction(out);
 }
 
 } // namespace core

@@ -32,26 +32,6 @@ KvPool::chargeFor(TokenCount tokens) const
     return blocks * blockSizeTokens;
 }
 
-bool
-KvPool::hasRequest(RequestId id) const
-{
-    return entries.count(id) != 0;
-}
-
-KvTier
-KvPool::tierOf(RequestId id) const
-{
-    auto it = entries.find(id);
-    return it == entries.end() ? KvTier::None : it->second.tier;
-}
-
-TokenCount
-KvPool::tokensOf(RequestId id) const
-{
-    auto it = entries.find(id);
-    return it == entries.end() ? 0 : it->second.tokens;
-}
-
 TokenCount
 KvPool::chargedTokensOf(RequestId id) const
 {
@@ -67,10 +47,21 @@ KvPool::canAllocGpu(TokenCount tokens) const
 KvPool::Entry&
 KvPool::lookup(RequestId id)
 {
-    auto it = entries.find(id);
-    if (it == entries.end())
+    const Entry* e = find(id);
+    if (e == nullptr)
         panic("KvPool: unknown request " + std::to_string(id));
-    return it->second;
+    return const_cast<Entry&>(*e);
+}
+
+KvPool::Entry&
+KvPool::slot(RequestId id)
+{
+    if (id < 0)
+        panic("KvPool: negative request id " + std::to_string(id));
+    auto idx = static_cast<std::size_t>(id);
+    if (idx >= entries.size())
+        entries.resize(idx + 1);
+    return entries[idx];
 }
 
 void
@@ -84,7 +75,8 @@ KvPool::allocGpu(RequestId id, TokenCount tokens)
     if (!canAllocGpu(tokens))
         panic("KvPool::allocGpu: over capacity for request " +
               std::to_string(id));
-    entries.emplace(id, Entry{KvTier::Gpu, tokens});
+    slot(id) = Entry{tokens, KvTier::Gpu};
+    ++trackedCount;
     gpuUsedTokens += chargeFor(tokens);
     peakGpuTokens = std::max(peakGpuTokens, gpuUsedTokens);
 }
@@ -97,7 +89,8 @@ KvPool::allocCpu(RequestId id, TokenCount tokens)
     if (hasRequest(id))
         panic("KvPool::allocCpu: request " + std::to_string(id) +
               " already tracked");
-    entries.emplace(id, Entry{KvTier::Cpu, tokens});
+    slot(id) = Entry{tokens, KvTier::Cpu};
+    ++trackedCount;
     cpuUsedTokens += chargeFor(tokens);
 }
 
@@ -110,7 +103,12 @@ KvPool::growGpu(RequestId id, TokenCount delta)
     if (e.tier != KvTier::Gpu)
         panic("KvPool::growGpu: request " + std::to_string(id) +
               " not GPU-resident");
-    TokenCount extra = chargeFor(e.tokens + delta) - chargeFor(e.tokens);
+    // One-token growth (every decode step) opens a fresh block only
+    // when the current size is an exact block multiple.
+    TokenCount extra =
+        delta == 1
+            ? (e.tokens % blockSizeTokens == 0 ? blockSizeTokens : 0)
+            : chargeFor(e.tokens + delta) - chargeFor(e.tokens);
     if (extra > gpuFree())
         panic("KvPool::growGpu: over capacity for request " +
               std::to_string(id));
@@ -155,7 +153,8 @@ KvPool::release(RequestId id)
         gpuUsedTokens -= chargeFor(e.tokens);
     else if (e.tier == KvTier::Cpu)
         cpuUsedTokens -= chargeFor(e.tokens);
-    entries.erase(id);
+    e = Entry{};
+    --trackedCount;
 }
 
 } // namespace model

@@ -12,7 +12,8 @@
 #ifndef PASCAL_MODEL_KV_POOL_HH
 #define PASCAL_MODEL_KV_POOL_HH
 
-#include <unordered_map>
+#include <cstddef>
+#include <vector>
 
 #include "src/common/types.hh"
 
@@ -37,6 +38,13 @@ enum class KvTier
  * @ref blockSize tokens, so a request holding 1 token of a 16-token
  * block still occupies the block. Pass block_size_tokens = 1 for exact
  * token-granular accounting.
+ *
+ * Per-request state lives in a dense RequestId-indexed table (trace
+ * ids are small consecutive integers), so the per-iteration hot calls
+ * — growGpu() for every decode-batch member, chargeFor()/residency
+ * checks in the schedulers' greedy walk — are branch-cheap O(1) array
+ * indexing with no hashing. The table grows to the largest id ever
+ * hosted and entries are recycled in place (tier None) on release.
  */
 class KvPool
 {
@@ -65,13 +73,27 @@ class KvPool
     TokenCount peakGpuUsed() const { return peakGpuTokens; }
 
     /** True if the pool tracks KV for @p id. */
-    bool hasRequest(RequestId id) const;
+    bool
+    hasRequest(RequestId id) const
+    {
+        return find(id) != nullptr;
+    }
 
     /** Residency tier of @p id (None if untracked). */
-    KvTier tierOf(RequestId id) const;
+    KvTier
+    tierOf(RequestId id) const
+    {
+        const Entry* e = find(id);
+        return e == nullptr ? KvTier::None : e->tier;
+    }
 
     /** Logical KV tokens held by @p id (0 if untracked). */
-    TokenCount tokensOf(RequestId id) const;
+    TokenCount
+    tokensOf(RequestId id) const
+    {
+        const Entry* e = find(id);
+        return e == nullptr ? 0 : e->tokens;
+    }
 
     /** Charged (block-rounded) KV tokens held by @p id. */
     TokenCount chargedTokensOf(RequestId id) const;
@@ -106,24 +128,38 @@ class KvPool
     }
 
     /** Number of requests with KV in either tier. */
-    std::size_t numTracked() const { return entries.size(); }
+    std::size_t numTracked() const { return trackedCount; }
 
   private:
     struct Entry
     {
-        KvTier tier;
-        TokenCount tokens; //!< Logical token count.
+        TokenCount tokens = 0;       //!< Logical token count.
+        KvTier tier = KvTier::None;
     };
+
+    /** Dense-table lookup; nullptr if untracked. */
+    const Entry*
+    find(RequestId id) const
+    {
+        if (id < 0 || static_cast<std::size_t>(id) >= entries.size())
+            return nullptr;
+        const Entry& e = entries[static_cast<std::size_t>(id)];
+        return e.tier == KvTier::None ? nullptr : &e;
+    }
 
     /** Lookup @p id or panic: misuse is a simulator bug. */
     Entry& lookup(RequestId id);
+
+    /** Grow the table so @p id is indexable; returns its entry. */
+    Entry& slot(RequestId id);
 
     TokenCount gpuCapacityTokens;
     TokenCount blockSizeTokens;
     TokenCount gpuUsedTokens = 0; //!< Charged (block-rounded) usage.
     TokenCount cpuUsedTokens = 0; //!< Charged (block-rounded) usage.
     TokenCount peakGpuTokens = 0;
-    std::unordered_map<RequestId, Entry> entries;
+    std::size_t trackedCount = 0;
+    std::vector<Entry> entries; //!< Indexed by RequestId.
 };
 
 } // namespace model

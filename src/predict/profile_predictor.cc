@@ -117,6 +117,7 @@ DatasetProfilePredictor::predictRemainingTokens(
 void
 DatasetProfilePredictor::observeCompletion(const workload::Request& req)
 {
+    bumpVersion(); // Quantiles move: downstream keys must re-rank.
     const workload::RequestSpec& spec = req.spec();
     Lengths& own = perDataset[spec.dataset];
     // startInAnswering requests never decode reasoning tokens here, so

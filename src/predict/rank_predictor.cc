@@ -132,6 +132,7 @@ PairwiseRankPredictor::predictRemainingTokens(
 void
 PairwiseRankPredictor::observeCompletion(const workload::Request& req)
 {
+    bumpVersion(); // Win rates move: downstream keys must re-rank.
     const workload::RequestSpec& spec = req.spec();
     const std::string key = bucketKey(spec);
     double total = static_cast<double>(req.totalToGenerate());

@@ -68,7 +68,17 @@ aggregateMetrics(const std::vector<RequestMetrics>& requests)
     if (requests.empty())
         return agg;
 
+    // Single pass: every mean/count/extremum streams through a
+    // Welford Summary, and the sample vectors that percentiles
+    // genuinely need are filled exactly once (reserved up front) and
+    // sorted exactly once each — a million-request run no longer
+    // copies and re-sorts the same latencies once per quantile.
     std::vector<double> ttfts, e2es, blockings, transfers;
+    ttfts.reserve(requests.size());
+    e2es.reserve(requests.size());
+    blockings.reserve(requests.size());
+    stats::Summary ttft_sum;
+    stats::Summary e2e_sum;
     stats::Summary qoe_sum;
     stats::Summary answering_sum;
     Time first_arrival = kTimeInfinity;
@@ -81,7 +91,9 @@ aggregateMetrics(const std::vector<RequestMetrics>& requests)
         if (!m.finished)
             continue;
         ++agg.numFinished;
+        ttft_sum.add(m.ttft);
         ttfts.push_back(m.ttft);
+        e2e_sum.add(m.e2eLatency);
         e2es.push_back(m.e2eLatency);
         answering_sum.add(m.answeringLatency);
         blockings.push_back(m.blockingLatency);
@@ -104,24 +116,24 @@ aggregateMetrics(const std::vector<RequestMetrics>& requests)
             static_cast<double>(total_tokens) / agg.makespan;
     }
 
-    stats::Summary ttft_sum;
-    for (double t : ttfts)
-        ttft_sum.add(t);
+    std::sort(ttfts.begin(), ttfts.end());
     agg.meanTtft = ttft_sum.mean();
     agg.maxTtft = ttft_sum.max();
-    agg.p50Ttft = stats::percentile(ttfts, 50.0);
-    agg.p99Ttft = stats::percentile(ttfts, 99.0);
+    agg.p50Ttft = stats::percentileOfSorted(ttfts, 50.0);
+    agg.p99Ttft = stats::percentileOfSorted(ttfts, 99.0);
 
-    stats::Summary e2e_sum;
-    for (double t : e2es)
-        e2e_sum.add(t);
+    std::sort(e2es.begin(), e2es.end());
     agg.meanE2eLatency = e2e_sum.mean();
-    agg.p50E2eLatency = stats::percentile(e2es, 50.0);
-    agg.p99E2eLatency = stats::percentile(e2es, 99.0);
+    agg.p50E2eLatency = stats::percentileOfSorted(e2es, 50.0);
+    agg.p99E2eLatency = stats::percentileOfSorted(e2es, 99.0);
     agg.meanAnsweringLatency = answering_sum.mean();
 
-    agg.p99BlockingLatency = stats::percentile(blockings, 99.0);
-    agg.p99KvTransferLatency = stats::percentile(transfers, 99.0);
+    std::sort(blockings.begin(), blockings.end());
+    agg.p99BlockingLatency =
+        stats::percentileOfSorted(blockings, 99.0);
+    std::sort(transfers.begin(), transfers.end());
+    agg.p99KvTransferLatency =
+        stats::percentileOfSorted(transfers, 99.0);
 
     agg.meanQoe = qoe_sum.mean();
     agg.sloViolationRate = static_cast<double>(violations) /

@@ -15,6 +15,8 @@
 #ifndef PASCAL_WORKLOAD_REQUEST_HH
 #define PASCAL_WORKLOAD_REQUEST_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -157,6 +159,58 @@ class Request
     /** Reset quantum accounting (PASCAL does this when a request
      *  changes queues at the phase boundary). */
     void resetQuantum();
+
+    /** @} */
+
+    /** @name Intrusive scheduler/engine bookkeeping
+     *
+     * Owned by the hosting core::IntraScheduler (sched*) and
+     * cluster::Instance (runEpoch); not part of the workload
+     * semantics. Keeping these fields inside the request makes the
+     * incremental scheduling structures allocation-free and O(1) to
+     * update: the queues store raw pointers and find a request's
+     * membership, dirtiness, and cached ordering key without any
+     * side-table lookup.
+     */
+    /** @{ */
+
+    /** Index in the scheduler's hosted vector (O(1) removal). */
+    std::size_t schedHostedPos = 0;
+
+    /** Intrusive insertion-order hosted list (O(1) unlink). The
+     *  hosted vector uses swap-pop removal, so consumers that need
+     *  the original arrival order — the snapshot's floating-point
+     *  prediction sum, whose result depends on summation order —
+     *  walk this list instead. */
+    Request* schedPrevHosted = nullptr;
+    Request* schedNextHosted = nullptr;
+
+    /** Cached predictor rank score used as the ordering key by
+     *  SRPT/PASCAL-Spec; refreshed whenever the request is re-keyed
+     *  so comparisons never call the predictor. */
+    double schedScore = 0.0;
+
+    /** quantaConsumed at the last scheduler sync (change detector). */
+    int schedCachedQuanta = 0;
+
+    /** Which scheduler queue holds the request (0 = none). */
+    std::uint8_t schedQueueTag = 0;
+
+    /** Awaiting re-insertion into its queue (key changed). */
+    bool schedDirtyPending = false;
+
+    /** Counted in the scheduler's maintained r_i counter. */
+    bool schedCountedReasoning = false;
+
+    /** Counted in the scheduler's maintained a_i counter. */
+    bool schedCountedFreshAns = false;
+
+    /** Queued for a demotion-rule re-check (KV or prediction moved). */
+    bool schedDemotionPending = false;
+
+    /** Instance iteration epoch when the request last ran (replaces
+     *  the per-iteration hash-set batch membership test). */
+    std::uint64_t runEpoch = 0;
 
     /** @} */
 

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared byte-identical RunResult comparison for determinism and
+ * invariance tests: every scalar compared exactly (no tolerance),
+ * every vector element-wise. Any divergence between two runs of the
+ * same {config, trace} — across threads, across run chunking, or
+ * across the incremental/force-resort scheduler modes — is a bug.
+ */
+
+#ifndef PASCAL_TESTS_RUN_RESULT_UTIL_HH
+#define PASCAL_TESTS_RUN_RESULT_UTIL_HH
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "src/cluster/serving_system.hh"
+
+namespace pascal
+{
+namespace test
+{
+
+inline void
+expectIdentical(const cluster::RunResult& a, const cluster::RunResult& b)
+{
+    ASSERT_EQ(a.perRequest.size(), b.perRequest.size());
+    for (std::size_t i = 0; i < a.perRequest.size(); ++i) {
+        const auto& ra = a.perRequest[i];
+        const auto& rb = b.perRequest[i];
+        ASSERT_EQ(ra.id, rb.id);
+        EXPECT_EQ(ra.dataset, rb.dataset);
+        EXPECT_EQ(ra.arrival, rb.arrival);
+        EXPECT_EQ(ra.finished, rb.finished);
+        EXPECT_EQ(ra.ttft, rb.ttft);
+        EXPECT_EQ(ra.ttfat, rb.ttfat);
+        EXPECT_EQ(ra.reasoningLatency, rb.reasoningLatency);
+        EXPECT_EQ(ra.e2eLatency, rb.e2eLatency);
+        EXPECT_EQ(ra.answeringLatency, rb.answeringLatency);
+        EXPECT_EQ(ra.blockingLatency, rb.blockingLatency);
+        EXPECT_EQ(ra.queueingDelay, rb.queueingDelay);
+        EXPECT_EQ(ra.meanTpot, rb.meanTpot);
+        EXPECT_EQ(ra.qoe, rb.qoe);
+        EXPECT_EQ(ra.sloViolated, rb.sloViolated);
+        EXPECT_EQ(ra.migrationCount, rb.migrationCount);
+        EXPECT_EQ(ra.kvTransferLatencies, rb.kvTransferLatencies);
+    }
+    EXPECT_EQ(a.aggregate.numRequests, b.aggregate.numRequests);
+    EXPECT_EQ(a.aggregate.numFinished, b.aggregate.numFinished);
+    EXPECT_EQ(a.aggregate.makespan, b.aggregate.makespan);
+    EXPECT_EQ(a.aggregate.throughputTokensPerSec,
+              b.aggregate.throughputTokensPerSec);
+    EXPECT_EQ(a.aggregate.meanTtft, b.aggregate.meanTtft);
+    EXPECT_EQ(a.aggregate.p50Ttft, b.aggregate.p50Ttft);
+    EXPECT_EQ(a.aggregate.p99Ttft, b.aggregate.p99Ttft);
+    EXPECT_EQ(a.aggregate.maxTtft, b.aggregate.maxTtft);
+    EXPECT_EQ(a.aggregate.meanQoe, b.aggregate.meanQoe);
+    EXPECT_EQ(a.aggregate.sloViolationRate,
+              b.aggregate.sloViolationRate);
+    EXPECT_EQ(a.aggregate.meanE2eLatency, b.aggregate.meanE2eLatency);
+    EXPECT_EQ(a.aggregate.p50E2eLatency, b.aggregate.p50E2eLatency);
+    EXPECT_EQ(a.aggregate.p99E2eLatency, b.aggregate.p99E2eLatency);
+    EXPECT_EQ(a.aggregate.meanAnsweringLatency,
+              b.aggregate.meanAnsweringLatency);
+    EXPECT_EQ(a.aggregate.p99BlockingLatency,
+              b.aggregate.p99BlockingLatency);
+    EXPECT_EQ(a.aggregate.p99KvTransferLatency,
+              b.aggregate.p99KvTransferLatency);
+    EXPECT_EQ(a.aggregate.totalMigrations,
+              b.aggregate.totalMigrations);
+    EXPECT_EQ(a.peakGpuKvTokens, b.peakGpuKvTokens);
+    EXPECT_EQ(a.kvCapacityTokens, b.kvCapacityTokens);
+    EXPECT_EQ(a.totalIterations, b.totalIterations);
+    EXPECT_EQ(a.numUnfinished, b.numUnfinished);
+    EXPECT_EQ(a.totalMigrations, b.totalMigrations);
+    EXPECT_EQ(a.kvTransferLatencies, b.kvTransferLatencies);
+    EXPECT_EQ(a.schedulerName, b.schedulerName);
+    EXPECT_EQ(a.placementName, b.placementName);
+    EXPECT_EQ(a.predictorName, b.predictorName);
+}
+
+} // namespace test
+} // namespace pascal
+
+#endif // PASCAL_TESTS_RUN_RESULT_UTIL_HH

@@ -30,11 +30,11 @@ class ProbeScheduler : public IntraScheduler
 
     std::string name() const override { return "probe"; }
 
-    IterationPlan
-    plan(const model::KvPool& pool) override
+    void
+    planInto(const model::KvPool& pool, IterationPlan& out) override
     {
-        return greedySelect(requests, pool, stopAtUnfit, highPrefix,
-                            highCap);
+        greedySelectInto(requests, pool, stopAtUnfit, out, highPrefix,
+                         highCap);
     }
 
     bool stopAtUnfit = false;

@@ -141,4 +141,33 @@ TEST(KvPoolDeath, UnknownRequestPanics)
     EXPECT_DEATH(pool.growGpu(7, 1), "unknown request");
 }
 
+TEST(KvPool, DenseTableHandlesSparseAndRecycledIds)
+{
+    // The dense RequestId-indexed table must behave like the old map
+    // for out-of-order ids, gaps, and release/re-alloc cycles.
+    KvPool pool(1000);
+    pool.allocGpu(9, 100);
+    pool.allocGpu(2, 50);
+    pool.allocCpu(5, 25);
+    EXPECT_EQ(pool.numTracked(), 3u);
+    EXPECT_EQ(pool.tierOf(9), KvTier::Gpu);
+    EXPECT_EQ(pool.tierOf(5), KvTier::Cpu);
+    EXPECT_EQ(pool.tierOf(7), KvTier::None); // Gap: never allocated.
+    EXPECT_FALSE(pool.hasRequest(7));
+    EXPECT_EQ(pool.tokensOf(7), 0);
+
+    pool.release(9);
+    EXPECT_FALSE(pool.hasRequest(9));
+    EXPECT_EQ(pool.numTracked(), 2u);
+    pool.allocGpu(9, 10); // Slot recycled in place.
+    EXPECT_EQ(pool.tokensOf(9), 10);
+    EXPECT_EQ(pool.gpuUsed(), 60);
+}
+
+TEST(KvPoolDeath, NegativeIdPanics)
+{
+    KvPool pool(100);
+    EXPECT_DEATH(pool.allocGpu(-1, 10), "negative request id");
+}
+
 } // namespace

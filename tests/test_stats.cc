@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "src/common/log.hh"
@@ -77,6 +79,34 @@ TEST(Percentile, OutOfRangeIsFatal)
 {
     EXPECT_THROW(percentile({1.0}, -1.0), pascal::FatalError);
     EXPECT_THROW(percentile({1.0}, 101.0), pascal::FatalError);
+}
+
+TEST(Percentile, SortedFlavourMatchesSelectionFlavour)
+{
+    // percentileOfSorted must return bit-identical values to
+    // percentile() for every quantile: aggregateMetrics sorts once
+    // and reads all its quantiles from the shared order.
+    std::vector<double> xs;
+    std::uint64_t state = 88172645463325252ull;
+    for (int i = 0; i < 257; ++i) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        xs.push_back(static_cast<double>(state % 100003) / 97.0);
+    }
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    for (double p : {0.0, 1.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(percentileOfSorted(sorted, p),
+                         percentile(xs, p));
+}
+
+TEST(Percentile, SortedFlavourEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(percentileOfSorted({}, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentileOfSorted({42.0}, 99.0), 42.0);
+    EXPECT_THROW(percentileOfSorted({1.0, 2.0}, 101.0),
+                 pascal::FatalError);
 }
 
 TEST(AdaptiveTail, OmitsTinyBins)

@@ -16,6 +16,7 @@
 #include "src/common/log.hh"
 #include "src/common/rng.hh"
 #include "src/workload/generator.hh"
+#include "tests/run_result_util.hh"
 
 namespace
 {
@@ -24,6 +25,7 @@ using namespace pascal;
 using cluster::RunResult;
 using cluster::SweepRunner;
 using cluster::SystemConfig;
+using test::expectIdentical;
 
 class QuietLogs : public ::testing::Test
 {
@@ -43,67 +45,8 @@ smallTrace(std::uint64_t seed, int n = 120, double rate = 10.0)
         workload::DatasetProfile::alpacaEval(), n, rate, rng);
 }
 
-/**
- * Byte-identical comparison of two run results: every scalar compared
- * exactly (no tolerance), every vector element-wise. Any divergence
- * between two runs of the same {config, trace} is a determinism bug.
- */
-void
-expectIdentical(const RunResult& a, const RunResult& b)
-{
-    ASSERT_EQ(a.perRequest.size(), b.perRequest.size());
-    for (std::size_t i = 0; i < a.perRequest.size(); ++i) {
-        const auto& ra = a.perRequest[i];
-        const auto& rb = b.perRequest[i];
-        ASSERT_EQ(ra.id, rb.id);
-        EXPECT_EQ(ra.dataset, rb.dataset);
-        EXPECT_EQ(ra.arrival, rb.arrival);
-        EXPECT_EQ(ra.finished, rb.finished);
-        EXPECT_EQ(ra.ttft, rb.ttft);
-        EXPECT_EQ(ra.ttfat, rb.ttfat);
-        EXPECT_EQ(ra.reasoningLatency, rb.reasoningLatency);
-        EXPECT_EQ(ra.e2eLatency, rb.e2eLatency);
-        EXPECT_EQ(ra.answeringLatency, rb.answeringLatency);
-        EXPECT_EQ(ra.blockingLatency, rb.blockingLatency);
-        EXPECT_EQ(ra.queueingDelay, rb.queueingDelay);
-        EXPECT_EQ(ra.meanTpot, rb.meanTpot);
-        EXPECT_EQ(ra.qoe, rb.qoe);
-        EXPECT_EQ(ra.sloViolated, rb.sloViolated);
-        EXPECT_EQ(ra.migrationCount, rb.migrationCount);
-        EXPECT_EQ(ra.kvTransferLatencies, rb.kvTransferLatencies);
-    }
-    EXPECT_EQ(a.aggregate.numRequests, b.aggregate.numRequests);
-    EXPECT_EQ(a.aggregate.numFinished, b.aggregate.numFinished);
-    EXPECT_EQ(a.aggregate.makespan, b.aggregate.makespan);
-    EXPECT_EQ(a.aggregate.throughputTokensPerSec,
-              b.aggregate.throughputTokensPerSec);
-    EXPECT_EQ(a.aggregate.meanTtft, b.aggregate.meanTtft);
-    EXPECT_EQ(a.aggregate.p50Ttft, b.aggregate.p50Ttft);
-    EXPECT_EQ(a.aggregate.p99Ttft, b.aggregate.p99Ttft);
-    EXPECT_EQ(a.aggregate.maxTtft, b.aggregate.maxTtft);
-    EXPECT_EQ(a.aggregate.meanQoe, b.aggregate.meanQoe);
-    EXPECT_EQ(a.aggregate.sloViolationRate,
-              b.aggregate.sloViolationRate);
-    EXPECT_EQ(a.aggregate.meanE2eLatency, b.aggregate.meanE2eLatency);
-    EXPECT_EQ(a.aggregate.p99E2eLatency, b.aggregate.p99E2eLatency);
-    EXPECT_EQ(a.aggregate.meanAnsweringLatency,
-              b.aggregate.meanAnsweringLatency);
-    EXPECT_EQ(a.aggregate.p99BlockingLatency,
-              b.aggregate.p99BlockingLatency);
-    EXPECT_EQ(a.aggregate.p99KvTransferLatency,
-              b.aggregate.p99KvTransferLatency);
-    EXPECT_EQ(a.aggregate.totalMigrations,
-              b.aggregate.totalMigrations);
-    EXPECT_EQ(a.peakGpuKvTokens, b.peakGpuKvTokens);
-    EXPECT_EQ(a.kvCapacityTokens, b.kvCapacityTokens);
-    EXPECT_EQ(a.totalIterations, b.totalIterations);
-    EXPECT_EQ(a.numUnfinished, b.numUnfinished);
-    EXPECT_EQ(a.totalMigrations, b.totalMigrations);
-    EXPECT_EQ(a.kvTransferLatencies, b.kvTransferLatencies);
-    EXPECT_EQ(a.schedulerName, b.schedulerName);
-    EXPECT_EQ(a.placementName, b.placementName);
-    EXPECT_EQ(a.predictorName, b.predictorName);
-}
+// expectIdentical (tests/run_result_util.hh): byte-identical
+// comparison shared with the plan-reuse invariance suite.
 
 TEST_F(RunContextTest, MatchesServingSystemFacade)
 {
