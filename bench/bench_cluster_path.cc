@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Cluster-path benchmark: the lazy accrual + incremental ClusterView
+ * + arena-backed sweep fast path vs the recompute debug modes
+ * (PASCAL_FORCE_ACCRUE eager walk + PASCAL_FORCE_VIEW full per-
+ * decision snapshot rebuild).
+ *
+ * Where bench_scheduler_iteration measures the intra-instance
+ * scheduling path in isolation, this bench runs whole simulations and
+ * measures the cluster-level loops PR 4 made O(dirty):
+ *
+ *  - arrival-storm:    arrivals pour into a multi-instance deployment
+ *                      with deep backlogs; per-iteration accrual walks
+ *                      and per-arrival view rebuilds dominate the
+ *                      recompute mode.
+ *  - transition-storm: short reasoning phases fire placement decisions
+ *                      (and migrations) at a high rate, hammering the
+ *                      phase-transition view path.
+ *  - sweep-throughput: a SweepRunner grid over large tiny-request
+ *                      traces (the million-request regime scaled for
+ *                      CI; --big restores the full size), measuring
+ *                      end-to-end sweep throughput in requests/s with
+ *                      the shared-trace registry and per-run request
+ *                      arenas.
+ *
+ * Both modes run identical workloads and must agree on a checksum
+ * (iterations, finishes, migrations) — a divergence aborts the bench,
+ * so the speedups can only come from doing the same work faster.
+ *
+ * Output: human table + JSON (argv[1], default BENCH_cluster_path.json).
+ * With --check-fastpath the process exits nonzero if the fast path is
+ * not at least as fast as recompute on the sweep-throughput shape (the
+ * headline arrival-heavy multi-instance sweep) — CI runs it this way
+ * so a regression that deoptimizes the cluster path fails the perf
+ * job.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/cluster/run_context.hh"
+#include "src/cluster/sweep_runner.hh"
+#include "src/common/log.hh"
+#include "src/common/rng.hh"
+#include "src/workload/generator.hh"
+
+namespace
+{
+
+using namespace pascal;
+using cluster::PlacementType;
+using cluster::SchedulerType;
+using cluster::SystemConfig;
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+struct ShapeResult
+{
+    std::string shape;
+    std::string mode;
+    std::uint64_t requests = 0;
+    double seconds = 0.0;
+    std::uint64_t checksum = 0;
+    std::string traceLabel;
+
+    double
+    requestsPerSec() const
+    {
+        return seconds > 0.0 ? static_cast<double>(requests) / seconds
+                             : 0.0;
+    }
+};
+
+/** Force both cluster-path debug modes (the pre-optimization cost
+ *  model: eager accrual walk + per-decision view rebuild). */
+void
+applyMode(SystemConfig& cfg, bool recompute)
+{
+    cfg.limits.forceAccrue = recompute;
+    cfg.forceViewRebuild = recompute;
+}
+
+std::uint64_t
+resultChecksum(const cluster::RunResult& r)
+{
+    return r.totalIterations * 1000003ull +
+           r.aggregate.numFinished * 10007ull +
+           static_cast<std::uint64_t>(r.totalMigrations) * 101ull +
+           r.numUnfinished;
+}
+
+/** arrival-storm: deep backlogs on a constrained 8-instance cluster. */
+ShapeResult
+arrivalStorm(bool recompute)
+{
+    // A burst far beyond the cluster's admission rate: the backlog
+    // grows to thousands of hosted-but-waiting requests, the regime
+    // where the eager per-iteration accrual walk and the per-arrival
+    // full view rebuild are pure O(hosted) overhead.
+    Rng rng(1);
+    auto profile = workload::DatasetProfile::alpacaEval();
+    profile.prompt = {96.0, 0.5, 32, 256};
+    profile.reasoning = {220.0, 0.7, 32, 900};
+    profile.answering = {90.0, 0.6, 16, 400};
+    auto trace = workload::generateTrace(profile, 10000, 4000.0, rng);
+
+    SystemConfig cfg = SystemConfig::pascal(8);
+    cfg.gpuKvCapacityTokens = 49152;
+    applyMode(cfg, recompute);
+
+    auto start = std::chrono::steady_clock::now();
+    auto result = cluster::RunContext::execute(cfg, trace);
+    double elapsed = secondsSince(start);
+    return {"arrival-storm", recompute ? "recompute" : "fast",
+            trace.size(), elapsed, resultChecksum(result),
+            trace.describe()};
+}
+
+/** transition-storm: short reasoning phases fire placement decisions
+ *  and adaptive migrations at token rate. */
+ShapeResult
+transitionStorm(bool recompute)
+{
+    Rng rng(2);
+    auto profile = workload::DatasetProfile::alpacaEval();
+    profile.prompt = {64.0, 0.4, 32, 128};
+    profile.reasoning = {30.0, 0.5, 16, 80};
+    profile.answering = {280.0, 0.6, 64, 900};
+    auto trace = workload::generateTrace(profile, 6000, 600.0, rng);
+
+    SystemConfig cfg = SystemConfig::pascal(6);
+    cfg.gpuKvCapacityTokens = 131072;
+    applyMode(cfg, recompute);
+
+    auto start = std::chrono::steady_clock::now();
+    auto result = cluster::RunContext::execute(cfg, trace);
+    double elapsed = secondsSince(start);
+    return {"transition-storm", recompute ? "recompute" : "fast",
+            trace.size(), elapsed, resultChecksum(result),
+            trace.describe()};
+}
+
+/** sweep-throughput: a grid over large tiny-request traces. */
+ShapeResult
+sweepThroughput(bool recompute, bool big)
+{
+    // Tiny generations keep the token work per request small, so the
+    // measured regime is the per-request machinery (arena
+    // construction, arrival placement, admission) — the cost that
+    // scales with million-request grids.
+    auto profile = workload::DatasetProfile::alpacaEval();
+    profile.prompt = {32.0, 0.4, 16, 64};
+    profile.reasoning = {20.0, 0.5, 8, 48};
+    profile.answering = {10.0, 0.4, 4, 24};
+
+    const int per_trace = big ? 250'000 : 60'000;
+    cluster::SweepRunner runner;
+    auto t0 = runner.addGeneratedTrace(profile, per_trace, 2000.0, 11);
+    auto t1 = runner.addGeneratedTrace(profile, per_trace, 2500.0, 12);
+
+    SystemConfig pascal_cfg = SystemConfig::pascal(4);
+    pascal_cfg.gpuKvCapacityTokens = 65536;
+    SystemConfig fcfs_cfg =
+        SystemConfig::baseline(SchedulerType::Fcfs, 4);
+    fcfs_cfg.gpuKvCapacityTokens = 65536;
+    applyMode(pascal_cfg, recompute);
+    applyMode(fcfs_cfg, recompute);
+    runner.addGrid({pascal_cfg, fcfs_cfg}, {t0, t1});
+
+    auto start = std::chrono::steady_clock::now();
+    auto result = runner.run(2);
+    double elapsed = secondsSince(start);
+
+    std::uint64_t checksum = 0;
+    std::uint64_t simulated = 0;
+    for (const auto& outcome : result.outcomes) {
+        checksum = checksum * 31ull + resultChecksum(outcome.result);
+        simulated += outcome.result.perRequest.size();
+    }
+    return {"sweep-throughput", recompute ? "recompute" : "fast",
+            simulated, elapsed, checksum,
+            runner.trace(t0).describe() + " x2 configs x2 traces"};
+}
+
+void
+print(const ShapeResult& r)
+{
+    std::printf("%-16s %-9s %9llu reqs  %8.3f s  %10.0f reqs/s\n",
+                r.shape.c_str(), r.mode.c_str(),
+                static_cast<unsigned long long>(r.requests), r.seconds,
+                r.requestsPerSec());
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+try {
+    std::string json_path = "BENCH_cluster_path.json";
+    bool check_fastpath = false;
+    bool big = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check-fastpath") == 0)
+            check_fastpath = true;
+        else if (std::strcmp(argv[i], "--big") == 0)
+            big = true;
+        else
+            json_path = argv[i];
+    }
+    setQuiet(true);
+
+    std::printf("== cluster path (fast vs recompute) ==\n");
+    std::vector<ShapeResult> results;
+    auto run_pair = [&](auto&& fn) {
+        ShapeResult fast = fn(false);
+        ShapeResult recompute = fn(true);
+        if (fast.checksum != recompute.checksum) {
+            fatal("mode divergence on shape '" + fast.shape +
+                  "': fast checksum " + std::to_string(fast.checksum) +
+                  " vs recompute " +
+                  std::to_string(recompute.checksum));
+        }
+        print(fast);
+        print(recompute);
+        results.push_back(fast);
+        results.push_back(recompute);
+    };
+    run_pair(arrivalStorm);
+    run_pair(transitionStorm);
+    run_pair([big](bool recompute) {
+        return sweepThroughput(recompute, big);
+    });
+
+    std::printf("\n== cluster-path speedup ==\n");
+    std::ofstream json(json_path);
+    if (!json)
+        fatal("cannot open '" + json_path + "' for writing");
+    json << "{\n  \"bench\": \"bench_cluster_path\",\n"
+         << "  \"big\": " << (big ? "true" : "false") << ",\n"
+         << "  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        json << "    {\"shape\": \"" << r.shape << "\", \"mode\": \""
+             << r.mode << "\", \"trace\": \"" << r.traceLabel
+             << "\", \"requests\": " << r.requests
+             << ", \"seconds\": " << r.seconds
+             << ", \"requests_per_sec\": " << r.requestsPerSec() << "}"
+             << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n  \"speedup\": {";
+    double sweep_speedup = 0.0;
+    for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+        double speedup = results[i + 1].seconds / results[i].seconds;
+        if (results[i].shape == "sweep-throughput")
+            sweep_speedup = speedup;
+        std::printf("%-16s %5.2fx\n", results[i].shape.c_str(),
+                    speedup);
+        json << (i ? ", " : "") << "\"" << results[i].shape
+             << "\": " << speedup;
+    }
+    json << "}\n}\n";
+    json.close();
+    std::printf("\nJSON written to %s\n", json_path.c_str());
+
+    if (check_fastpath && sweep_speedup < 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: cluster fast path slower than recompute on "
+                     "the sweep-throughput shape (%.2fx)\n",
+                     sweep_speedup);
+        return 1;
+    }
+    return 0;
+} catch (const pascal::FatalError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+}

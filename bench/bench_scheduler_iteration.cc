@@ -102,21 +102,22 @@ class MicroEngine
         TokenCount quantum = sched->schedLimits().quantum;
 
         for (auto* r : plan.swapOut) {
-            pool.moveToCpu(r->id());
+            pool.moveToCpu(r->kvSlot);
             r->exec = ExecState::SwappedCpu;
             ++swaps;
         }
         for (auto* r : plan.swapIn) {
-            pool.moveToGpu(r->id());
+            pool.moveToGpu(r->kvSlot);
             r->exec = ExecState::ResidentGpu;
             ++swaps;
         }
         for (auto* r : plan.prefill) {
-            pool.allocGpu(r->id(), r->spec().promptTokens + 1);
+            r->kvSlot =
+                pool.allocGpu(r->id(), r->spec().promptTokens + 1);
             r->exec = ExecState::ResidentGpu;
         }
         for (auto* r : plan.decode)
-            pool.growGpu(r->id(), 1);
+            pool.growGpu(r->kvSlot, 1);
 
         for (auto* r : plan.prefill) {
             r->completePrefill(clock, quantum);
@@ -130,7 +131,8 @@ class MicroEngine
 
         auto retire = [&](Request* r) {
             if (r->finished()) {
-                pool.release(r->id());
+                pool.release(r->kvSlot);
+                r->kvSlot = model::kNoKvSlot;
                 r->exec = ExecState::Done;
                 sched->remove(r);
                 ++completions;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <string>
 
 #include "src/common/log.hh"
@@ -41,8 +42,19 @@ Cluster::Cluster(sim::Simulator& sim, const SystemConfig& cfg)
             predictor->observeCompletion(*r);
     };
 
+    predictiveView = cfg.placement == PlacementType::PascalPredictive &&
+                     predictor != nullptr;
+    forceViewRebuild = cfg.forceViewRebuild ||
+                       std::getenv("PASCAL_FORCE_VIEW") != nullptr;
+
     instances.reserve(cfg.numInstances);
     ingress.reserve(cfg.numInstances);
+    view.resize(cfg.numInstances);
+    sloRiskAt.assign(cfg.numInstances, kTimeInfinity);
+    viewDirtyFlags.assign(cfg.numInstances, 0);
+    // Dedup flags bound the list to one entry per instance, so it
+    // never reallocates under the instances' feet.
+    viewDirtyList.reserve(cfg.numInstances);
     for (InstanceId i = 0; i < cfg.numInstances; ++i) {
         instances.push_back(std::make_unique<Instance>(
             i, sim, perf, makeScheduler(cfg.scheduler, cfg.limits),
@@ -50,6 +62,8 @@ Cluster::Cluster(sim::Simulator& sim, const SystemConfig& cfg)
         instances.back()->setPredictor(
             predictor.get(),
             cfg.placement == PlacementType::PascalPredictive);
+        instances.back()->setViewDirtyHook(&viewDirtyFlags[i],
+                                           &viewDirtyList);
         ingress.push_back(std::make_unique<model::Link>(
             sim, cfg.hardware.effFabricBandwidth(),
             "fabric-ingress-" + std::to_string(i)));
@@ -60,29 +74,94 @@ void
 Cluster::submitTrace(const workload::Trace& trace)
 {
     trace.validate();
-    requests.reserve(requests.size() + trace.size());
-    for (const auto& spec : trace.requests) {
-        requests.push_back(std::make_unique<workload::Request>(spec));
-        workload::Request* req = requests.back().get();
-        sim.at(spec.arrival, [this, req]() { onArrival(req); });
+    // One contiguous chunk per trace: submission is a single
+    // allocation instead of one heap node per request.
+    std::vector<workload::Request>& chunk = requests.addChunk(trace);
+    for (auto& req : chunk) {
+        workload::Request* r = &req;
+        sim.at(r->spec().arrival, [this, r]() { onArrival(r); });
     }
 }
 
-core::ClusterView
-Cluster::buildView(Time now) const
+void
+Cluster::refreshSnapshot(InstanceId id, Time now)
 {
-    core::ClusterView view;
-    view.reserve(instances.size());
-    for (const auto& inst : instances)
-        view.push_back(inst->snapshot(now));
+    view[static_cast<std::size_t>(id)] =
+        instances[static_cast<std::size_t>(id)]->snapshot(
+            now, &sloRiskAt[static_cast<std::size_t>(id)]);
+    viewDirtyFlags[static_cast<std::size_t>(id)] = 0;
+    ++viewRefreshes;
+}
+
+const core::ClusterView&
+Cluster::buildView(Time now)
+{
+    ++viewBuilds;
+    bool refreshed = false;
+    if (forceViewRebuild || !viewPrimed ||
+        (predictiveView &&
+         predictor->version() != viewPredictorVersion)) {
+        // Full rebuild: debug mode, first decision, or the shared
+        // online predictor learned something (which silently moves
+        // every instance's predicted footprint).
+        for (InstanceId i = 0;
+             i < static_cast<InstanceId>(instances.size()); ++i)
+            refreshSnapshot(i, now);
+        viewDirtyList.clear();
+        viewPrimed = true;
+        refreshed = true;
+    } else {
+        for (InstanceId id : viewDirtyList) {
+            // Stale list entries can outlive their flag (a full
+            // rebuild clears flags wholesale): the flag is the truth.
+            if (viewDirtyFlags[static_cast<std::size_t>(id)] != 0) {
+                refreshSnapshot(id, now);
+                refreshed = true;
+            }
+        }
+        viewDirtyList.clear();
+        if (now >= minSloRiskAt) {
+            // A cached "answering SLO ok" can sour purely by time
+            // passing (mid-step): re-check every at-risk row.
+            for (InstanceId i = 0;
+                 i < static_cast<InstanceId>(instances.size()); ++i) {
+                if (view[static_cast<std::size_t>(i)].answeringSloOk &&
+                    now >= sloRiskAt[static_cast<std::size_t>(i)]) {
+                    refreshSnapshot(i, now);
+                    refreshed = true;
+                }
+            }
+        }
+    }
+    if (refreshed) {
+        minSloRiskAt = kTimeInfinity;
+        for (std::size_t i = 0; i < view.size(); ++i) {
+            if (view[i].answeringSloOk)
+                minSloRiskAt = std::min(minSloRiskAt, sloRiskAt[i]);
+        }
+    }
+    if (predictiveView)
+        viewPredictorVersion = predictor->version();
+
+    if (viewAudit) {
+        for (std::size_t i = 0; i < instances.size(); ++i) {
+            core::InstanceSnapshot fresh = instances[i]->snapshot(now);
+            if (fresh != view[i]) {
+                panic("incremental ClusterView diverged from fresh "
+                      "snapshot of instance " +
+                      std::to_string(instances[i]->id()) +
+                      " at t=" + std::to_string(now));
+            }
+        }
+    }
     return view;
 }
 
 void
 Cluster::onArrival(workload::Request* req)
 {
-    core::ClusterView view = buildView(sim.now());
-    InstanceId target = placement->placeNew(view, *req);
+    const core::ClusterView& v = buildView(sim.now());
+    InstanceId target = placement->placeNew(v, *req);
     if (target < 0 || target >= static_cast<InstanceId>(instances.size()))
         panic("placement returned invalid instance " +
               std::to_string(target));
@@ -92,8 +171,8 @@ Cluster::onArrival(workload::Request* req)
 void
 Cluster::onPhaseTransition(workload::Request* req, InstanceId from)
 {
-    core::ClusterView view = buildView(sim.now());
-    InstanceId target = placement->placeTransition(view, *req, from);
+    const core::ClusterView& v = buildView(sim.now());
+    InstanceId target = placement->placeTransition(v, *req, from);
     if (target < 0 || target >= static_cast<InstanceId>(instances.size()))
         panic("placement returned invalid instance " +
               std::to_string(target));
@@ -101,7 +180,7 @@ Cluster::onPhaseTransition(workload::Request* req, InstanceId from)
     if (target == from) {
         // Stay home: the intra-instance scheduler requeues the request
         // into its answering-phase (low-priority) machinery.
-        instances[from]->scheduler().onPhaseTransition(req);
+        instances[from]->stayHomeTransition(req);
         return;
     }
     migrate(req, from, target);
@@ -133,8 +212,18 @@ Cluster::collectMetrics() const
 {
     std::vector<qoe::RequestMetrics> out;
     out.reserve(requests.size());
-    for (const auto& req : requests)
-        out.push_back(qoe::computeRequestMetrics(*req, cfg.slo));
+    Time now = sim.now();
+    requests.forEach([&](workload::Request& req) {
+        // Observation point: settle lazily accrued phase time for
+        // requests still in flight (finished requests settled at
+        // their final emission; unarrived ones have nothing accrued).
+        if (!req.finished() &&
+            req.exec != workload::ExecState::Unassigned &&
+            req.exec != workload::ExecState::Done) {
+            req.settleAccrual(now);
+        }
+        out.push_back(qoe::computeRequestMetrics(req, cfg.slo));
+    });
     return out;
 }
 
@@ -142,10 +231,10 @@ std::size_t
 Cluster::numUnfinished() const
 {
     std::size_t n = 0;
-    for (const auto& req : requests) {
-        if (!req->finished())
+    requests.forEach([&](const workload::Request& req) {
+        if (!req.finished())
             ++n;
-    }
+    });
     return n;
 }
 

@@ -12,6 +12,7 @@
 #ifndef PASCAL_CLUSTER_CLUSTER_HH
 #define PASCAL_CLUSTER_CLUSTER_HH
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "src/predict/predictor.hh"
 #include "src/qoe/metrics.hh"
 #include "src/sim/simulator.hh"
+#include "src/workload/request_arena.hh"
 #include "src/workload/trace.hh"
 
 namespace pascal
@@ -77,6 +79,20 @@ class Cluster
         return predictor.get();
     }
 
+    /**
+     * Debug/test hook: on every incremental buildView(), additionally
+     * recompute every instance's snapshot from scratch and panic on
+     * any field divergence from the maintained view. The cluster-view
+     * property tests churn a multi-instance deployment with this on,
+     * proving the dirty-marking contract covers every event that can
+     * move a snapshot field.
+     */
+    void enableViewAudit() { viewAudit = true; }
+
+    /** Incremental-view bookkeeping stats (bench/diagnostics). */
+    std::uint64_t numViewRefreshes() const { return viewRefreshes; }
+    std::uint64_t numViewBuilds() const { return viewBuilds; }
+
   private:
     /** Route a new arrival via Placement::placeNew (Algorithm 1). */
     void onArrival(workload::Request* req);
@@ -89,7 +105,22 @@ class Cluster
     void migrate(workload::Request* req, InstanceId from,
                  InstanceId to);
 
-    core::ClusterView buildView(Time now) const;
+    /**
+     * The placement algorithms' cluster view. The cluster keeps one
+     * persistent core::ClusterView and refreshes only the snapshots
+     * of instances that marked themselves dirty since the last
+     * decision (plus any instance whose cached answeringSloOk could
+     * have flipped purely by time passing — see sloRiskAt), making
+     * arrivals and phase transitions O(dirty) instead of
+     * O(instances x hosted). SystemConfig::forceViewRebuild or the
+     * PASCAL_FORCE_VIEW env var restores the full per-decision
+     * rebuild (the reference the equivalence tests compare against).
+     */
+    const core::ClusterView& buildView(Time now);
+
+    /** Refresh one instance's cached snapshot (and its SLO flip
+     *  bound) at @p now. */
+    void refreshSnapshot(InstanceId id, Time now);
 
     sim::Simulator& sim;
     SystemConfig cfg;
@@ -99,7 +130,28 @@ class Cluster
     std::unique_ptr<core::Placement> placement;
     std::vector<std::unique_ptr<Instance>> instances;
     std::vector<std::unique_ptr<model::Link>> ingress;
-    std::vector<std::unique_ptr<workload::Request>> requests;
+
+    /** All Requests of every submitted trace, in contiguous per-trace
+     *  chunks (mutable: scoring lazily settles accrued phase time —
+     *  an observation, not a simulation step). */
+    mutable workload::RequestArena requests;
+
+    /** @name Incremental cluster view state */
+    /** @{ */
+    core::ClusterView view;
+    std::vector<Time> sloRiskAt;        //!< Per-instance flip bound.
+    std::vector<std::uint8_t> viewDirtyFlags;
+    std::vector<InstanceId> viewDirtyList;
+    Time minSloRiskAt = kTimeInfinity;  //!< min over cached-ok rows.
+    std::uint64_t viewPredictorVersion = 0;
+    bool viewPrimed = false;
+    bool forceViewRebuild = false;
+    bool predictiveView = false; //!< Snapshots carry predictions.
+    bool viewAudit = false;
+    std::uint64_t viewRefreshes = 0;
+    std::uint64_t viewBuilds = 0;
+    /** @} */
+
     int migrations = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <string>
 
 #include "src/common/log.hh"
@@ -15,6 +16,24 @@ using workload::BucketKind;
 using workload::ExecState;
 using workload::Phase;
 using workload::Request;
+
+namespace
+{
+
+/** Double-allocation guard (the slot-keyed pool cannot detect it
+ *  itself): a request must not already hold KV when the engine
+ *  allocates for it. */
+void
+checkNoKv(const Request* r)
+{
+    if (r->kvSlot != model::kNoKvSlot) {
+        panic("request " + std::to_string(r->id()) +
+              " already holds KV slot " + std::to_string(r->kvSlot) +
+              " (double allocation)");
+    }
+}
+
+} // namespace
 
 Instance::Instance(InstanceId id, sim::Simulator& sim,
                    const model::PerfModel& perf,
@@ -40,6 +59,11 @@ Instance::Instance(InstanceId id, sim::Simulator& sim,
     // force-resort debug mode (SchedLimits::forceResort or the
     // PASCAL_FORCE_RESORT env var) asks for recompute-from-scratch.
     this->sched->enableIncremental();
+    // Accrual debug mode: keep the eager O(hosted) walk as a
+    // per-iteration stamp verification (construction-time read, like
+    // enableIncremental's).
+    verifyAccrual = this->sched->schedLimits().forceAccrue ||
+                    std::getenv("PASCAL_FORCE_ACCRUE") != nullptr;
 }
 
 void
@@ -48,26 +72,40 @@ Instance::addRequest(Request* req)
     req->exec = ExecState::WaitingNew;
     req->home = instanceId;
     req->runEpoch = 0;
-    req->resetAccrual(sim.now());
+    req->kvSlot = model::kNoKvSlot;
+    // A queued arrival accrues Blocked until its prefill runs.
+    req->resetAccrual(sim.now(), BucketKind::Blocked);
     sched->add(req);
+    markViewDirty();
     kick();
 }
 
 void
 Instance::landMigration(Request* req)
 {
-    // The in-transit interval counts as answering-phase preemption.
-    req->accrue(sim.now(), BucketKind::Preempted);
+    // The in-transit interval counts as answering-phase preemption
+    // (the stamp was set by detach on the source instance).
+    req->settleAccrual(sim.now());
     req->home = instanceId;
     req->runEpoch = 0;
+    checkNoKv(req);
     if (kvPool.canAllocGpu(req->kvTokens())) {
-        kvPool.allocGpu(req->id(), req->kvTokens());
+        req->kvSlot = kvPool.allocGpu(req->id(), req->kvTokens());
         req->exec = ExecState::ResidentGpu;
+        // Until the next plan boundary the request sits out whatever
+        // step is already executing: pipeline overhead if that step
+        // is a prefill pass, preemption otherwise (the same rule the
+        // eager walk applies to residents outside the batch).
+        req->accrualKind = stepInFlight && inflight.isPrefillIteration()
+                               ? BucketKind::Executed
+                               : BucketKind::Preempted;
     } else {
-        kvPool.allocCpu(req->id(), req->kvTokens());
+        req->kvSlot = kvPool.allocCpu(req->id(), req->kvTokens());
         req->exec = ExecState::SwappedCpu;
+        req->accrualKind = BucketKind::Preempted;
     }
     sched->add(req);
+    markViewDirty();
     kick();
 }
 
@@ -77,11 +115,17 @@ Instance::detach(Request* req)
     if (req->home != instanceId)
         panic("detach: request " + std::to_string(req->id()) +
               " not homed here");
-    req->accrue(sim.now(), BucketKind::Preempted);
-    if (kvPool.hasRequest(req->id()))
-        kvPool.release(req->id());
+    // Settle up to the detach point, then stamp the transit interval
+    // as preemption (it lands in the answering phase: detach happens
+    // at the observed </think> emission).
+    req->stampAccrual(sim.now(), BucketKind::Preempted);
+    if (req->kvSlot != model::kNoKvSlot) {
+        kvPool.release(req->kvSlot);
+        req->kvSlot = model::kNoKvSlot;
+    }
     sched->remove(req);
     req->exec = ExecState::InTransit;
+    markViewDirty();
 }
 
 void
@@ -98,10 +142,15 @@ Instance::startIteration()
     // change since it built the in-flight plan (the dominant
     // decode-only regime), the previous plan is provably what a full
     // replan would produce — run it again verbatim.
-    if (sched->reusePlan(inflight, kvPool))
+    bool reused = sched->reusePlan(inflight, kvPool);
+    if (reused)
         ++planReuses;
     else
         sched->buildPlan(kvPool, inflight);
+    // Plan construction itself can mutate monitor-visible state
+    // (PASCAL applies demotions at the plan boundary), so the
+    // snapshot is stale even if the plan comes back idle.
+    markViewDirty();
     const core::IterationPlan& plan = inflight;
     if (plan.idle())
         return;
@@ -114,16 +163,16 @@ Instance::startIteration()
     // DRAM. The iteration's compute cannot start until swap traffic
     // completes.
     for (auto* r : plan.swapOut) {
-        r->accrue(t0, BucketKind::Preempted);
-        kvPool.moveToCpu(r->id());
+        r->stampAccrual(t0, BucketKind::Preempted);
+        kvPool.moveToCpu(r->kvSlot);
         r->exec = ExecState::SwappedCpu;
         Time done = pcie.submit(perf.kvBytes(r->kvTokens()), nullptr);
         swaps_done = std::max(swaps_done, done);
         ++swapOuts;
     }
     for (auto* r : plan.swapIn) {
-        r->accrue(t0, BucketKind::Preempted);
-        kvPool.moveToGpu(r->id());
+        r->stampAccrual(t0, BucketKind::Executed);
+        kvPool.moveToGpu(r->kvSlot);
         r->exec = ExecState::ResidentGpu;
         Time done = pcie.submit(perf.kvBytes(r->kvTokens()), nullptr);
         swaps_done = std::max(swaps_done, done);
@@ -133,8 +182,9 @@ Instance::startIteration()
     // Pre-generated KV (Fig. 5 characterization) appears without
     // prefill cost.
     for (auto* r : plan.prewarm) {
-        r->accrue(t0, BucketKind::Blocked);
-        kvPool.allocGpu(r->id(), r->spec().promptTokens);
+        r->stampAccrual(t0, BucketKind::Executed);
+        checkNoKv(r);
+        r->kvSlot = kvPool.allocGpu(r->id(), r->spec().promptTokens);
         r->exec = ExecState::ResidentGpu;
         r->prefillDone = true;
         if (r->firstScheduled < 0.0)
@@ -145,10 +195,11 @@ Instance::startIteration()
 
     TokenCount prompt_tokens = 0;
     for (auto* r : plan.prefill) {
-        r->accrue(t0, BucketKind::Blocked);
+        r->stampAccrual(t0, BucketKind::Executed);
         // Prompt KV plus the slot for the first reasoning token the
         // prefill pass emits.
-        kvPool.allocGpu(r->id(), r->spec().promptTokens + 1);
+        checkNoKv(r);
+        r->kvSlot = kvPool.allocGpu(r->id(), r->spec().promptTokens + 1);
         r->exec = ExecState::ResidentGpu;
         if (r->firstScheduled < 0.0)
             r->firstScheduled = t0;
@@ -159,7 +210,8 @@ Instance::startIteration()
 
     TokenCount batch_kv = 0;
     for (auto* r : plan.decode) {
-        kvPool.growGpu(r->id(), 1);
+        r->stampAccrual(t0, BucketKind::Executed);
+        kvPool.growGpu(r->kvSlot, 1);
         batch_kv += r->kvTokens();
         if (r->firstScheduled < 0.0)
             r->firstScheduled = t0;
@@ -168,6 +220,20 @@ Instance::startIteration()
             r->firstAnswerScheduled = t0;
         }
         r->runEpoch = iterationEpoch;
+    }
+
+    // On a freshly built plan the not-running residents' standing
+    // bucket can flip (batch exit, or pipeline overhead when a
+    // prefill pass stalls the decode stream); the greedy walk already
+    // recorded exactly those requests. Reused plans are pure decode
+    // with an unchanged batch, so every stamp is already current —
+    // steady-state iterations touch only the batch.
+    if (!reused) {
+        BucketKind kept_kind = plan.isPrefillIteration()
+                                   ? BucketKind::Executed
+                                   : BucketKind::Preempted;
+        for (auto* r : sched->keptResidents())
+            r->stampAccrual(t0, kept_kind);
     }
 
     // Scheduler contract: prefill and decode only coexist in chunked
@@ -181,22 +247,31 @@ Instance::startIteration()
 }
 
 void
-Instance::accrueAll(Time now, bool prefill_iteration)
+Instance::verifyAccrualStamps(bool prefill_iteration) const
 {
-    for (auto* r : sched->hosted()) {
+    for (const auto* r : sched->hosted()) {
+        BucketKind expect;
         if (r->runEpoch == iterationEpoch) {
-            r->accrue(now, BucketKind::Executed);
+            expect = BucketKind::Executed;
         } else if (r->exec == ExecState::WaitingNew) {
-            r->accrue(now, BucketKind::Blocked);
+            expect = BucketKind::Blocked;
         } else if (r->exec == ExecState::ResidentGpu &&
                    prefill_iteration) {
             // Stalling resident decodes for a prefill pass is inherent
             // continuous-batching overhead, not a scheduling decision:
             // even the oracle pays it.
-            r->accrue(now, BucketKind::Executed);
+            expect = BucketKind::Executed;
         } else {
             // Excluded from a decode batch or swapped out: preempted.
-            r->accrue(now, BucketKind::Preempted);
+            expect = BucketKind::Preempted;
+        }
+        if (r->accrualKind != expect) {
+            panic("lazy accrual stamp stale for request " +
+                  std::to_string(r->id()) + " on instance " +
+                  std::to_string(instanceId) + ": stamped " +
+                  std::to_string(static_cast<int>(r->accrualKind)) +
+                  ", eager walk expects " +
+                  std::to_string(static_cast<int>(expect)));
         }
     }
 }
@@ -211,21 +286,26 @@ Instance::completeIteration(Time step_start)
     const core::IterationPlan& plan = inflight;
     Time now = sim.now();
 
-    // Book the step's wall time for every hosted request before
-    // mutating progress, so the interval lands in the phase it was
-    // actually spent in.
-    accrueAll(now, plan.isPrefillIteration());
+    markViewDirty();
+    if (verifyAccrual)
+        verifyAccrualStamps(plan.isPrefillIteration());
 
     TokenCount quantum = sched->schedLimits().quantum;
 
-    // Emissions first (dirty-set contract: every mutation is reported
-    // via noteExecuted before any callback can observe the scheduler's
-    // counters), then completions and phase transitions.
+    // Settle each batch member's executed interval before mutating
+    // its progress, so the step's wall time lands in the phase it was
+    // actually spent in; non-members keep accruing lazily under their
+    // standing stamp. Emissions first (dirty-set contract: every
+    // mutation is reported via noteExecuted before any callback can
+    // observe the scheduler's counters), then completions and phase
+    // transitions.
     for (auto* r : plan.prefill) {
+        r->settleAccrual(now);
         r->completePrefill(now, quantum);
         sched->noteExecuted(r);
     }
     for (auto* r : plan.decode) {
+        r->settleAccrual(now);
         r->emitToken(now, quantum);
         ++decodeTokens;
         sched->noteExecuted(r);
@@ -233,9 +313,14 @@ Instance::completeIteration(Time step_start)
 
     auto handle = [&](Request* r) {
         if (r->finished()) {
-            kvPool.release(r->id());
+            kvPool.release(r->kvSlot);
+            r->kvSlot = model::kNoKvSlot;
             r->exec = ExecState::Done;
             sched->remove(r);
+            // Re-mark: an earlier transition in this same loop may
+            // have had its placement decision refresh (and clean)
+            // the cached snapshot this finish just invalidated.
+            markViewDirty();
             if (callbacks.onFinished)
                 callbacks.onFinished(r, instanceId);
         } else if (r->reasoningEnd == now &&
@@ -258,8 +343,9 @@ Instance::completeIteration(Time step_start)
 }
 
 bool
-Instance::answeringSloOk(Time now) const
+Instance::answeringSloOk(Time now, Time* slo_risk_at) const
 {
+    Time risk = kTimeInfinity;
     for (const auto* r : sched->hosted()) {
         if (r->phase() != Phase::Answering || r->finished())
             continue;
@@ -272,24 +358,48 @@ Instance::answeringSloOk(Time now) const
                 std::floor((now - r->firstAnswer) / slo.tpotTarget)) + 1;
             expected = std::min(expected + slo.monitorBufferMarginTokens,
                                 r->spec().answerTokens);
-            if (r->answerGenerated() < expected)
+            if (r->answerGenerated() < expected) {
+                if (slo_risk_at != nullptr)
+                    *slo_risk_at = kTimeInfinity; // Sticky until dirty.
                 return false;
+            }
+            if (slo_risk_at != nullptr) {
+                // The verdict can only flip once the floor reaches
+                // generated - margin; one tpot of slack absorbs any
+                // rounding disagreement between this bound and the
+                // floor-based check above.
+                double flip_tokens = static_cast<double>(
+                    r->answerGenerated() -
+                    slo.monitorBufferMarginTokens - 1);
+                risk = std::min(
+                    risk, r->firstAnswer + flip_tokens * slo.tpotTarget);
+            }
         } else if (r->reasoningEnd >= 0.0) {
             // Transitioned but no first answering token yet: failing
             // once the TTFAT budget is exhausted.
-            if (now - r->reasoningEnd > slo.ttfatTarget)
+            if (now - r->reasoningEnd > slo.ttfatTarget) {
+                if (slo_risk_at != nullptr)
+                    *slo_risk_at = kTimeInfinity;
                 return false;
+            }
+            // Maximally conservative: any cached verdict is
+            // re-checked while a TTFAT countdown is live (rare and
+            // short-lived; such an instance is running iterations and
+            // therefore dirty anyway).
+            risk = std::min(risk, r->reasoningEnd);
         }
     }
+    if (slo_risk_at != nullptr)
+        *slo_risk_at = risk;
     return true;
 }
 
 core::InstanceSnapshot
-Instance::snapshot(Time now) const
+Instance::snapshot(Time now, Time* slo_risk_at) const
 {
     core::InstanceSnapshot snap;
     snap.id = instanceId;
-    snap.answeringSloOk = answeringSloOk(now);
+    snap.answeringSloOk = answeringSloOk(now, slo_risk_at);
     snap.kvFootprintTokens = kvPool.totalFootprintTokens();
     snap.numReasoning = sched->numReasoning();
     snap.numFreshAnswering = sched->numFreshAnswering();

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "src/core/cluster_view.hh"
 #include "src/core/intra_scheduler.hh"
@@ -76,15 +77,58 @@ class Instance
     /** Remove a request that migrates away; releases its KV. */
     void detach(workload::Request* req);
 
+    /**
+     * A hosted request crossed the reasoning->answering boundary and
+     * the placement decision keeps it here: requeue it into the
+     * scheduler's answering-phase machinery. Routed through the
+     * instance (not the scheduler directly) because the requeue
+     * mutates monitor-visible state (the quantum reset makes the
+     * request "fresh" again) after the decision's view refresh.
+     */
+    void
+    stayHomeTransition(workload::Request* req)
+    {
+        sched->onPhaseTransition(req);
+        markViewDirty();
+    }
+
     /** Ensure an iteration is scheduled if there is runnable work. */
     void kick();
 
-    /** Paper t_i: all answering requests are keeping the user's
-     *  expected pace (token pacer not starved). */
-    bool answeringSloOk(Time now) const;
+    /**
+     * Paper t_i: all answering requests are keeping the user's
+     * expected pace (token pacer not starved).
+     *
+     * @param slo_risk_at Optional out-param: earliest time a *true*
+     *        verdict could flip to false with no further state change
+     *        on this instance (kTimeInfinity when it cannot, e.g. no
+     *        live answering requests or already false — false is
+     *        sticky until an instance event). Conservative by at
+     *        least one tpot so floating-point rounding can never make
+     *        a cached verdict disagree with a fresh recomputation.
+     */
+    bool answeringSloOk(Time now, Time* slo_risk_at = nullptr) const;
 
-    /** Monitor snapshot for the placement algorithms. */
-    core::InstanceSnapshot snapshot(Time now) const;
+    /** Monitor snapshot for the placement algorithms. @p slo_risk_at
+     *  as in answeringSloOk(). */
+    core::InstanceSnapshot snapshot(Time now,
+                                    Time* slo_risk_at = nullptr) const;
+
+    /**
+     * Wire the cluster's incremental-view dirty marking: whenever an
+     * event can change this instance's snapshot (admission, landing,
+     * detach, plan application, iteration completion), the instance
+     * sets its flag and enqueues its id once. Both pointers must stay
+     * valid for the instance's lifetime; @p list must never reallocate
+     * (the cluster reserves one slot per instance and the flag
+     * dedupes). nullptr disables marking (standalone instances).
+     */
+    void
+    setViewDirtyHook(std::uint8_t* flag, std::vector<InstanceId>* list)
+    {
+        dirtyFlag = flag;
+        dirtyList = list;
+    }
 
     /**
      * Wire the cluster's shared length predictor (not owned; may be
@@ -123,17 +167,32 @@ class Instance
     void startIteration();
     void completeIteration(Time step_start);
 
+    /** Mark this instance's cluster-view snapshot stale (no-op when
+     *  no hook is wired). */
+    void
+    markViewDirty()
+    {
+        if (dirtyFlag != nullptr && *dirtyFlag == 0) {
+            *dirtyFlag = 1;
+            dirtyList->push_back(instanceId);
+        }
+    }
+
     /**
-     * Accrue waiting/executing time for every hosted request.
+     * PASCAL_FORCE_ACCRUE debug walk: recompute every hosted
+     * request's standing accrual bucket the way the old eager
+     * accrueAll derived it and panic if the lazily maintained stamp
+     * disagrees. Settlement itself stays lazy in both modes (shared
+     * arithmetic => byte-identical RunResults); this walk proves the
+     * restamp points catch every bucket change.
      *
-     * @param now End of the completed iteration.
      * @param prefill_iteration True if the iteration ran prefills:
      *        residents pausing for a prefill pass are normal
      *        continuous-batching pipeline overhead (booked as
      *        executed), whereas residents excluded from a decode batch
      *        were preempted by the scheduling policy.
      */
-    void accrueAll(Time now, bool prefill_iteration);
+    void verifyAccrualStamps(bool prefill_iteration) const;
 
     InstanceId instanceId;
     sim::Simulator& sim;
@@ -144,6 +203,14 @@ class Instance
     InstanceCallbacks callbacks;
     model::Link pcie;
     const predict::LengthPredictor* predictor = nullptr;
+
+    /** Cluster-owned incremental-view dirty marking (may be null). */
+    std::uint8_t* dirtyFlag = nullptr;
+    std::vector<InstanceId>* dirtyList = nullptr;
+
+    /** PASCAL_FORCE_ACCRUE / SchedLimits::forceAccrue: run the eager
+     *  stamp-verification walk every iteration. */
+    bool verifyAccrual = false;
 
     bool stepInFlight = false;
 

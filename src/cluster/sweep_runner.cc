@@ -67,6 +67,15 @@ SweepResult::where(
 std::size_t
 SweepRunner::addTrace(workload::Trace trace)
 {
+    return addTrace(std::make_shared<const workload::Trace>(
+        std::move(trace)));
+}
+
+std::size_t
+SweepRunner::addTrace(std::shared_ptr<const workload::Trace> trace)
+{
+    if (trace == nullptr)
+        fatal("SweepRunner::addTrace: null trace");
     traces.push_back(std::move(trace));
     return traces.size() - 1;
 }
@@ -77,8 +86,13 @@ SweepRunner::addGeneratedTrace(const workload::DatasetProfile& profile,
                                std::uint64_t seed, Time start_time)
 {
     Rng rng(seed);
-    return addTrace(workload::generateTrace(profile, n, rate_per_sec,
-                                            rng, start_time));
+    workload::Trace trace = workload::generateTrace(
+        profile, n, rate_per_sec, rng, start_time);
+    // generateTrace records {profile, n, rate}; only this call knows
+    // which seed drove the Rng.
+    trace.provenance.seed = seed;
+    trace.provenance.seedKnown = true;
+    return addTrace(std::move(trace));
 }
 
 std::size_t
@@ -143,6 +157,14 @@ SweepRunner::trace(std::size_t i) const
 {
     if (i >= traces.size())
         fatal("trace index " + std::to_string(i) + " out of range");
+    return *traces[i];
+}
+
+std::shared_ptr<const workload::Trace>
+SweepRunner::traceHandle(std::size_t i) const
+{
+    if (i >= traces.size())
+        fatal("trace index " + std::to_string(i) + " out of range");
     return traces[i];
 }
 
@@ -186,7 +208,7 @@ SweepRunner::run(int num_threads) const
             out.seed = p.seed;
             try {
                 out.result =
-                    RunContext::execute(p.config, traces[p.traceIndex]);
+                    RunContext::execute(p.config, *traces[p.traceIndex]);
             } catch (const std::exception& e) {
                 std::lock_guard<std::mutex> lock(error_mutex);
                 if (first_error.empty())

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -92,12 +93,23 @@ struct SweepResult
 class SweepRunner
 {
   public:
-    /** Register a trace shared by any number of grid points.
-     *  @return Index for SweepPoint::traceIndex. */
+    /**
+     * Register a trace shared by any number of grid points. The trace
+     * becomes an immutable shared arena: every grid point (and any
+     * harness holding a traceHandle()) references the same frozen
+     * copy, so a thousand-point grid over a million-request trace
+     * carries exactly one spec array.
+     * @return Index for SweepPoint::traceIndex.
+     */
     std::size_t addTrace(workload::Trace trace);
 
+    /** Register an already-shared trace without copying. */
+    std::size_t addTrace(std::shared_ptr<const workload::Trace> trace);
+
     /** Generate a Poisson trace from @p profile with Rng(@p seed) and
-     *  register it. @return The trace index. */
+     *  register it; the trace records its generating
+     *  {profile, n, rate, seed} provenance so sweep artifacts are
+     *  self-describing. @return The trace index. */
     std::size_t addGeneratedTrace(const workload::DatasetProfile& profile,
                                   int n, double rate_per_sec,
                                   std::uint64_t seed,
@@ -145,10 +157,16 @@ class SweepRunner
     std::size_t numPoints() const { return points.size(); }
     std::size_t numTraces() const { return traces.size(); }
     const workload::Trace& trace(std::size_t i) const;
+
+    /** Shared ownership of a registered trace (outlives the runner;
+     *  lets harnesses keep replaying without a copy). */
+    std::shared_ptr<const workload::Trace>
+    traceHandle(std::size_t i) const;
+
     const SweepPoint& point(std::size_t i) const;
 
   private:
-    std::vector<workload::Trace> traces;
+    std::vector<std::shared_ptr<const workload::Trace>> traces;
     std::vector<SweepPoint> points;
 };
 

@@ -85,6 +85,17 @@ struct SystemConfig
     /** Simulation safety horizon in seconds. */
     Time maxSimTime = 1e7;
 
+    /**
+     * Debug mode mirroring SchedLimits::forceResort for the cluster
+     * path: rebuild every instance snapshot from scratch at every
+     * placement decision instead of refreshing only dirty ones. The
+     * PASCAL_FORCE_VIEW environment variable forces it globally.
+     * Results must be byte-identical either way — the cluster-view
+     * invariance tests run both modes and compare RunResults field by
+     * field.
+     */
+    bool forceViewRebuild = false;
+
     void validate() const;
 
     std::string schedulerName() const;

@@ -53,6 +53,25 @@ struct InstanceSnapshot
     TokenCount gpuCapacityTokens = 0;
 };
 
+/** Field-wise equality (incremental-view audits and tests). */
+inline bool
+operator==(const InstanceSnapshot& a, const InstanceSnapshot& b)
+{
+    return a.id == b.id && a.answeringSloOk == b.answeringSloOk &&
+           a.kvFootprintTokens == b.kvFootprintTokens &&
+           a.predictedKvFootprintTokens == b.predictedKvFootprintTokens &&
+           a.numReasoning == b.numReasoning &&
+           a.numFreshAnswering == b.numFreshAnswering &&
+           a.gpuFreeTokens == b.gpuFreeTokens &&
+           a.gpuCapacityTokens == b.gpuCapacityTokens;
+}
+
+inline bool
+operator!=(const InstanceSnapshot& a, const InstanceSnapshot& b)
+{
+    return !(a == b);
+}
+
 /** One snapshot per instance, indexed by instance id. */
 using ClusterView = std::vector<InstanceSnapshot>;
 

@@ -443,7 +443,12 @@ IntraScheduler::greedySelectInto(
     if (!out.prefill.empty() && !limits.chunkedPrefill) {
         // Prefill iterations do not decode (vLLM prefill priority).
         // Selected decode candidates stay resident and run next
-        // iteration; swap-ins still execute so they are ready.
+        // iteration; swap-ins still execute so they are ready. The
+        // displaced members join the kept-resident record so the
+        // engine's lazy-accrual restamp covers them (never reused:
+        // reusePlan requires an empty prefill list).
+        for (auto* r : out.decode)
+            unselected_residents.push_back(r);
         out.decode.clear();
         lastDecodeCapped.clear();
     } else {

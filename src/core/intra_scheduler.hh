@@ -174,6 +174,20 @@ class IntraScheduler
         return lengthPredictor;
     }
 
+    /**
+     * Residents the last buildPlan() left resident without running
+     * them this iteration: the greedy walk's kept-but-unselected
+     * requests plus, on prefill-priority iterations, the selected
+     * decode candidates the prefill pass displaced. The instance
+     * restamps their lazy-accrual bucket from this record, so a fresh
+     * plan touches only requests whose standing bucket can actually
+     * have changed. Valid until the next buildPlan().
+     */
+    const std::vector<workload::Request*>& keptResidents() const
+    {
+        return lastKeptResidents;
+    }
+
   protected:
     /** True if @p req can be considered for scheduling at all. */
     static bool schedulable(const workload::Request* req);

@@ -132,6 +132,19 @@ struct SchedLimits
      */
     bool forceResort = false;
 
+    /**
+     * Debug mode mirroring forceResort for the lazy phase-time
+     * accrual: keep the eager O(hosted) per-iteration walk as a
+     * verification pass that recomputes every hosted request's
+     * standing bucket and panics if the lazily maintained stamp
+     * disagrees. Settlement arithmetic is shared between the modes,
+     * so RunResults are byte-identical whenever the stamps are
+     * right — the accrual invariance tests run the full scheduler x
+     * predictor grid this way. The PASCAL_FORCE_ACCRUE environment
+     * variable forces it globally.
+     */
+    bool forceAccrue = false;
+
     /** Validate; calls fatal() on nonsense values. */
     void validate() const;
 };

@@ -33,9 +33,9 @@ KvPool::chargeFor(TokenCount tokens) const
 }
 
 TokenCount
-KvPool::chargedTokensOf(RequestId id) const
+KvPool::chargedTokensOf(KvSlot slot) const
 {
-    return chargeFor(tokensOf(id));
+    return chargeFor(tokensOf(slot));
 }
 
 bool
@@ -45,63 +45,66 @@ KvPool::canAllocGpu(TokenCount tokens) const
 }
 
 KvPool::Entry&
-KvPool::lookup(RequestId id)
+KvPool::lookup(KvSlot slot)
 {
-    const Entry* e = find(id);
-    if (e == nullptr)
-        panic("KvPool: unknown request " + std::to_string(id));
-    return const_cast<Entry&>(*e);
+    if (!tracks(slot))
+        panic("KvPool: untracked slot " + std::to_string(slot));
+    return entries[static_cast<std::size_t>(slot)];
 }
 
-KvPool::Entry&
-KvPool::slot(RequestId id)
+KvSlot
+KvPool::acquireSlot(RequestId id, TokenCount tokens)
 {
     if (id < 0)
         panic("KvPool: negative request id " + std::to_string(id));
-    auto idx = static_cast<std::size_t>(id);
-    if (idx >= entries.size())
-        entries.resize(idx + 1);
-    return entries[idx];
+    if (tokens < 0)
+        panic("KvPool: negative KV size for request " +
+              std::to_string(id));
+    KvSlot slot;
+    if (!freeSlots.empty()) {
+        slot = freeSlots.back();
+        freeSlots.pop_back();
+    } else {
+        slot = static_cast<KvSlot>(entries.size());
+        entries.emplace_back();
+    }
+    Entry& e = entries[static_cast<std::size_t>(slot)];
+    e.tokens = tokens;
+    e.owner = id;
+    ++trackedCount;
+    return slot;
 }
 
-void
+KvSlot
 KvPool::allocGpu(RequestId id, TokenCount tokens)
 {
-    if (tokens < 0)
-        panic("KvPool::allocGpu negative size");
-    if (hasRequest(id))
-        panic("KvPool::allocGpu: request " + std::to_string(id) +
-              " already tracked");
     if (!canAllocGpu(tokens))
         panic("KvPool::allocGpu: over capacity for request " +
               std::to_string(id));
-    slot(id) = Entry{tokens, KvTier::Gpu};
-    ++trackedCount;
+    KvSlot slot = acquireSlot(id, tokens);
+    entries[static_cast<std::size_t>(slot)].tier = KvTier::Gpu;
     gpuUsedTokens += chargeFor(tokens);
     peakGpuTokens = std::max(peakGpuTokens, gpuUsedTokens);
+    return slot;
 }
 
-void
+KvSlot
 KvPool::allocCpu(RequestId id, TokenCount tokens)
 {
-    if (tokens < 0)
-        panic("KvPool::allocCpu negative size");
-    if (hasRequest(id))
-        panic("KvPool::allocCpu: request " + std::to_string(id) +
-              " already tracked");
-    slot(id) = Entry{tokens, KvTier::Cpu};
-    ++trackedCount;
+    KvSlot slot = acquireSlot(id, tokens);
+    entries[static_cast<std::size_t>(slot)].tier = KvTier::Cpu;
     cpuUsedTokens += chargeFor(tokens);
+    return slot;
 }
 
 void
-KvPool::growGpu(RequestId id, TokenCount delta)
+KvPool::growGpu(KvSlot slot, TokenCount delta)
 {
     if (delta < 0)
         panic("KvPool::growGpu negative delta");
-    Entry& e = lookup(id);
+    Entry& e = lookup(slot);
     if (e.tier != KvTier::Gpu)
-        panic("KvPool::growGpu: request " + std::to_string(id) +
+        panic("KvPool::growGpu: request " + std::to_string(e.owner) +
               " not GPU-resident");
     // One-token growth (every decode step) opens a fresh block only
     // when the current size is an exact block multiple.
@@ -111,18 +114,18 @@ KvPool::growGpu(RequestId id, TokenCount delta)
             : chargeFor(e.tokens + delta) - chargeFor(e.tokens);
     if (extra > gpuFree())
         panic("KvPool::growGpu: over capacity for request " +
-              std::to_string(id));
+              std::to_string(e.owner));
     e.tokens += delta;
     gpuUsedTokens += extra;
     peakGpuTokens = std::max(peakGpuTokens, gpuUsedTokens);
 }
 
 void
-KvPool::moveToCpu(RequestId id)
+KvPool::moveToCpu(KvSlot slot)
 {
-    Entry& e = lookup(id);
+    Entry& e = lookup(slot);
     if (e.tier != KvTier::Gpu)
-        panic("KvPool::moveToCpu: request " + std::to_string(id) +
+        panic("KvPool::moveToCpu: request " + std::to_string(e.owner) +
               " not GPU-resident");
     e.tier = KvTier::Cpu;
     gpuUsedTokens -= chargeFor(e.tokens);
@@ -130,15 +133,15 @@ KvPool::moveToCpu(RequestId id)
 }
 
 void
-KvPool::moveToGpu(RequestId id)
+KvPool::moveToGpu(KvSlot slot)
 {
-    Entry& e = lookup(id);
+    Entry& e = lookup(slot);
     if (e.tier != KvTier::Cpu)
-        panic("KvPool::moveToGpu: request " + std::to_string(id) +
+        panic("KvPool::moveToGpu: request " + std::to_string(e.owner) +
               " not CPU-resident");
     if (chargeFor(e.tokens) > gpuFree())
         panic("KvPool::moveToGpu: over capacity for request " +
-              std::to_string(id));
+              std::to_string(e.owner));
     e.tier = KvTier::Gpu;
     cpuUsedTokens -= chargeFor(e.tokens);
     gpuUsedTokens += chargeFor(e.tokens);
@@ -146,15 +149,16 @@ KvPool::moveToGpu(RequestId id)
 }
 
 void
-KvPool::release(RequestId id)
+KvPool::release(KvSlot slot)
 {
-    Entry& e = lookup(id);
+    Entry& e = lookup(slot);
     if (e.tier == KvTier::Gpu)
         gpuUsedTokens -= chargeFor(e.tokens);
     else if (e.tier == KvTier::Cpu)
         cpuUsedTokens -= chargeFor(e.tokens);
     e = Entry{};
     --trackedCount;
+    freeSlots.push_back(slot);
 }
 
 } // namespace model

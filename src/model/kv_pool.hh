@@ -13,6 +13,7 @@
 #define PASCAL_MODEL_KV_POOL_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/common/types.hh"
@@ -30,6 +31,12 @@ enum class KvTier
     Cpu,  //!< Offloaded to host DRAM; must be reloaded first.
 };
 
+/** Compact per-pool allocation handle (see KvPool). */
+using KvSlot = std::int32_t;
+
+/** "No KV tracked" sentinel (Request::kvSlot default). */
+constexpr KvSlot kNoKvSlot = -1;
+
 /**
  * KV allocation bookkeeping for one instance.
  *
@@ -39,12 +46,15 @@ enum class KvTier
  * block still occupies the block. Pass block_size_tokens = 1 for exact
  * token-granular accounting.
  *
- * Per-request state lives in a dense RequestId-indexed table (trace
- * ids are small consecutive integers), so the per-iteration hot calls
- * — growGpu() for every decode-batch member, chargeFor()/residency
- * checks in the schedulers' greedy walk — are branch-cheap O(1) array
- * indexing with no hashing. The table grows to the largest id ever
- * hosted and entries are recycled in place (tier None) on release.
+ * Allocations are keyed by a compact per-pool KvSlot handle that
+ * alloc*() returns and the caller carries (the engine stores it in
+ * Request::kvSlot). Slots index a dense table and are recycled through
+ * a free list on release, so the per-iteration hot calls — growGpu()
+ * for every decode-batch member, the swap moves — are branch-cheap
+ * O(1) array indexing with no hashing, and the table is bounded by the
+ * peak number of *live* requests instead of growing with the largest
+ * RequestId the instance ever hosted (the old dense-by-id table cost
+ * ~16 B x max-id per instance on million-request sweeps).
  */
 class KvPool
 {
@@ -72,54 +82,71 @@ class KvPool
     /** Largest GPU occupancy ever observed (tokens). */
     TokenCount peakGpuUsed() const { return peakGpuTokens; }
 
-    /** True if the pool tracks KV for @p id. */
+    /** True if @p slot currently tracks a KV allocation. */
     bool
-    hasRequest(RequestId id) const
+    tracks(KvSlot slot) const
     {
-        return find(id) != nullptr;
+        return slot >= 0 &&
+               static_cast<std::size_t>(slot) < entries.size() &&
+               entries[static_cast<std::size_t>(slot)].tier !=
+                   KvTier::None;
     }
 
-    /** Residency tier of @p id (None if untracked). */
+    /** Residency tier of @p slot (None if untracked). */
     KvTier
-    tierOf(RequestId id) const
+    tierOf(KvSlot slot) const
     {
-        const Entry* e = find(id);
-        return e == nullptr ? KvTier::None : e->tier;
+        return tracks(slot)
+                   ? entries[static_cast<std::size_t>(slot)].tier
+                   : KvTier::None;
     }
 
-    /** Logical KV tokens held by @p id (0 if untracked). */
+    /** Logical KV tokens held by @p slot (0 if untracked). */
     TokenCount
-    tokensOf(RequestId id) const
+    tokensOf(KvSlot slot) const
     {
-        const Entry* e = find(id);
-        return e == nullptr ? 0 : e->tokens;
+        return tracks(slot)
+                   ? entries[static_cast<std::size_t>(slot)].tokens
+                   : 0;
     }
 
-    /** Charged (block-rounded) KV tokens held by @p id. */
-    TokenCount chargedTokensOf(RequestId id) const;
+    /** RequestId the slot was allocated for (kNoRequest if
+     *  untracked). Diagnostic: panics name the offending request. */
+    RequestId
+    ownerOf(KvSlot slot) const
+    {
+        return tracks(slot)
+                   ? entries[static_cast<std::size_t>(slot)].owner
+                   : kNoRequest;
+    }
+
+    /** Charged (block-rounded) KV tokens held by @p slot. */
+    TokenCount chargedTokensOf(KvSlot slot) const;
 
     /** True if a KV of @p tokens (logical) can be allocated on the
      *  GPU, accounting for block rounding. */
     bool canAllocGpu(TokenCount tokens) const;
 
-    /** Allocate a fresh GPU-resident KV of @p tokens for @p id. */
-    void allocGpu(RequestId id, TokenCount tokens);
+    /** Allocate a fresh GPU-resident KV of @p tokens for @p id.
+     *  @return The compact slot handle for all further calls. */
+    KvSlot allocGpu(RequestId id, TokenCount tokens);
 
     /** Allocate a fresh CPU-resident KV (e.g. migration landing in a
-     *  full instance). */
-    void allocCpu(RequestId id, TokenCount tokens);
+     *  full instance). @return The slot handle. */
+    KvSlot allocCpu(RequestId id, TokenCount tokens);
 
     /** Grow a GPU-resident KV by @p delta tokens (decode step). */
-    void growGpu(RequestId id, TokenCount delta);
+    void growGpu(KvSlot slot, TokenCount delta);
 
-    /** Offload @p id's KV from GPU to CPU. */
-    void moveToCpu(RequestId id);
+    /** Offload @p slot's KV from GPU to CPU. */
+    void moveToCpu(KvSlot slot);
 
-    /** Reload @p id's KV from CPU to GPU. */
-    void moveToGpu(RequestId id);
+    /** Reload @p slot's KV from CPU to GPU. */
+    void moveToGpu(KvSlot slot);
 
-    /** Drop @p id's KV entirely (request finished or migrated away). */
-    void release(RequestId id);
+    /** Drop @p slot's KV entirely (request finished or migrated
+     *  away); the slot is recycled by a later alloc. */
+    void release(KvSlot slot);
 
     /** Total KV tokens across both tiers (the paper's m_i, in tokens). */
     TokenCount totalFootprintTokens() const
@@ -130,28 +157,23 @@ class KvPool
     /** Number of requests with KV in either tier. */
     std::size_t numTracked() const { return trackedCount; }
 
+    /** Dense-table length: the peak number of simultaneously live
+     *  allocations (memory-bounding invariant under test). */
+    std::size_t tableSize() const { return entries.size(); }
+
   private:
     struct Entry
     {
         TokenCount tokens = 0;       //!< Logical token count.
+        RequestId owner = kNoRequest; //!< For diagnostics only.
         KvTier tier = KvTier::None;
     };
 
-    /** Dense-table lookup; nullptr if untracked. */
-    const Entry*
-    find(RequestId id) const
-    {
-        if (id < 0 || static_cast<std::size_t>(id) >= entries.size())
-            return nullptr;
-        const Entry& e = entries[static_cast<std::size_t>(id)];
-        return e.tier == KvTier::None ? nullptr : &e;
-    }
+    /** Lookup @p slot or panic: misuse is a simulator bug. */
+    Entry& lookup(KvSlot slot);
 
-    /** Lookup @p id or panic: misuse is a simulator bug. */
-    Entry& lookup(RequestId id);
-
-    /** Grow the table so @p id is indexable; returns its entry. */
-    Entry& slot(RequestId id);
+    /** Pop a recycled slot or append a fresh one. */
+    KvSlot acquireSlot(RequestId id, TokenCount tokens);
 
     TokenCount gpuCapacityTokens;
     TokenCount blockSizeTokens;
@@ -159,7 +181,8 @@ class KvPool
     TokenCount cpuUsedTokens = 0; //!< Charged (block-rounded) usage.
     TokenCount peakGpuTokens = 0;
     std::size_t trackedCount = 0;
-    std::vector<Entry> entries; //!< Indexed by RequestId.
+    std::vector<Entry> entries;  //!< Indexed by KvSlot.
+    std::vector<KvSlot> freeSlots; //!< Released slots awaiting reuse.
 };
 
 } // namespace model

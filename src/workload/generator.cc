@@ -51,6 +51,10 @@ generateTrace(const DatasetProfile& profile, int n, double rate_per_sec,
         s.dataset = profile.name;
         trace.requests.push_back(std::move(s));
     }
+    trace.provenance.generated = true;
+    trace.provenance.profile = profile.name;
+    trace.provenance.n = n;
+    trace.provenance.ratePerSec = rate_per_sec;
     trace.validate();
     return trace;
 }
@@ -99,6 +103,10 @@ generateMixedTrace(const std::vector<MixComponent>& components, int n,
         s.dataset = profile->name;
         trace.requests.push_back(std::move(s));
     }
+    trace.provenance.generated = true;
+    trace.provenance.profile = "mixed";
+    trace.provenance.n = n;
+    trace.provenance.ratePerSec = rate_per_sec;
     trace.validate();
     return trace;
 }

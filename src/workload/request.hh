@@ -212,6 +212,14 @@ class Request
      *  the per-iteration hash-set batch membership test). */
     std::uint64_t runEpoch = 0;
 
+    /** Compact KV-pool slot on the hosting instance's KvPool
+     *  (model::KvPool hands it out on alloc); -1 when no KV is
+     *  tracked. Keeping the handle here makes every per-token pool
+     *  call a direct array index and lets the pool's table be sized
+     *  by *live* requests instead of the largest RequestId ever
+     *  hosted. */
+    std::int32_t kvSlot = -1;
+
     /** @} */
 
     /** @name Accounting */
@@ -225,8 +233,40 @@ class Request
     void accrue(Time now, BucketKind kind);
 
     /** Reset the accrual cursor without booking time (on arrival or
-     *  when landing on a new instance). */
-    void resetAccrual(Time now) { lastAccount = now; }
+     *  when landing on a new instance), stamping the standing bucket
+     *  the request accrues into until the next stampAccrual(). */
+    void
+    resetAccrual(Time now, BucketKind kind = BucketKind::Blocked)
+    {
+        lastAccount = now;
+        accrualKind = kind;
+    }
+
+    /**
+     * Lazy-accrual stamp: which bucket the request is currently
+     * accruing into. Instead of booking every iteration's wall time
+     * for every hosted request (the old O(hosted) accrueAll walk),
+     * the engine restamps a request only when its standing bucket
+     * changes (batch entry/exit, admit, swap, detach, migration) and
+     * the elapsed interval is settled in one addition at the next
+     * observation point (emission, detach, finish, scoring). The
+     * PASCAL_FORCE_ACCRUE debug mode keeps the eager per-iteration
+     * walk as a verification pass that panics on any stale stamp.
+     */
+    BucketKind accrualKind = BucketKind::Blocked;
+
+    /** Settle the interval since the last settlement into the stamped
+     *  bucket of the current phase. */
+    void settleAccrual(Time now) { accrue(now, accrualKind); }
+
+    /** Settle under the old stamp, then switch the standing bucket
+     *  to @p kind. */
+    void
+    stampAccrual(Time now, BucketKind kind)
+    {
+        accrue(now, accrualKind);
+        accrualKind = kind;
+    }
 
     PhaseBuckets reasoningBuckets;
     PhaseBuckets answeringBuckets;

@@ -12,6 +12,19 @@ namespace pascal
 namespace workload
 {
 
+std::string
+Trace::describe() const
+{
+    if (!provenance.generated)
+        return std::to_string(size()) + " requests (external)";
+    std::ostringstream out;
+    out << provenance.profile << " n=" << provenance.n
+        << " rate=" << provenance.ratePerSec;
+    if (provenance.seedKnown)
+        out << " seed=" << provenance.seed;
+    return out.str();
+}
+
 void
 Trace::sortByArrival()
 {

@@ -7,6 +7,7 @@
 #ifndef PASCAL_WORKLOAD_TRACE_HH
 #define PASCAL_WORKLOAD_TRACE_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -17,10 +18,34 @@ namespace pascal
 namespace workload
 {
 
+/**
+ * How a trace came to be. Generated traces record the generator knobs
+ * so downstream artifacts (sweep labels, bench JSON) are
+ * self-describing instead of an anonymous "t0".
+ */
+struct TraceProvenance
+{
+    bool generated = false;    //!< Filled by the trace generators.
+    std::string profile;       //!< DatasetProfile name ("mixed" etc.).
+    int n = 0;                 //!< Requested request count.
+    double ratePerSec = 0.0;   //!< Poisson arrival rate.
+    std::uint64_t seed = 0;    //!< Rng seed (0 when unknown).
+    bool seedKnown = false;    //!< The generator saw the actual seed.
+};
+
 /** Ordered request stream. */
 struct Trace
 {
     std::vector<RequestSpec> requests;
+
+    /** Generator knobs when known (empty/default for external
+     *  traces); not serialized by toCsv (the CSV format is the
+     *  portable interchange, provenance is an in-process label). */
+    TraceProvenance provenance;
+
+    /** One-line human/JSON label: generator knobs when known, else
+     *  the request count. */
+    std::string describe() const;
 
     /** Sort by arrival time (stable; ties keep id order). */
     void sortByArrival();

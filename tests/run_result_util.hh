@@ -22,6 +22,15 @@ namespace test
 {
 
 inline void
+expectIdenticalBuckets(const workload::PhaseBuckets& a,
+                       const workload::PhaseBuckets& b)
+{
+    EXPECT_EQ(a.executed, b.executed);
+    EXPECT_EQ(a.blocked, b.blocked);
+    EXPECT_EQ(a.preempted, b.preempted);
+}
+
+inline void
 expectIdentical(const cluster::RunResult& a, const cluster::RunResult& b)
 {
     ASSERT_EQ(a.perRequest.size(), b.perRequest.size());
@@ -44,6 +53,11 @@ expectIdentical(const cluster::RunResult& a, const cluster::RunResult& b)
         EXPECT_EQ(ra.sloViolated, rb.sloViolated);
         EXPECT_EQ(ra.migrationCount, rb.migrationCount);
         EXPECT_EQ(ra.kvTransferLatencies, rb.kvTransferLatencies);
+        // Phase-time buckets must match to the bit: the lazy-accrual
+        // and force-accrue modes share settlement arithmetic, so any
+        // divergence is a stale stamp.
+        expectIdenticalBuckets(ra.reasoningBuckets, rb.reasoningBuckets);
+        expectIdenticalBuckets(ra.answeringBuckets, rb.answeringBuckets);
     }
     EXPECT_EQ(a.aggregate.numRequests, b.aggregate.numRequests);
     EXPECT_EQ(a.aggregate.numFinished, b.aggregate.numFinished);

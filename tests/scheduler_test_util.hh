@@ -60,10 +60,10 @@ class SchedulerHarness
     {
         if (!r->spec().startInAnswering) {
             r->completePrefill(r->spec().arrival, quantum);
-            pool.allocGpu(r->id(), r->kvTokens());
+            r->kvSlot = pool.allocGpu(r->id(), r->kvTokens());
         } else {
             r->prefillDone = true;
-            pool.allocGpu(r->id(), r->spec().promptTokens);
+            r->kvSlot = pool.allocGpu(r->id(), r->spec().promptTokens);
         }
         r->exec = workload::ExecState::ResidentGpu;
     }
@@ -74,7 +74,7 @@ class SchedulerHarness
                  TokenCount quantum = 0)
     {
         for (TokenCount i = 0; i < n; ++i) {
-            pool.growGpu(r->id(), 1);
+            pool.growGpu(r->kvSlot, 1);
             r->emitToken(t, quantum);
         }
     }
@@ -83,7 +83,7 @@ class SchedulerHarness
     void
     swapOut(workload::Request* r)
     {
-        pool.moveToCpu(r->id());
+        pool.moveToCpu(r->kvSlot);
         r->exec = workload::ExecState::SwappedCpu;
     }
 

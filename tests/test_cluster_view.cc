@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Incremental ClusterView property tests.
+ *
+ * The cluster keeps one persistent view and refreshes only dirty
+ * instance snapshots (plus rows whose cached answering-SLO verdict
+ * could flip purely by time passing). Contract, enforced here two
+ * ways: (1) with the audit hook on, every placement decision
+ * recomputes every snapshot from scratch and panics on any field
+ * divergence from the maintained view — run against randomized
+ * churn-heavy multi-instance workloads; (2) whole runs must produce
+ * byte-identical RunResults against the forceViewRebuild debug mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/run_context.hh"
+#include "src/cluster/system_config.hh"
+#include "src/common/log.hh"
+#include "src/common/rng.hh"
+#include "src/workload/generator.hh"
+#include "tests/run_result_util.hh"
+
+namespace
+{
+
+using namespace pascal;
+using cluster::PlacementType;
+using cluster::SchedulerType;
+using cluster::SystemConfig;
+
+class QuietLogs : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+};
+
+using ClusterViewAudit = QuietLogs;
+using ClusterViewInvariance = QuietLogs;
+using ClusterViewFastPath = QuietLogs;
+
+workload::Trace
+churnTrace(std::uint64_t seed, int n, double rate)
+{
+    Rng rng(seed);
+    auto profile = workload::DatasetProfile::alpacaEval();
+    profile.reasoning = {350.0, 0.8, 32, 1600};
+    profile.answering = {150.0, 0.7, 16, 700};
+    return workload::generateTrace(profile, n, rate, rng);
+}
+
+SystemConfig
+churnConfig(SchedulerType sched, PlacementType placement,
+            int instances)
+{
+    SystemConfig cfg;
+    cfg.scheduler = sched;
+    cfg.placement = placement;
+    cfg.numInstances = instances;
+    cfg.gpuKvCapacityTokens = 4096; // Tight: swaps + migrations fire.
+    cfg.kvBlockSizeTokens = 16;
+    cfg.limits.demoteThresholdTokens = 500;
+    cfg.limits.demoteLookaheadTokens = 96;
+    // A tight pace makes answeringSloOk actually flip during runs, so
+    // the audit exercises the slo-risk re-check path, not just the
+    // dirty-marking one.
+    cfg.slo.tpotTarget = 0.05;
+    return cfg;
+}
+
+/** Run with the audit hook: buildView() panics on the first snapshot
+ *  divergence, failing the test. */
+cluster::RunResult
+runAudited(const SystemConfig& cfg, const workload::Trace& trace)
+{
+    cluster::RunContext ctx(cfg);
+    ctx.cluster().enableViewAudit();
+    ctx.submit(trace);
+    ctx.run();
+    return ctx.result();
+}
+
+TEST_F(ClusterViewAudit, ChurnHeavyMultiInstanceSnapshotsStayExact)
+{
+    for (std::uint64_t seed : {1ull, 7ull, 23ull}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        auto trace = churnTrace(seed, 140, 18.0);
+        auto result = runAudited(
+            churnConfig(SchedulerType::Pascal, PlacementType::Pascal, 4),
+            trace);
+        // The workload must actually churn for the audit to mean
+        // anything.
+        EXPECT_GT(result.totalMigrations, 0);
+        EXPECT_GT(result.aggregate.numFinished, 0u);
+    }
+}
+
+TEST_F(ClusterViewAudit, PredictiveSnapshotsTrackOnlineLearner)
+{
+    // The profile predictor bumps its version on every completion,
+    // silently moving every instance's predicted KV footprint: the
+    // version gate must invalidate the whole cached view.
+    SystemConfig cfg = churnConfig(SchedulerType::PascalSpec,
+                                   PlacementType::PascalPredictive, 3);
+    cfg.predictor.type = predict::PredictorType::Profile;
+    auto trace = churnTrace(11, 120, 15.0);
+    auto result = runAudited(cfg, trace);
+    EXPECT_GT(result.aggregate.numFinished, 0u);
+}
+
+TEST_F(ClusterViewAudit, BaselinePlacementAndMigrationFreeVariants)
+{
+    auto trace = churnTrace(3, 100, 14.0);
+    for (PlacementType placement :
+         {PlacementType::Baseline, PlacementType::PascalNoMigration,
+          PlacementType::PascalNonAdaptive}) {
+        SCOPED_TRACE("placement " +
+                     std::to_string(static_cast<int>(placement)));
+        auto result = runAudited(
+            churnConfig(SchedulerType::Rr, placement, 3), trace);
+        EXPECT_GT(result.aggregate.numFinished, 0u);
+    }
+}
+
+TEST_F(ClusterViewAudit, FinishBetweenSameIterationTransitionsRemarks)
+{
+    // Regression: within one completeIteration's handle loop, a
+    // phase transition's placement decision refreshes (and cleans)
+    // the snapshot; a *finish* handled next mutates KV and counters
+    // and must re-mark the instance, or the loop's second transition
+    // places against a stale row. Lockstep lengths force exactly
+    // transition(r0) -> finish(r1) -> transition(r2) in one
+    // iteration.
+    workload::Trace trace;
+    auto spec = [](RequestId id, TokenCount reasoning,
+                   TokenCount answer) {
+        workload::RequestSpec s;
+        s.id = id;
+        s.arrival = 0.0;
+        s.promptTokens = 64;
+        s.reasoningTokens = reasoning;
+        s.answerTokens = answer;
+        s.dataset = "unit";
+        return s;
+    };
+    trace.requests = {spec(0, 40, 10), spec(1, 30, 10),
+                      spec(2, 40, 10), spec(3, 20, 30)};
+
+    SystemConfig cfg;
+    cfg.scheduler = SchedulerType::Fcfs;
+    cfg.placement = PlacementType::Pascal;
+    cfg.numInstances = 1;
+    // An impossible pace wedges the early-transitioning request 3
+    // behind its pacer, caching a sticky-false answeringSloOk whose
+    // infinite flip bound disables the time-based re-check — the
+    // staleness can then only be caught by correct dirty marking.
+    cfg.slo.tpotTarget = 1e-4;
+    auto result = runAudited(cfg, trace);
+    EXPECT_EQ(result.aggregate.numFinished, 4u);
+}
+
+TEST_F(ClusterViewInvariance, IncrementalAndRebuildModesByteIdentical)
+{
+    auto trace = churnTrace(5, 140, 18.0);
+    for (SchedulerType sched :
+         {SchedulerType::Fcfs, SchedulerType::Pascal}) {
+        SCOPED_TRACE("scheduler " +
+                     std::to_string(static_cast<int>(sched)));
+        SystemConfig cfg =
+            churnConfig(sched, PlacementType::Pascal, 4);
+        cfg.forceViewRebuild = false;
+        auto fast = cluster::RunContext::execute(cfg, trace);
+        cfg.forceViewRebuild = true;
+        auto reference = cluster::RunContext::execute(cfg, trace);
+        test::expectIdentical(fast, reference);
+    }
+}
+
+TEST_F(ClusterViewFastPath, RefreshesStayBelowFullRebuilds)
+{
+    if (std::getenv("PASCAL_FORCE_VIEW") != nullptr)
+        GTEST_SKIP() << "incremental view globally disabled by env";
+    // On a many-instance deployment most placement decisions touch a
+    // fraction of the cluster: the incremental path must refresh
+    // measurably fewer snapshots than rebuild-everything would.
+    SystemConfig cfg =
+        churnConfig(SchedulerType::Pascal, PlacementType::Pascal, 8);
+    auto trace = churnTrace(13, 200, 25.0);
+    cluster::RunContext ctx(cfg);
+    ctx.submit(trace);
+    ctx.run();
+    const auto& c = ctx.cluster();
+    ASSERT_GT(c.numViewBuilds(), 0u);
+    std::uint64_t rebuild_cost =
+        c.numViewBuilds() * static_cast<std::uint64_t>(cfg.numInstances);
+    EXPECT_LT(c.numViewRefreshes(), rebuild_cost);
+
+    cfg.forceViewRebuild = true;
+    cluster::RunContext slow(cfg);
+    slow.submit(trace);
+    slow.run();
+    EXPECT_EQ(slow.cluster().numViewRefreshes(),
+              slow.cluster().numViewBuilds() *
+                  static_cast<std::uint64_t>(cfg.numInstances));
+    test::expectIdentical(ctx.result(), slow.result());
+}
+
+} // namespace

@@ -1,7 +1,8 @@
 /**
  * @file
  * Unit tests for the two-tier KV pool: accounting invariants, tier
- * moves, and misuse detection.
+ * moves, misuse detection, and the slot-compaction bound (table sized
+ * by peak live requests, not by the largest RequestId ever hosted).
  */
 
 #include <gtest/gtest.h>
@@ -12,7 +13,9 @@
 namespace
 {
 
+using pascal::model::kNoKvSlot;
 using pascal::model::KvPool;
+using pascal::model::KvSlot;
 using pascal::model::KvTier;
 
 TEST(KvPool, StartsEmpty)
@@ -23,6 +26,7 @@ TEST(KvPool, StartsEmpty)
     EXPECT_EQ(pool.gpuFree(), 1000);
     EXPECT_EQ(pool.cpuUsed(), 0);
     EXPECT_EQ(pool.numTracked(), 0u);
+    EXPECT_EQ(pool.tableSize(), 0u);
 }
 
 TEST(KvPool, RejectsNonPositiveCapacity)
@@ -34,13 +38,15 @@ TEST(KvPool, RejectsNonPositiveCapacity)
 TEST(KvPool, AllocGpuTracksUsage)
 {
     KvPool pool(1000);
-    pool.allocGpu(1, 400);
+    KvSlot s = pool.allocGpu(1, 400);
     EXPECT_EQ(pool.gpuUsed(), 400);
     EXPECT_EQ(pool.gpuFree(), 600);
-    EXPECT_EQ(pool.tierOf(1), KvTier::Gpu);
-    EXPECT_EQ(pool.tokensOf(1), 400);
-    EXPECT_TRUE(pool.hasRequest(1));
-    EXPECT_FALSE(pool.hasRequest(2));
+    EXPECT_EQ(pool.tierOf(s), KvTier::Gpu);
+    EXPECT_EQ(pool.tokensOf(s), 400);
+    EXPECT_EQ(pool.ownerOf(s), 1);
+    EXPECT_TRUE(pool.tracks(s));
+    EXPECT_FALSE(pool.tracks(s + 1));
+    EXPECT_FALSE(pool.tracks(kNoKvSlot));
 }
 
 TEST(KvPool, CanAllocRespectsCapacity)
@@ -54,24 +60,24 @@ TEST(KvPool, CanAllocRespectsCapacity)
 TEST(KvPool, GrowGpuExtends)
 {
     KvPool pool(1000);
-    pool.allocGpu(1, 100);
-    pool.growGpu(1, 50);
-    EXPECT_EQ(pool.tokensOf(1), 150);
+    KvSlot s = pool.allocGpu(1, 100);
+    pool.growGpu(s, 50);
+    EXPECT_EQ(pool.tokensOf(s), 150);
     EXPECT_EQ(pool.gpuUsed(), 150);
 }
 
 TEST(KvPool, MoveToCpuAndBack)
 {
     KvPool pool(1000);
-    pool.allocGpu(1, 300);
-    pool.moveToCpu(1);
-    EXPECT_EQ(pool.tierOf(1), KvTier::Cpu);
+    KvSlot s = pool.allocGpu(1, 300);
+    pool.moveToCpu(s);
+    EXPECT_EQ(pool.tierOf(s), KvTier::Cpu);
     EXPECT_EQ(pool.gpuUsed(), 0);
     EXPECT_EQ(pool.cpuUsed(), 300);
     EXPECT_EQ(pool.totalFootprintTokens(), 300);
 
-    pool.moveToGpu(1);
-    EXPECT_EQ(pool.tierOf(1), KvTier::Gpu);
+    pool.moveToGpu(s);
+    EXPECT_EQ(pool.tierOf(s), KvTier::Gpu);
     EXPECT_EQ(pool.gpuUsed(), 300);
     EXPECT_EQ(pool.cpuUsed(), 0);
 }
@@ -79,9 +85,9 @@ TEST(KvPool, MoveToCpuAndBack)
 TEST(KvPool, SwapMakesRoomForOthers)
 {
     KvPool pool(500);
-    pool.allocGpu(1, 400);
+    KvSlot s = pool.allocGpu(1, 400);
     EXPECT_FALSE(pool.canAllocGpu(200));
-    pool.moveToCpu(1);
+    pool.moveToCpu(s);
     EXPECT_TRUE(pool.canAllocGpu(200));
     pool.allocGpu(2, 200);
     EXPECT_EQ(pool.totalFootprintTokens(), 600);
@@ -90,78 +96,86 @@ TEST(KvPool, SwapMakesRoomForOthers)
 TEST(KvPool, ReleaseFreesEitherTier)
 {
     KvPool pool(1000);
-    pool.allocGpu(1, 100);
-    pool.allocCpu(2, 200);
-    pool.release(1);
-    pool.release(2);
+    KvSlot a = pool.allocGpu(1, 100);
+    KvSlot b = pool.allocCpu(2, 200);
+    pool.release(a);
+    pool.release(b);
     EXPECT_EQ(pool.gpuUsed(), 0);
     EXPECT_EQ(pool.cpuUsed(), 0);
     EXPECT_EQ(pool.numTracked(), 0u);
-    EXPECT_EQ(pool.tierOf(1), KvTier::None);
+    EXPECT_EQ(pool.tierOf(a), KvTier::None);
+    EXPECT_EQ(pool.ownerOf(a), pascal::kNoRequest);
 }
 
 TEST(KvPool, PeakTracksHighWaterMark)
 {
     KvPool pool(1000);
-    pool.allocGpu(1, 600);
+    KvSlot a = pool.allocGpu(1, 600);
     pool.allocGpu(2, 300);
-    pool.release(1);
+    pool.release(a);
     EXPECT_EQ(pool.gpuUsed(), 300);
     EXPECT_EQ(pool.peakGpuUsed(), 900);
+}
+
+TEST(KvPool, TableBoundedByLiveRequestsNotMaxId)
+{
+    // A million sequential ids hosted two-at-a-time must not grow the
+    // table past the peak liveness: released slots are recycled. The
+    // old dense-by-id table ballooned to ~16 B x max-id per instance
+    // on exactly this pattern.
+    KvPool pool(10000);
+    KvSlot prev = kNoKvSlot;
+    for (pascal::RequestId id = 0; id < 5000; ++id) {
+        KvSlot s = pool.allocGpu(id + 1'000'000'000, 10);
+        if (prev != kNoKvSlot)
+            pool.release(prev);
+        prev = s;
+    }
+    EXPECT_EQ(pool.numTracked(), 1u);
+    EXPECT_LE(pool.tableSize(), 2u);
+    EXPECT_EQ(pool.ownerOf(prev), 1'000'004'999);
+}
+
+TEST(KvPool, RecycledSlotStartsClean)
+{
+    KvPool pool(1000);
+    KvSlot a = pool.allocGpu(9, 100);
+    pool.release(a);
+    EXPECT_FALSE(pool.tracks(a));
+    KvSlot b = pool.allocGpu(12, 10); // Recycles the freed slot.
+    EXPECT_EQ(b, a);
+    EXPECT_EQ(pool.tokensOf(b), 10);
+    EXPECT_EQ(pool.ownerOf(b), 12);
+    EXPECT_EQ(pool.gpuUsed(), 10);
+    EXPECT_EQ(pool.tableSize(), 1u);
 }
 
 TEST(KvPoolDeath, OverCapacityPanics)
 {
     KvPool pool(100);
-    pool.allocGpu(1, 90);
+    KvSlot s = pool.allocGpu(1, 90);
     EXPECT_DEATH(pool.allocGpu(2, 20), "over capacity");
-    EXPECT_DEATH(pool.growGpu(1, 20), "over capacity");
-}
-
-TEST(KvPoolDeath, DoubleAllocPanics)
-{
-    KvPool pool(100);
-    pool.allocGpu(1, 10);
-    EXPECT_DEATH(pool.allocGpu(1, 10), "already tracked");
+    EXPECT_DEATH(pool.growGpu(s, 20), "over capacity");
 }
 
 TEST(KvPoolDeath, WrongTierMovesPanic)
 {
     KvPool pool(100);
-    pool.allocGpu(1, 10);
-    EXPECT_DEATH(pool.moveToGpu(1), "not CPU-resident");
-    pool.moveToCpu(1);
-    EXPECT_DEATH(pool.moveToCpu(1), "not GPU-resident");
+    KvSlot s = pool.allocGpu(1, 10);
+    EXPECT_DEATH(pool.moveToGpu(s), "not CPU-resident");
+    pool.moveToCpu(s);
+    EXPECT_DEATH(pool.moveToCpu(s), "not GPU-resident");
 }
 
-TEST(KvPoolDeath, UnknownRequestPanics)
+TEST(KvPoolDeath, UntrackedSlotPanics)
 {
     KvPool pool(100);
-    EXPECT_DEATH(pool.release(7), "unknown request");
-    EXPECT_DEATH(pool.growGpu(7, 1), "unknown request");
-}
-
-TEST(KvPool, DenseTableHandlesSparseAndRecycledIds)
-{
-    // The dense RequestId-indexed table must behave like the old map
-    // for out-of-order ids, gaps, and release/re-alloc cycles.
-    KvPool pool(1000);
-    pool.allocGpu(9, 100);
-    pool.allocGpu(2, 50);
-    pool.allocCpu(5, 25);
-    EXPECT_EQ(pool.numTracked(), 3u);
-    EXPECT_EQ(pool.tierOf(9), KvTier::Gpu);
-    EXPECT_EQ(pool.tierOf(5), KvTier::Cpu);
-    EXPECT_EQ(pool.tierOf(7), KvTier::None); // Gap: never allocated.
-    EXPECT_FALSE(pool.hasRequest(7));
-    EXPECT_EQ(pool.tokensOf(7), 0);
-
-    pool.release(9);
-    EXPECT_FALSE(pool.hasRequest(9));
-    EXPECT_EQ(pool.numTracked(), 2u);
-    pool.allocGpu(9, 10); // Slot recycled in place.
-    EXPECT_EQ(pool.tokensOf(9), 10);
-    EXPECT_EQ(pool.gpuUsed(), 60);
+    EXPECT_DEATH(pool.release(7), "untracked slot");
+    EXPECT_DEATH(pool.growGpu(7, 1), "untracked slot");
+    EXPECT_DEATH(pool.growGpu(kNoKvSlot, 1), "untracked slot");
+    KvSlot s = pool.allocGpu(1, 10);
+    pool.release(s);
+    EXPECT_DEATH(pool.release(s), "untracked slot");
 }
 
 TEST(KvPoolDeath, NegativeIdPanics)

@@ -17,6 +17,7 @@ namespace
 
 using namespace pascal;
 using model::KvPool;
+using model::KvSlot;
 using model::KvTier;
 
 TEST(PagedKv, ChargeRoundsUpToBlocks)
@@ -38,9 +39,9 @@ TEST(PagedKv, BlockSizeOneIsExact)
 TEST(PagedKv, AllocationChargesWholeBlocks)
 {
     KvPool pool(64, 16);
-    pool.allocGpu(1, 1); // 1 logical token -> 16 charged.
-    EXPECT_EQ(pool.tokensOf(1), 1);
-    EXPECT_EQ(pool.chargedTokensOf(1), 16);
+    KvSlot s = pool.allocGpu(1, 1); // 1 logical token -> 16 charged.
+    EXPECT_EQ(pool.tokensOf(s), 1);
+    EXPECT_EQ(pool.chargedTokensOf(s), 16);
     EXPECT_EQ(pool.gpuUsed(), 16);
     EXPECT_EQ(pool.gpuFree(), 48);
 }
@@ -48,14 +49,14 @@ TEST(PagedKv, AllocationChargesWholeBlocks)
 TEST(PagedKv, GrowthWithinBlockIsFree)
 {
     KvPool pool(64, 16);
-    pool.allocGpu(1, 1);
+    KvSlot s = pool.allocGpu(1, 1);
     for (int i = 0; i < 15; ++i)
-        pool.growGpu(1, 1); // Fills the first block.
+        pool.growGpu(s, 1); // Fills the first block.
     EXPECT_EQ(pool.gpuUsed(), 16);
 
-    pool.growGpu(1, 1); // Crosses into a second block.
+    pool.growGpu(s, 1); // Crosses into a second block.
     EXPECT_EQ(pool.gpuUsed(), 32);
-    EXPECT_EQ(pool.tokensOf(1), 17);
+    EXPECT_EQ(pool.tokensOf(s), 17);
 }
 
 TEST(PagedKv, CanAllocAccountsForRounding)
@@ -69,11 +70,11 @@ TEST(PagedKv, CanAllocAccountsForRounding)
 TEST(PagedKv, SwapMovesChargedAmount)
 {
     KvPool pool(64, 16);
-    pool.allocGpu(1, 20); // Charged 32.
-    pool.moveToCpu(1);
+    KvSlot s = pool.allocGpu(1, 20); // Charged 32.
+    pool.moveToCpu(s);
     EXPECT_EQ(pool.gpuUsed(), 0);
     EXPECT_EQ(pool.cpuUsed(), 32);
-    pool.moveToGpu(1);
+    pool.moveToGpu(s);
     EXPECT_EQ(pool.gpuUsed(), 32);
     EXPECT_EQ(pool.totalFootprintTokens(), 32);
 }
@@ -81,8 +82,8 @@ TEST(PagedKv, SwapMovesChargedAmount)
 TEST(PagedKv, ReleaseReturnsChargedBlocks)
 {
     KvPool pool(64, 16);
-    pool.allocGpu(1, 20);
-    pool.release(1);
+    KvSlot s = pool.allocGpu(1, 20);
+    pool.release(s);
     EXPECT_EQ(pool.gpuUsed(), 0);
     EXPECT_TRUE(pool.canAllocGpu(64));
 }
@@ -96,10 +97,10 @@ TEST(PagedKv, RejectsBadBlockSize)
 TEST(PagedKv, GrowPanicsAtBlockBoundaryWhenFull)
 {
     KvPool pool(32, 16);
-    pool.allocGpu(1, 16);
+    KvSlot s = pool.allocGpu(1, 16);
     pool.allocGpu(2, 16);
     // Request 1 crossing into a new block must panic: no blocks left.
-    EXPECT_DEATH(pool.growGpu(1, 1), "over capacity");
+    EXPECT_DEATH(pool.growGpu(s, 1), "over capacity");
 }
 
 TEST(PagedKv, SchedulerBudgetsInChargedUnits)
@@ -116,7 +117,7 @@ TEST(PagedKv, SchedulerBudgetsInChargedUnits)
     model::KvPool pool(64, 16);
     auto* a = h.make(0, 0.0, 16, 100, 10);
     a->completePrefill(0.0, 500); // kv = 17.
-    pool.allocGpu(a->id(), a->kvTokens());
+    a->kvSlot = pool.allocGpu(a->id(), a->kvTokens());
     a->exec = workload::ExecState::ResidentGpu;
     sched.add(a);
 

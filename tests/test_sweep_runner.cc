@@ -131,6 +131,46 @@ TEST_F(SweepRunnerTest, GridOrderAndLabels)
     EXPECT_EQ(result.outcomes[4].result.schedulerName, "PASCAL");
 }
 
+TEST_F(SweepRunnerTest, GeneratedTracesRecordProvenance)
+{
+    SweepRunner runner;
+    auto t = runner.addGeneratedTrace(
+        workload::DatasetProfile::alpacaEval(), 40, 10.0, 1234);
+    const auto& prov = runner.trace(t).provenance;
+    EXPECT_TRUE(prov.generated);
+    EXPECT_EQ(prov.profile, "AlpacaEval2.0");
+    EXPECT_EQ(prov.n, 40);
+    EXPECT_DOUBLE_EQ(prov.ratePerSec, 10.0);
+    EXPECT_TRUE(prov.seedKnown);
+    EXPECT_EQ(prov.seed, 1234u);
+    EXPECT_EQ(runner.trace(t).describe(),
+              "AlpacaEval2.0 n=40 rate=10 seed=1234");
+
+    // External traces stay unlabeled (no invented knobs).
+    auto ext = runner.addTrace(smallTrace(3));
+    EXPECT_FALSE(runner.trace(ext).provenance.seedKnown);
+}
+
+TEST_F(SweepRunnerTest, TracesAreSharedNotCopied)
+{
+    // Registered traces are immutable shared arenas: handles alias
+    // the registry entry (no per-point deep copies) and keep the
+    // trace alive past the runner.
+    std::shared_ptr<const workload::Trace> handle;
+    const workload::RequestSpec* first = nullptr;
+    {
+        SweepRunner runner;
+        auto t = runner.addGeneratedTrace(
+            workload::DatasetProfile::alpacaEval(), 30, 10.0, 5);
+        handle = runner.traceHandle(t);
+        EXPECT_EQ(handle.get(), &runner.trace(t));
+        first = &runner.trace(t).requests.front();
+    }
+    ASSERT_NE(handle, nullptr);
+    EXPECT_EQ(&handle->requests.front(), first);
+    EXPECT_EQ(handle->requests.size(), 30u);
+}
+
 TEST_F(SweepRunnerTest, ParallelMatchesSerialOnEightPointGrid)
 {
     // The acceptance grid: >= 8 points on 4 threads must be

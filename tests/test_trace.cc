@@ -105,6 +105,27 @@ TEST(Trace, FromCsvMissingFileIsFatal)
     EXPECT_THROW(Trace::fromCsv("/nonexistent/path.csv"), FatalError);
 }
 
+TEST(Trace, DescribeExternalTrace)
+{
+    Trace t;
+    t.requests = {spec(0, 0.0), spec(1, 1.0)};
+    EXPECT_FALSE(t.provenance.generated);
+    EXPECT_EQ(t.describe(), "2 requests (external)");
+}
+
+TEST(Trace, DescribeGeneratedTrace)
+{
+    Trace t;
+    t.provenance.generated = true;
+    t.provenance.profile = "alpaca-eval";
+    t.provenance.n = 100;
+    t.provenance.ratePerSec = 12.5;
+    EXPECT_EQ(t.describe(), "alpaca-eval n=100 rate=12.5");
+    t.provenance.seed = 7;
+    t.provenance.seedKnown = true;
+    EXPECT_EQ(t.describe(), "alpaca-eval n=100 rate=12.5 seed=7");
+}
+
 TEST(Trace, EmptyTraceValidates)
 {
     Trace t;
