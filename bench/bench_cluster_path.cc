@@ -1,21 +1,24 @@
 /**
  * @file
- * Cluster-path benchmark: the lazy accrual + incremental ClusterView
- * + arena-backed sweep fast path vs the recompute debug modes
- * (PASCAL_FORCE_ACCRUE eager walk + PASCAL_FORCE_VIEW full per-
- * decision snapshot rebuild).
+ * Cluster-path benchmark: the burst-coalesced arrival planning +
+ * min-deadline SLO heap + skip-list queue fast path vs the recompute
+ * debug modes (PASCAL_FORCE_ACCRUE eager walk + PASCAL_FORCE_VIEW
+ * full per-decision snapshot rebuild + PASCAL_FORCE_KICK per-arrival
+ * plan boundaries).
  *
  * Where bench_scheduler_iteration measures the intra-instance
  * scheduling path in isolation, this bench runs whole simulations and
- * measures the cluster-level loops PR 4 made O(dirty):
+ * measures the cluster-level loops PRs 4-5 made O(dirty) / O(1):
  *
  *  - arrival-storm:    arrivals pour into a multi-instance deployment
- *                      with deep backlogs; per-iteration accrual walks
- *                      and per-arrival view rebuilds dominate the
- *                      recompute mode.
- *  - transition-storm: short reasoning phases fire placement decisions
- *                      (and migrations) at a high rate, hammering the
- *                      phase-transition view path.
+ *                      with deep admission backlogs; the greedy
+ *                      walk's waiting-dead exit and the SLO heap keep
+ *                      per-decision work independent of backlog
+ *                      depth.
+ *  - transition-storm: short phases fire placement decisions and
+ *                      migrations at a high rate (PR 5 re-centered
+ *                      the lengths so transitions, not bulk decode,
+ *                      dominate — the regime the shape is named for).
  *  - sweep-throughput: a SweepRunner grid over large tiny-request
  *                      traces (the million-request regime scaled for
  *                      CI; --big restores the full size), measuring
@@ -27,12 +30,13 @@
  * (iterations, finishes, migrations) — a divergence aborts the bench,
  * so the speedups can only come from doing the same work faster.
  *
- * Output: human table + JSON (argv[1], default BENCH_cluster_path.json).
- * With --check-fastpath the process exits nonzero if the fast path is
- * not at least as fast as recompute on the sweep-throughput shape (the
- * headline arrival-heavy multi-instance sweep) — CI runs it this way
- * so a regression that deoptimizes the cluster path fails the perf
- * job.
+ * Output: human table + JSON (argv[1], default BENCH_cluster_path.json)
+ * including the fast-path engagement counters (plan builds, SLO-heap
+ * re-keys, view refreshes). With --check-fastpath the process exits
+ * nonzero if the fast path is not at least as fast as recompute on
+ * the sweep-throughput OR the arrival-storm shape — CI runs it this
+ * way so a regression that deoptimizes the cluster path fails the
+ * perf job.
  */
 
 #include <chrono>
@@ -73,6 +77,13 @@ struct ShapeResult
     double seconds = 0.0;
     std::uint64_t checksum = 0;
     std::string traceLabel;
+    std::uint64_t planBuilds = 0;
+    std::uint64_t sloHeapRekeys = 0;
+    std::uint64_t viewRefreshes = 0;
+    /** Storm shapes harvest engagement counters from their single
+     *  RunContext; the sweep shape's clusters live inside SweepRunner
+     *  and are not harvested, so its JSON rows omit the keys. */
+    bool hasCounters = false;
 
     double
     requestsPerSec() const
@@ -82,13 +93,15 @@ struct ShapeResult
     }
 };
 
-/** Force both cluster-path debug modes (the pre-optimization cost
- *  model: eager accrual walk + per-decision view rebuild). */
+/** Force the cluster-path debug modes (the pre-optimization cost
+ *  model: eager accrual walk + per-decision view rebuild +
+ *  per-arrival plan boundaries). */
 void
 applyMode(SystemConfig& cfg, bool recompute)
 {
     cfg.limits.forceAccrue = recompute;
     cfg.forceViewRebuild = recompute;
+    cfg.limits.forcePerArrivalKick = recompute;
 }
 
 std::uint64_t
@@ -120,35 +133,52 @@ arrivalStorm(bool recompute)
     applyMode(cfg, recompute);
 
     auto start = std::chrono::steady_clock::now();
-    auto result = cluster::RunContext::execute(cfg, trace);
+    cluster::RunContext ctx(cfg);
+    ctx.submit(trace);
+    ctx.run();
+    auto result = ctx.result();
     double elapsed = secondsSince(start);
-    return {"arrival-storm", recompute ? "recompute" : "fast",
-            trace.size(), elapsed, resultChecksum(result),
-            trace.describe()};
+    return {"arrival-storm",        recompute ? "recompute" : "fast",
+            trace.size(),           elapsed,
+            resultChecksum(result), trace.describe(),
+            ctx.cluster().totalPlanBuilds(),
+            ctx.cluster().totalSloHeapRekeys(),
+            ctx.cluster().numViewRefreshes(),
+            true};
 }
 
-/** transition-storm: short reasoning phases fire placement decisions
- *  and adaptive migrations at token rate. */
+/** transition-storm: short phases fire placement decisions and
+ *  adaptive migrations at token rate. Both generation phases are
+ *  short, so the measured regime is the decision machinery (view
+ *  refreshes, SLO verdicts, migration bookkeeping) rather than bulk
+ *  decode — the path this shape is named for. */
 ShapeResult
 transitionStorm(bool recompute)
 {
     Rng rng(2);
     auto profile = workload::DatasetProfile::alpacaEval();
     profile.prompt = {64.0, 0.4, 32, 128};
-    profile.reasoning = {30.0, 0.5, 16, 80};
-    profile.answering = {280.0, 0.6, 64, 900};
-    auto trace = workload::generateTrace(profile, 6000, 600.0, rng);
+    profile.reasoning = {25.0, 0.5, 16, 60};
+    profile.answering = {45.0, 0.5, 16, 120};
+    auto trace = workload::generateTrace(profile, 10000, 1500.0, rng);
 
     SystemConfig cfg = SystemConfig::pascal(6);
-    cfg.gpuKvCapacityTokens = 131072;
+    cfg.gpuKvCapacityTokens = 65536;
     applyMode(cfg, recompute);
 
     auto start = std::chrono::steady_clock::now();
-    auto result = cluster::RunContext::execute(cfg, trace);
+    cluster::RunContext ctx(cfg);
+    ctx.submit(trace);
+    ctx.run();
+    auto result = ctx.result();
     double elapsed = secondsSince(start);
-    return {"transition-storm", recompute ? "recompute" : "fast",
-            trace.size(), elapsed, resultChecksum(result),
-            trace.describe()};
+    return {"transition-storm",    recompute ? "recompute" : "fast",
+            trace.size(),           elapsed,
+            resultChecksum(result), trace.describe(),
+            ctx.cluster().totalPlanBuilds(),
+            ctx.cluster().totalSloHeapRekeys(),
+            ctx.cluster().numViewRefreshes(),
+            true};
 }
 
 /** sweep-throughput: a grid over large tiny-request traces. */
@@ -189,8 +219,9 @@ sweepThroughput(bool recompute, bool big)
         simulated += outcome.result.perRequest.size();
     }
     return {"sweep-throughput", recompute ? "recompute" : "fast",
-            simulated, elapsed, checksum,
-            runner.trace(t0).describe() + " x2 configs x2 traces"};
+            simulated,          elapsed,
+            checksum,           runner.trace(t0).describe() +
+                                    " x2 configs x2 traces"};
 }
 
 void
@@ -256,15 +287,23 @@ try {
              << r.mode << "\", \"trace\": \"" << r.traceLabel
              << "\", \"requests\": " << r.requests
              << ", \"seconds\": " << r.seconds
-             << ", \"requests_per_sec\": " << r.requestsPerSec() << "}"
-             << (i + 1 < results.size() ? "," : "") << "\n";
+             << ", \"requests_per_sec\": " << r.requestsPerSec();
+        if (r.hasCounters) {
+            json << ", \"plan_builds\": " << r.planBuilds
+                 << ", \"slo_heap_rekeys\": " << r.sloHeapRekeys
+                 << ", \"view_refreshes\": " << r.viewRefreshes;
+        }
+        json << "}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     json << "  ],\n  \"speedup\": {";
     double sweep_speedup = 0.0;
+    double arrival_speedup = 0.0;
     for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
         double speedup = results[i + 1].seconds / results[i].seconds;
         if (results[i].shape == "sweep-throughput")
             sweep_speedup = speedup;
+        if (results[i].shape == "arrival-storm")
+            arrival_speedup = speedup;
         std::printf("%-16s %5.2fx\n", results[i].shape.c_str(),
                     speedup);
         json << (i ? ", " : "") << "\"" << results[i].shape
@@ -279,6 +318,13 @@ try {
                      "FAIL: cluster fast path slower than recompute on "
                      "the sweep-throughput shape (%.2fx)\n",
                      sweep_speedup);
+        return 1;
+    }
+    if (check_fastpath && arrival_speedup < 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: cluster fast path slower than recompute on "
+                     "the arrival-storm shape (%.2fx)\n",
+                     arrival_speedup);
         return 1;
     }
     return 0;

@@ -40,6 +40,7 @@ Cluster::Cluster(sim::Simulator& sim, const SystemConfig& cfg)
     callbacks.onFinished = [this](workload::Request* r, InstanceId) {
         if (predictor)
             predictor->observeCompletion(*r);
+        noteRequestFinished(r);
     };
 
     predictiveView = cfg.placement == PlacementType::PascalPredictive &&
@@ -77,9 +78,27 @@ Cluster::submitTrace(const workload::Trace& trace)
     // One contiguous chunk per trace: submission is a single
     // allocation instead of one heap node per request.
     std::vector<workload::Request>& chunk = requests.addChunk(trace);
-    for (auto& req : chunk) {
-        workload::Request* r = &req;
-        sim.at(r->spec().arrival, [this, r]() { onArrival(r); });
+    auto chunk_idx =
+        static_cast<std::int32_t>(requests.numChunks() - 1);
+    chunkLive.push_back(chunk.size());
+    retiredMetrics.emplace_back();
+    // Consecutive same-timestamp requests become one burst event:
+    // their placements and admissions drain back-to-back and the
+    // instances' deferred plan boundaries coalesce to a single build
+    // per burst member set.
+    for (std::size_t i = 0; i < chunk.size();) {
+        std::size_t j = i + 1;
+        while (j < chunk.size() &&
+               chunk[j].spec().arrival == chunk[i].spec().arrival) {
+            ++j;
+        }
+        workload::Request* first = &chunk[i];
+        auto n = static_cast<std::uint32_t>(j - i);
+        for (std::size_t k = i; k < j; ++k)
+            chunk[k].arenaChunk = chunk_idx;
+        sim.at(first->spec().arrival,
+               [this, first, n]() { onArrivals(first, n); });
+        i = j;
     }
 }
 
@@ -145,6 +164,10 @@ Cluster::buildView(Time now)
 
     if (viewAudit) {
         for (std::size_t i = 0; i < instances.size(); ++i) {
+            // The snapshot's t_i verdict rides the maintained SLO
+            // heap; prove the heap itself matches a from-scratch
+            // recomputation before trusting the snapshot compare.
+            instances[i]->verifySloHeap(now);
             core::InstanceSnapshot fresh = instances[i]->snapshot(now);
             if (fresh != view[i]) {
                 panic("incremental ClusterView diverged from fresh "
@@ -158,14 +181,53 @@ Cluster::buildView(Time now)
 }
 
 void
-Cluster::onArrival(workload::Request* req)
+Cluster::onArrivals(workload::Request* first, std::uint32_t n)
 {
-    const core::ClusterView& v = buildView(sim.now());
-    InstanceId target = placement->placeNew(v, *req);
-    if (target < 0 || target >= static_cast<InstanceId>(instances.size()))
-        panic("placement returned invalid instance " +
-              std::to_string(target));
-    instances[target]->addRequest(req);
+    // Placement stays strictly per-arrival: each decision sees the
+    // previous members admitted (but not yet planned — burst
+    // admission is a deliberate semantic improvement over the old
+    // chain, which could plan member 1 alone before member 2 was
+    // placed). What coalesces is the plan boundary — every kick() of
+    // the burst dedupes into one deferred build per touched
+    // instance.
+    for (std::uint32_t i = 0; i < n; ++i) {
+        workload::Request* req = first + i;
+        const core::ClusterView& v = buildView(sim.now());
+        InstanceId target = placement->placeNew(v, *req);
+        if (target < 0 ||
+            target >= static_cast<InstanceId>(instances.size()))
+            panic("placement returned invalid instance " +
+                  std::to_string(target));
+        if (n == 1)
+            instances[target]->addRequest(req);
+        else
+            instances[target]->addRequestCoalesced(req);
+    }
+}
+
+void
+Cluster::noteRequestFinished(workload::Request* req)
+{
+    if (req->arenaChunk < 0)
+        return;
+    auto idx = static_cast<std::size_t>(req->arenaChunk);
+    if (--chunkLive[idx] == 0 && chunkRecycling)
+        retireChunk(idx);
+}
+
+void
+Cluster::retireChunk(std::size_t idx)
+{
+    // Every request in the chunk is finished: it holds no KV, sits in
+    // no scheduler queue or SLO heap, and was settled at its final
+    // emission, so the scored rows are exactly what collectMetrics
+    // would produce at teardown.
+    std::vector<workload::Request>& chunk = requests.chunk(idx);
+    std::vector<qoe::RequestMetrics>& out = retiredMetrics[idx];
+    out.reserve(chunk.size());
+    for (auto& req : chunk)
+        out.push_back(qoe::computeRequestMetrics(req, cfg.slo));
+    requests.recycleChunk(idx);
 }
 
 void
@@ -213,17 +275,28 @@ Cluster::collectMetrics() const
     std::vector<qoe::RequestMetrics> out;
     out.reserve(requests.size());
     Time now = sim.now();
-    requests.forEach([&](workload::Request& req) {
-        // Observation point: settle lazily accrued phase time for
-        // requests still in flight (finished requests settled at
-        // their final emission; unarrived ones have nothing accrued).
-        if (!req.finished() &&
-            req.exec != workload::ExecState::Unassigned &&
-            req.exec != workload::ExecState::Done) {
-            req.settleAccrual(now);
+    for (std::size_t c = 0; c < requests.numChunks(); ++c) {
+        const std::vector<qoe::RequestMetrics>& retired =
+            retiredMetrics[c];
+        if (!retired.empty()) {
+            // Recycled chunk: the rows were scored (in chunk order)
+            // the moment its last request finished.
+            out.insert(out.end(), retired.begin(), retired.end());
+            continue;
         }
-        out.push_back(qoe::computeRequestMetrics(req, cfg.slo));
-    });
+        for (auto& req : requests.chunk(c)) {
+            // Observation point: settle lazily accrued phase time for
+            // requests still in flight (finished requests settled at
+            // their final emission; unarrived ones have nothing
+            // accrued).
+            if (!req.finished() &&
+                req.exec != workload::ExecState::Unassigned &&
+                req.exec != workload::ExecState::Done) {
+                req.settleAccrual(now);
+            }
+            out.push_back(qoe::computeRequestMetrics(req, cfg.slo));
+        }
+    }
     return out;
 }
 
@@ -253,6 +326,24 @@ Cluster::totalIterations() const
     std::uint64_t n = 0;
     for (const auto& inst : instances)
         n += inst->numIterations();
+    return n;
+}
+
+std::uint64_t
+Cluster::totalPlanBuilds() const
+{
+    std::uint64_t n = 0;
+    for (const auto& inst : instances)
+        n += inst->numPlanBuilds();
+    return n;
+}
+
+std::uint64_t
+Cluster::totalSloHeapRekeys() const
+{
+    std::uint64_t n = 0;
+    for (const auto& inst : instances)
+        n += inst->numSloHeapRekeys();
     return n;
 }
 

@@ -40,8 +40,31 @@ class Cluster
      */
     Cluster(sim::Simulator& sim, const SystemConfig& cfg);
 
-    /** Schedule every request of @p trace as an arrival event. */
+    /** Schedule every request of @p trace as arrival events.
+     *  Consecutive same-timestamp requests are scheduled as ONE burst
+     *  event, so their placement decisions and admissions drain
+     *  back-to-back and the instances' deferred plan boundaries
+     *  coalesce to one build per burst per instance. */
     void submitTrace(const workload::Trace& trace);
+
+    /**
+     * Opt-in for long-lived clusters fed thousands of traces: once
+     * every request of a submitted trace has finished, score the
+     * chunk into compact per-request metrics rows and recycle its
+     * arena storage, so resident Request memory (including the
+     * per-token emission vectors) stays bounded by *live* requests.
+     * collectMetrics() output is byte-identical either way (same
+     * rows, same order). Call before the simulation runs.
+     */
+    void enableChunkRecycling() { chunkRecycling = true; }
+
+    /** Trace chunks whose storage was recycled (see
+     *  enableChunkRecycling). */
+    std::size_t
+    numRecycledChunks() const
+    {
+        return requests.numRecycledChunks();
+    }
 
     /** Resolved per-instance GPU KV capacity (tokens). */
     TokenCount kvCapacityTokens() const { return kvCapacity; }
@@ -93,9 +116,26 @@ class Cluster
     std::uint64_t numViewRefreshes() const { return viewRefreshes; }
     std::uint64_t numViewBuilds() const { return viewBuilds; }
 
+    /** Sum of scheduler plan builds across instances (the burst
+     *  coalescing engagement stat). */
+    std::uint64_t totalPlanBuilds() const;
+
+    /** Sum of SLO-heap re-key operations across instances. */
+    std::uint64_t totalSloHeapRekeys() const;
+
   private:
-    /** Route a new arrival via Placement::placeNew (Algorithm 1). */
-    void onArrival(workload::Request* req);
+    /** Route @p n same-timestamp arrivals via Placement::placeNew
+     *  (Algorithm 1). Each member's decision sees the previous
+     *  members admitted — identical to the per-arrival chain — but
+     *  the admissions share one deferred plan boundary per touched
+     *  instance. */
+    void onArrivals(workload::Request* first, std::uint32_t n);
+
+    /** Chunk-recycling bookkeeping at request completion. */
+    void noteRequestFinished(workload::Request* req);
+
+    /** Score and recycle a fully-finished trace chunk. */
+    void retireChunk(std::size_t idx);
 
     /** Handle a reasoning->answering transition (Algorithm 2 +
      *  adaptive override). */
@@ -135,6 +175,15 @@ class Cluster
      *  chunks (mutable: scoring lazily settles accrued phase time —
      *  an observation, not a simulation step). */
     mutable workload::RequestArena requests;
+
+    /** @name Chunk recycling state */
+    /** @{ */
+    bool chunkRecycling = false;
+    std::vector<std::size_t> chunkLive; //!< Unfinished per chunk.
+    /** Scored rows of retired chunks, in chunk order (so
+     *  collectMetrics output is order-identical with recycling). */
+    std::vector<std::vector<qoe::RequestMetrics>> retiredMetrics;
+    /** @} */
 
     /** @name Incremental cluster view state */
     /** @{ */

@@ -64,10 +64,14 @@ Instance::Instance(InstanceId id, sim::Simulator& sim,
     // enableIncremental's).
     verifyAccrual = this->sched->schedLimits().forceAccrue ||
                     std::getenv("PASCAL_FORCE_ACCRUE") != nullptr;
+    // Per-arrival plan boundaries: verification mode for burst
+    // coalescing (construction-time read, like the two above).
+    forceKick = this->sched->schedLimits().forcePerArrivalKick ||
+                std::getenv("PASCAL_FORCE_KICK") != nullptr;
 }
 
 void
-Instance::addRequest(Request* req)
+Instance::admit(Request* req)
 {
     req->exec = ExecState::WaitingNew;
     req->home = instanceId;
@@ -76,8 +80,44 @@ Instance::addRequest(Request* req)
     // A queued arrival accrues Blocked until its prefill runs.
     req->resetAccrual(sim.now(), BucketKind::Blocked);
     sched->add(req);
+    // startInAnswering arrivals begin their TTFAT countdown the
+    // moment they are admitted.
+    sloHeapFix(req);
+    sloNoteExact(req);
+}
+
+void
+Instance::addRequests(Request* const* reqs, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        admit(reqs[i]);
     markViewDirty();
     kick();
+}
+
+void
+Instance::addRequestCoalesced(Request* req)
+{
+    admit(req);
+    markViewDirty();
+    // Defer the plan boundary through the event queue: same-timestamp
+    // events fire FIFO, so every member of the arrival burst is
+    // admitted (and placed) before the single coalesced plan build
+    // runs. In PASCAL_FORCE_KICK mode the dedup is skipped and every
+    // member schedules its own (redundant) boundary — the per-arrival
+    // cost model the byte-identity tests verify against.
+    if (stepInFlight)
+        return;
+    if (!forceKick) {
+        if (kickPending)
+            return; // Boundary already scheduled at this timestamp.
+        kickPending = true;
+    }
+    sim.at(sim.now(), [this] {
+        kickPending = false;
+        if (!stepInFlight)
+            startIteration();
+    });
 }
 
 void
@@ -105,6 +145,8 @@ Instance::landMigration(Request* req)
         req->accrualKind = BucketKind::Preempted;
     }
     sched->add(req);
+    sloHeapFix(req);
+    sloNoteExact(req);
     markViewDirty();
     kick();
 }
@@ -124,6 +166,7 @@ Instance::detach(Request* req)
         req->kvSlot = model::kNoKvSlot;
     }
     sched->remove(req);
+    sloHeapErase(req);
     req->exec = ExecState::InTransit;
     markViewDirty();
 }
@@ -143,10 +186,12 @@ Instance::startIteration()
     // decode-only regime), the previous plan is provably what a full
     // replan would produce — run it again verbatim.
     bool reused = sched->reusePlan(inflight, kvPool);
-    if (reused)
+    if (reused) {
         ++planReuses;
-    else
+    } else {
         sched->buildPlan(kvPool, inflight);
+        ++planBuilds;
+    }
     // Plan construction itself can mutate monitor-visible state
     // (PASCAL applies demotions at the plan boundary), so the
     // snapshot is stale even if the plan comes back idle.
@@ -166,6 +211,7 @@ Instance::startIteration()
         r->stampAccrual(t0, BucketKind::Preempted);
         kvPool.moveToCpu(r->kvSlot);
         r->exec = ExecState::SwappedCpu;
+        sched->noteResidency(r);
         Time done = pcie.submit(perf.kvBytes(r->kvTokens()), nullptr);
         swaps_done = std::max(swaps_done, done);
         ++swapOuts;
@@ -174,6 +220,7 @@ Instance::startIteration()
         r->stampAccrual(t0, BucketKind::Executed);
         kvPool.moveToGpu(r->kvSlot);
         r->exec = ExecState::ResidentGpu;
+        sched->noteResidency(r);
         Time done = pcie.submit(perf.kvBytes(r->kvTokens()), nullptr);
         swaps_done = std::max(swaps_done, done);
         ++swapIns;
@@ -186,6 +233,7 @@ Instance::startIteration()
         checkNoKv(r);
         r->kvSlot = kvPool.allocGpu(r->id(), r->spec().promptTokens);
         r->exec = ExecState::ResidentGpu;
+        sched->noteResidency(r);
         r->prefillDone = true;
         if (r->firstScheduled < 0.0)
             r->firstScheduled = t0;
@@ -201,6 +249,7 @@ Instance::startIteration()
         checkNoKv(r);
         r->kvSlot = kvPool.allocGpu(r->id(), r->spec().promptTokens + 1);
         r->exec = ExecState::ResidentGpu;
+        sched->noteResidency(r);
         if (r->firstScheduled < 0.0)
             r->firstScheduled = t0;
         prompt_tokens += r->spec().promptTokens;
@@ -303,13 +352,34 @@ Instance::completeIteration(Time step_start)
         r->settleAccrual(now);
         r->completePrefill(now, quantum);
         sched->noteExecuted(r);
+        // A one-token reasoning phase transitions at its prefill.
+        sloHeapFix(r);
+        sloNoteExact(r);
     }
     for (auto* r : plan.decode) {
+        // Steady answering emission: the request was already pacing
+        // (in the heap with its first answer token emitted) and this
+        // token advances its flip bound by exactly one tpot. Those
+        // advances are applied in bulk below (usually a single
+        // per-instance offset bump); only formula switches —
+        // transition, first answer token, finish — re-key eagerly.
+        bool was_pacing =
+            r->sloHeapPos >= 0 && r->firstAnswer >= 0.0;
         r->settleAccrual(now);
         r->emitToken(now, quantum);
         ++decodeTokens;
         sched->noteExecuted(r);
+        if (was_pacing) {
+            if (r->finished())
+                sloHeapErase(r);
+            else
+                ++sloAdvanced;
+        } else {
+            sloHeapFix(r);
+            sloNoteExact(r);
+        }
     }
+    sloHeapAdvance();
 
     auto handle = [&](Request* r) {
         if (r->finished()) {
@@ -342,56 +412,304 @@ Instance::completeIteration(Time step_start)
     startIteration();
 }
 
+double
+Instance::sloKeyOf(const Request* r) const
+{
+    if (r->firstAnswer >= 0.0) {
+        // The verdict can only flip once the expected-token floor
+        // reaches generated - margin; one tpot of slack absorbs any
+        // rounding disagreement between this bound and the
+        // floor-based check in sloViolated().
+        double flip_tokens = static_cast<double>(
+            r->answerGenerated() - slo.monitorBufferMarginTokens - 1);
+        return r->firstAnswer + flip_tokens * slo.tpotTarget;
+    }
+    // Transitioned but no first answering token yet: the verdict
+    // flips exactly when the TTFAT budget runs out; one tpot of
+    // slack absorbs any rounding disagreement with the subtraction
+    // in the exact check.
+    return r->reasoningEnd + slo.ttfatTarget - slo.tpotTarget;
+}
+
+bool
+Instance::sloViolated(const Request* r, Time now) const
+{
+    if (r->firstAnswer >= 0.0) {
+        // The user digests one token per tpot from the first
+        // answering token; the monitor flags the request once the
+        // pacer buffer (generated minus digested) runs below the
+        // early-warning margin.
+        auto expected = static_cast<TokenCount>(
+            std::floor((now - r->firstAnswer) / slo.tpotTarget)) + 1;
+        expected = std::min(expected + slo.monitorBufferMarginTokens,
+                            r->spec().answerTokens);
+        return r->answerGenerated() < expected;
+    }
+    // Failing once the TTFAT budget is exhausted.
+    return now - r->reasoningEnd > slo.ttfatTarget;
+}
+
+void
+Instance::sloHeapSiftUp(std::size_t i)
+{
+    Request* r = sloHeap[i];
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (sloHeap[parent]->sloKey <= r->sloKey)
+            break;
+        sloHeap[i] = sloHeap[parent];
+        sloHeap[i]->sloHeapPos = static_cast<std::int32_t>(i);
+        i = parent;
+    }
+    sloHeap[i] = r;
+    r->sloHeapPos = static_cast<std::int32_t>(i);
+}
+
+void
+Instance::sloHeapSiftDown(std::size_t i)
+{
+    Request* r = sloHeap[i];
+    std::size_t n = sloHeap.size();
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n &&
+            sloHeap[child + 1]->sloKey < sloHeap[child]->sloKey) {
+            ++child;
+        }
+        if (r->sloKey <= sloHeap[child]->sloKey)
+            break;
+        sloHeap[i] = sloHeap[child];
+        sloHeap[i]->sloHeapPos = static_cast<std::int32_t>(i);
+        i = child;
+    }
+    sloHeap[i] = r;
+    r->sloHeapPos = static_cast<std::int32_t>(i);
+}
+
+void
+Instance::sloHeapErase(Request* r)
+{
+    std::int32_t pos = r->sloHeapPos;
+    if (pos < 0)
+        return; // Not at risk (e.g. a reasoning-phase detach).
+    r->sloHeapPos = -1;
+    Request* last = sloHeap.back();
+    sloHeap.pop_back();
+    if (last != r) {
+        auto i = static_cast<std::size_t>(pos);
+        sloHeap[i] = last;
+        last->sloHeapPos = pos;
+        sloHeapSiftUp(i);
+        sloHeapSiftDown(static_cast<std::size_t>(last->sloHeapPos));
+    }
+}
+
+void
+Instance::sloNoteExact(Request* r)
+{
+    // Entries keyed exactly against the current offset need
+    // compensation if the offset bumps this iteration; the flag
+    // dedupes (a landing followed by a first decode would otherwise
+    // enter twice and spuriously defeat the bump).
+    if (r->sloHeapPos >= 0 && !r->sloExactPending) {
+        r->sloExactPending = true;
+        sloExactScratch.push_back(r);
+    }
+}
+
+void
+Instance::sloHeapFix(Request* r)
+{
+    bool member = r->phase() == Phase::Answering && !r->finished();
+    if (!member) {
+        sloHeapErase(r);
+        return;
+    }
+    double key = sloKeyOf(r) - sloOffset;
+    if (r->sloHeapPos < 0) {
+        ++sloRekeys;
+        r->sloKey = key;
+        sloHeap.push_back(r);
+        sloHeapSiftUp(sloHeap.size() - 1);
+        return;
+    }
+    if (key == r->sloKey)
+        return;
+    ++sloRekeys;
+    bool up = key < r->sloKey;
+    r->sloKey = key;
+    auto i = static_cast<std::size_t>(r->sloHeapPos);
+    if (up)
+        sloHeapSiftUp(i);
+    else
+        sloHeapSiftDown(i);
+}
+
+void
+Instance::sloHeapAdvance()
+{
+    if (sloAdvanced > 0) {
+        std::size_t exact_live = 0;
+        for (const auto* r : sloExactScratch) {
+            if (r->sloHeapPos >= 0)
+                ++exact_live;
+        }
+        if (sloAdvanced + exact_live == sloHeap.size()) {
+            // Every heap member either advanced one answer token
+            // (flip bound moves by exactly one tpot) or was re-keyed
+            // exactly this iteration: advance the shared offset once
+            // and compensate the exact re-keys, so the steady batch
+            // pays O(1) instead of one sift per member per token.
+            sloOffset += slo.tpotTarget;
+            ++sloRekeys;
+            for (auto* r : sloExactScratch) {
+                if (r->sloHeapPos < 0)
+                    continue;
+                r->sloKey -= slo.tpotTarget;
+                sloHeapSiftUp(static_cast<std::size_t>(r->sloHeapPos));
+            }
+        } else {
+            // Mixed population (some members — preempted or swapped
+            // answering requests — did not advance): recompute every
+            // key against the offset and restore the heap with one
+            // bottom-up (Floyd) pass — O(members), contiguous, no
+            // per-token bookkeeping.
+            for (auto* r : sloHeap)
+                r->sloKey = sloKeyOf(r) - sloOffset;
+            for (std::size_t i = sloHeap.size() / 2; i-- > 0;)
+                sloHeapSiftDown(i);
+            for (std::size_t i = 0; i < sloHeap.size(); ++i)
+                sloHeap[i]->sloHeapPos =
+                    static_cast<std::int32_t>(i);
+            sloRekeys += sloHeap.size();
+        }
+    }
+    sloAdvanced = 0;
+    for (auto* r : sloExactScratch)
+        r->sloExactPending = false;
+    sloExactScratch.clear();
+}
+
+bool
+Instance::sloAtRiskViolated(std::size_t i, Time now) const
+{
+    if (i >= sloHeap.size() || sloHeap[i]->sloKey + sloOffset > now)
+        return false; // Heap order prunes the whole subtree.
+    if (sloViolated(sloHeap[i], now))
+        return true;
+    return sloAtRiskViolated(2 * i + 1, now) ||
+           sloAtRiskViolated(2 * i + 2, now);
+}
+
 bool
 Instance::answeringSloOk(Time now, Time* slo_risk_at) const
 {
+    // Min-deadline heap: the top key is the earliest time any
+    // answering request's verdict could flip, so the common decision
+    // is a single comparison. Only requests inside their conservative
+    // one-tpot risk window are ever re-checked exactly (the per-
+    // request check itself is exact — the keys only gate when it
+    // runs, and their one-tpot slack dwarfs the offset encoding's
+    // rounding drift).
+    if (sloHeap.empty()) {
+        if (slo_risk_at != nullptr)
+            *slo_risk_at = kTimeInfinity;
+        return true;
+    }
+    double top = sloHeap.front()->sloKey + sloOffset;
+    if (now >= top && sloAtRiskViolated(0, now)) {
+        if (slo_risk_at != nullptr)
+            *slo_risk_at = kTimeInfinity; // Sticky until dirty.
+        return false;
+    }
+    if (slo_risk_at != nullptr)
+        *slo_risk_at = top;
+    return true;
+}
+
+bool
+Instance::answeringSloOkScan(Time now, Time* slo_risk_at) const
+{
+    // Reference O(hosted) walk the heap replaced; shares the exact
+    // per-request check and the flip-bound formula with the heap so
+    // the two can never drift. Audits and tests call this to
+    // cross-check the maintained heap.
     Time risk = kTimeInfinity;
     for (const auto* r : sched->hosted()) {
         if (r->phase() != Phase::Answering || r->finished())
             continue;
-        if (r->firstAnswer >= 0.0) {
-            // The user digests one token per tpot from the first
-            // answering token; the monitor flags the request once the
-            // pacer buffer (generated minus digested) runs below the
-            // early-warning margin.
-            auto expected = static_cast<TokenCount>(
-                std::floor((now - r->firstAnswer) / slo.tpotTarget)) + 1;
-            expected = std::min(expected + slo.monitorBufferMarginTokens,
-                                r->spec().answerTokens);
-            if (r->answerGenerated() < expected) {
-                if (slo_risk_at != nullptr)
-                    *slo_risk_at = kTimeInfinity; // Sticky until dirty.
-                return false;
-            }
-            if (slo_risk_at != nullptr) {
-                // The verdict can only flip once the floor reaches
-                // generated - margin; one tpot of slack absorbs any
-                // rounding disagreement between this bound and the
-                // floor-based check above.
-                double flip_tokens = static_cast<double>(
-                    r->answerGenerated() -
-                    slo.monitorBufferMarginTokens - 1);
-                risk = std::min(
-                    risk, r->firstAnswer + flip_tokens * slo.tpotTarget);
-            }
-        } else if (r->reasoningEnd >= 0.0) {
-            // Transitioned but no first answering token yet: failing
-            // once the TTFAT budget is exhausted.
-            if (now - r->reasoningEnd > slo.ttfatTarget) {
-                if (slo_risk_at != nullptr)
-                    *slo_risk_at = kTimeInfinity;
-                return false;
-            }
-            // Maximally conservative: any cached verdict is
-            // re-checked while a TTFAT countdown is live (rare and
-            // short-lived; such an instance is running iterations and
-            // therefore dirty anyway).
-            risk = std::min(risk, r->reasoningEnd);
+        if (sloViolated(r, now)) {
+            if (slo_risk_at != nullptr)
+                *slo_risk_at = kTimeInfinity; // Sticky until dirty.
+            return false;
         }
+        risk = std::min(risk, sloKeyOf(r));
     }
     if (slo_risk_at != nullptr)
         *slo_risk_at = risk;
     return true;
+}
+
+void
+Instance::verifySloHeap(Time now) const
+{
+    std::size_t members = 0;
+    for (const auto* r : sched->hosted()) {
+        bool member = r->phase() == Phase::Answering && !r->finished();
+        if (!member) {
+            if (r->sloHeapPos >= 0) {
+                panic("SLO heap holds non-answering request " +
+                      std::to_string(r->id()) + " on instance " +
+                      std::to_string(instanceId));
+            }
+            continue;
+        }
+        ++members;
+        auto pos = static_cast<std::size_t>(r->sloHeapPos);
+        if (r->sloHeapPos < 0 || pos >= sloHeap.size() ||
+            sloHeap[pos] != r) {
+            panic("SLO heap lost answering request " +
+                  std::to_string(r->id()) + " on instance " +
+                  std::to_string(instanceId));
+        }
+        // The offset encoding trades bit-exact keys for O(1) steady
+        // advances; the drift is bounded by summation rounding, far
+        // inside the key's built-in one-tpot conservatism.
+        double drift = (r->sloKey + sloOffset) - sloKeyOf(r);
+        if (drift > 0.25 * slo.tpotTarget ||
+            drift < -0.25 * slo.tpotTarget) {
+            panic("SLO heap key stale for request " +
+                  std::to_string(r->id()) + " on instance " +
+                  std::to_string(instanceId) + " (drift " +
+                  std::to_string(drift) + ")");
+        }
+    }
+    if (members != sloHeap.size()) {
+        panic("SLO heap size " + std::to_string(sloHeap.size()) +
+              " != answering population " + std::to_string(members) +
+              " on instance " + std::to_string(instanceId));
+    }
+    for (std::size_t i = 1; i < sloHeap.size(); ++i) {
+        if (sloHeap[(i - 1) / 2]->sloKey > sloHeap[i]->sloKey)
+            panic("SLO heap order violated on instance " +
+                  std::to_string(instanceId));
+    }
+    Time heap_risk = kTimeInfinity;
+    Time scan_risk = kTimeInfinity;
+    bool heap_ok = answeringSloOk(now, &heap_risk);
+    bool scan_ok = answeringSloOkScan(now, &scan_risk);
+    bool risk_close =
+        heap_risk == scan_risk ||
+        (heap_risk - scan_risk < 0.25 * slo.tpotTarget &&
+         scan_risk - heap_risk < 0.25 * slo.tpotTarget);
+    if (heap_ok != scan_ok || !risk_close) {
+        panic("SLO heap verdict diverged from reference walk on "
+              "instance " +
+              std::to_string(instanceId) + " at t=" +
+              std::to_string(now));
+    }
 }
 
 core::InstanceSnapshot

@@ -69,7 +69,32 @@ class Instance
     InstanceId id() const { return instanceId; }
 
     /** Route a newly arrived request here (no KV yet). */
-    void addRequest(workload::Request* req);
+    void
+    addRequest(workload::Request* req)
+    {
+        addRequests(&req, 1);
+    }
+
+    /**
+     * Burst admission: route @p n same-timestamp arrivals here with a
+     * single snapshot invalidation and a single kick() — one plan
+     * boundary for the whole burst instead of one per member.
+     */
+    void addRequests(workload::Request* const* reqs, std::size_t n);
+
+    /**
+     * Admission of one member of a same-timestamp arrival burst whose
+     * remaining members are still being placed: admits now, and
+     * defers the plan boundary to a same-timestamp event so every
+     * burst member (on this instance) shares ONE plan build. The
+     * kickPending flag dedupes the boundary; PASCAL_FORCE_KICK /
+     * SchedLimits::forcePerArrivalKick skips the dedup so every
+     * member schedules its own boundary (byte-identical results: a
+     * redundant boundary either finds a step in flight or rebuilds
+     * the same idle plan). The Cluster drains same-timestamp arrival
+     * runs through this.
+     */
+    void addRequestCoalesced(workload::Request* req);
 
     /** A migrated request's KV just landed over the fabric. */
     void landMigration(workload::Request* req);
@@ -161,11 +186,30 @@ class Instance
     /** Iterations that ran the previous IterationPlan verbatim via
      *  the scheduler's steady-state fast path. */
     std::uint64_t numPlanReuses() const { return planReuses; }
+    /** Full scheduler plan builds (non-reused boundaries, including
+     *  boundaries whose plan came back idle). The burst-coalescing
+     *  engagement gate checks this stays below the arrival count. */
+    std::uint64_t numPlanBuilds() const { return planBuilds; }
+    /** SLO-heap re-key operations (emission / admission / landing /
+     *  removal fixups). */
+    std::uint64_t numSloHeapRekeys() const { return sloRekeys; }
     /** @} */
+
+    /**
+     * Debug hook (cluster view audits): recompute every hosted
+     * request's SLO-heap membership and key from scratch and panic on
+     * any divergence from the maintained heap, then cross-check the
+     * heap-based answeringSloOk verdict against the reference
+     * O(hosted) walk at @p now.
+     */
+    void verifySloHeap(Time now) const;
 
   private:
     void startIteration();
     void completeIteration(Time step_start);
+
+    /** Shared admission body (exec/home/accrual/scheduler/SLO heap). */
+    void admit(workload::Request* req);
 
     /** Mark this instance's cluster-view snapshot stale (no-op when
      *  no hook is wired). */
@@ -212,7 +256,15 @@ class Instance
      *  stamp-verification walk every iteration. */
     bool verifyAccrual = false;
 
+    /** PASCAL_FORCE_KICK / SchedLimits::forcePerArrivalKick: schedule
+     *  a plan-boundary event per kick() instead of deduplicating. */
+    bool forceKick = false;
+
     bool stepInFlight = false;
+
+    /** A deferred plan-boundary event is already scheduled at the
+     *  current timestamp (coalesced mode only). */
+    bool kickPending = false;
 
     /**
      * Epoch stamp for batch membership: startIteration bumps it and
@@ -240,6 +292,81 @@ class Instance
     std::uint64_t swapOuts = 0;
     std::uint64_t swapIns = 0;
     std::uint64_t planReuses = 0;
+    std::uint64_t planBuilds = 0;
+
+    /** @name Min-deadline SLO heap (see answeringSloOk)
+     *
+     * Intrusive binary min-heap over the hosted answering requests,
+     * keyed by the earliest time each one's TPOT/TTFAT verdict could
+     * flip (Request::sloKey; position in Request::sloHeapPos). The
+     * paper's t_i monitor check then peeks the heap top in O(1)
+     * instead of walking every hosted request on each dirty snapshot
+     * refresh. Keys move only with token progress or membership —
+     * emission, phase transition, admission, landing, detach, finish
+     * — so plan application (swaps) never re-keys.
+     */
+    /** @{ */
+
+    /** Conservative flip-time key for an answering request (exact
+     *  formula shared with the reference walk). */
+    double sloKeyOf(const workload::Request* r) const;
+
+    /** Exact verdict for one request at @p now (shared with the
+     *  reference walk). */
+    bool sloViolated(const workload::Request* r, Time now) const;
+
+    /** Membership + key fixup after any event that can move them. */
+    void sloHeapFix(workload::Request* r);
+
+    /** Record an exactly-keyed heap entry for offset compensation
+     *  (deduped via Request::sloExactPending). */
+    void sloNoteExact(workload::Request* r);
+
+    /**
+     * Bulk per-iteration key advance: when every heap member either
+     * emitted one answer token (flip bound += exactly one tpot) or
+     * was exactly re-keyed this iteration, a single bump of sloOffset
+     * advances the whole heap in O(1) (the exact re-keys are
+     * compensated); otherwise the advanced members are re-keyed
+     * individually. Consumes the two scratch lists the emission loop
+     * filled.
+     */
+    void sloHeapAdvance();
+
+    void sloHeapErase(workload::Request* r);
+    void sloHeapSiftUp(std::size_t i);
+    void sloHeapSiftDown(std::size_t i);
+
+    /** DFS over the heap's {key <= now} rooted subtree, exactly
+     *  re-checking each at-risk request. */
+    bool sloAtRiskViolated(std::size_t i, Time now) const;
+
+    /** Reference O(hosted) implementation of answeringSloOk (kept
+     *  for audits and tests; shares sloKeyOf/sloViolated). */
+    bool answeringSloOkScan(Time now, Time* slo_risk_at) const;
+
+    std::vector<workload::Request*> sloHeap;
+
+    /**
+     * Shared key offset: stored keys are relative (real flip bound =
+     * Request::sloKey + sloOffset), so the dominant steady decode
+     * iteration — every answering request advances one token, every
+     * flip bound moves one tpot — is one addition instead of one
+     * sift per batch member. The encoding's rounding drift is bounded
+     * far inside the key's built-in one-tpot conservatism (the exact
+     * per-request check never consults keys).
+     */
+    double sloOffset = 0.0;
+
+    /** Per-iteration bookkeeping for sloHeapAdvance: how many
+     *  members advanced one answer token, and which were exactly
+     *  re-keyed (inserts / formula switches). */
+    std::size_t sloAdvanced = 0;
+    std::vector<workload::Request*> sloExactScratch;
+
+    std::uint64_t sloRekeys = 0;
+
+    /** @} */
 };
 
 } // namespace cluster

@@ -26,8 +26,9 @@ FcfsScheduler::planInto(const model::KvPool& pool, IterationPlan& out)
     // recently arrived) when the decode batch cannot grow.
     if (incrementalEnabled()) {
         queue.repair(); // No-op except after add/remove.
-        greedySelectInto(queue.items(), pool, /*stop_at_unfit=*/true,
-                         out);
+        greedySelectRanges(queue.end(), queue.end(), queue.begin(),
+                           queue.end(), /*cap_high=*/false, 0, pool,
+                           /*stop_at_unfit=*/true, out);
         return;
     }
 

@@ -63,6 +63,13 @@ class FcfsScheduler : public IntraScheduler
         queue.erase(req);
     }
 
+    void
+    onMaterialChanged(workload::Request* req, int delta) override
+    {
+        (void)delta;
+        queue.noteMaterialized(req);
+    }
+
   private:
     OrderedQueue<FcfsOrder> queue{1};
 };

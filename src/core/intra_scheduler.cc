@@ -67,6 +67,23 @@ IntraScheduler::add(workload::Request* req)
     else
         hostedFirst = req;
     hostedLast = req;
+    // Greedy-walk early-exit bookkeeping (any previous host already
+    // unlinked the request from its own structures in remove()).
+    req->schedInResidentList = false;
+    req->schedPrevResident = nullptr;
+    req->schedNextResident = nullptr;
+    req->schedPlanStamp = 0;
+    req->schedCountedPrewarm = false;
+    req->schedCountedWaiting = false;
+    if (req->exec == workload::ExecState::WaitingNew) {
+        waitingPrompts.insert(req->spec().promptTokens);
+        req->schedCountedWaiting = true;
+        if (req->spec().startInAnswering) {
+            req->schedCountedPrewarm = true;
+            ++waitingPrewarmCount;
+        }
+    }
+    noteResidency(req); // Migration landings arrive holding KV.
     if (!incremental)
         return;
     // A migrated request carries stale bookkeeping from its previous
@@ -106,17 +123,85 @@ IntraScheduler::remove(workload::Request* req)
         hostedLast = req->schedPrevHosted;
     req->schedPrevHosted = nullptr;
     req->schedNextHosted = nullptr;
-    if (!incremental)
+    if (incremental) {
+        if (req->schedCountedReasoning)
+            --reasoningCount;
+        if (req->schedCountedFreshAns)
+            --freshAnsweringCount;
+        req->schedCountedReasoning = false;
+        req->schedCountedFreshAns = false;
+        req->schedDemotionPending = false;
+        noteStateChanged();
+        // Queue unlink first (it reads schedInResidentList to keep
+        // its material count exact), then the early-exit structures.
+        onHostedRemoved(req);
+    }
+    unlinkMaterial(req);
+    if (req->schedCountedWaiting) {
+        // Departing while still waiting (not a path the engine takes
+        // today, but the floor must stay exact regardless).
+        req->schedCountedWaiting = false;
+        waitingPrompts.erase(
+            waitingPrompts.find(req->spec().promptTokens));
+    }
+    if (req->schedCountedPrewarm) {
+        req->schedCountedPrewarm = false;
+        --waitingPrewarmCount;
+    }
+}
+
+void
+IntraScheduler::unlinkMaterial(workload::Request* req)
+{
+    if (!req->schedInResidentList)
         return;
-    if (req->schedCountedReasoning)
-        --reasoningCount;
-    if (req->schedCountedFreshAns)
-        --freshAnsweringCount;
-    req->schedCountedReasoning = false;
-    req->schedCountedFreshAns = false;
-    req->schedDemotionPending = false;
-    noteStateChanged();
-    onHostedRemoved(req);
+    req->schedInResidentList = false;
+    if (req->schedPrevResident != nullptr)
+        req->schedPrevResident->schedNextResident =
+            req->schedNextResident;
+    else
+        materialFirst = req->schedNextResident;
+    if (req->schedNextResident != nullptr)
+        req->schedNextResident->schedPrevResident =
+            req->schedPrevResident;
+    req->schedPrevResident = nullptr;
+    req->schedNextResident = nullptr;
+}
+
+void
+IntraScheduler::noteResidency(workload::Request* req)
+{
+    bool material =
+        req->exec == workload::ExecState::ResidentGpu ||
+        req->exec == workload::ExecState::SwappedCpu;
+    if (material && !req->schedInResidentList) {
+        req->schedInResidentList = true;
+        req->schedPrevResident = nullptr;
+        req->schedNextResident = materialFirst;
+        if (materialFirst != nullptr)
+            materialFirst->schedPrevResident = req;
+        materialFirst = req;
+        if (req->schedNode != nullptr) {
+            // Flipped in place while linked (prefill/prewarm
+            // allocation): the owning queue's material count moves.
+            onMaterialChanged(req, 1);
+        }
+        if (req->schedCountedWaiting) {
+            // It stopped waiting: retire its admission-floor entry.
+            req->schedCountedWaiting = false;
+            waitingPrompts.erase(
+                waitingPrompts.find(req->spec().promptTokens));
+        }
+    } else if (!material && req->schedInResidentList) {
+        unlinkMaterial(req);
+        if (req->schedNode != nullptr)
+            onMaterialChanged(req, -1);
+    }
+    if (req->schedCountedPrewarm &&
+        req->exec != workload::ExecState::WaitingNew) {
+        req->schedCountedPrewarm = false;
+        --waitingPrewarmCount;
+    }
 }
 
 void
@@ -191,21 +276,6 @@ IntraScheduler::scanFreshAnswering() const
         }
     }
     return n;
-}
-
-bool
-IntraScheduler::schedulable(const workload::Request* req)
-{
-    if (req->finished())
-        return false;
-    switch (req->exec) {
-      case workload::ExecState::WaitingNew:
-      case workload::ExecState::ResidentGpu:
-      case workload::ExecState::SwappedCpu:
-        return true;
-      default:
-        return false;
-    }
 }
 
 bool
@@ -330,115 +400,53 @@ IntraScheduler::greedySelectInto(
     const model::KvPool& pool, bool stop_at_unfit, IterationPlan& out,
     std::size_t high_prefix_len, TokenCount high_budget_cap)
 {
-    TokenCount budget = pool.gpuCapacity();
-    TokenCount high_budget =
-        high_prefix_len > 0 ? high_budget_cap : budget;
-    TokenCount prefill_tokens = 0;
-    int batch = 0;
-    bool stopped = false;
+    auto split = order.begin() +
+                 static_cast<std::ptrdiff_t>(high_prefix_len);
+    greedySelectRanges(order.begin(), split, split, order.end(),
+                       high_prefix_len > 0, high_budget_cap, pool,
+                       stop_at_unfit, out);
+}
+
+void
+IntraScheduler::finishGreedySelect(const model::KvPool& pool,
+                                   IterationPlan& out,
+                                   TokenCount leftover_budget,
+                                   std::size_t tail_start)
+{
     std::vector<workload::Request*>& unselected_residents =
-        lastKeptResidents; // Reused buffer; doubles as the record.
-    unselected_residents.clear();
-    lastDecodeCapped.clear();
-    lastHighBudgetCap = high_prefix_len > 0 ? high_budget_cap : -1;
-
-    for (std::size_t idx = 0; idx < order.size(); ++idx) {
-        auto* r = order[idx];
-        if (!schedulable(r))
-            continue;
-        bool resident = r->exec == workload::ExecState::ResidentGpu;
-        bool capped = idx < high_prefix_len;
-
-        if (stopped || batch >= limits.maxBatchSize) {
-            if (resident)
-                unselected_residents.push_back(r);
-            continue;
-        }
-
-        // Effective budget: capped (high-queue) candidates may not eat
-        // into the memory reserved for the low queue.
-        TokenCount avail = capped ? std::min(budget, high_budget)
-                                  : budget;
-        auto charge = [&](TokenCount cost) {
-            budget -= cost;
-            if (capped)
-                high_budget -= cost;
-        };
-
-        switch (r->exec) {
-          case workload::ExecState::WaitingNew: {
-            TokenCount cost =
-                pool.chargeFor(r->spec().promptTokens + 1);
-            bool prewarm = r->spec().startInAnswering;
-            bool caps_ok = prewarm ||
-                (static_cast<int>(out.prefill.size()) <
-                     limits.maxPrefillSeqs &&
-                 prefill_tokens + r->spec().promptTokens <=
-                     limits.maxPrefillTokens);
-            if (!caps_ok || cost > avail) {
-                if (stop_at_unfit)
-                    stopped = true;
-                continue;
-            }
-            charge(cost);
-            ++batch;
-            if (prewarm) {
-                out.prewarm.push_back(r);
-            } else {
-                out.prefill.push_back(r);
-                prefill_tokens += r->spec().promptTokens;
-            }
-            break;
-          }
-          case workload::ExecState::ResidentGpu: {
-            TokenCount cost = pool.chargeFor(r->kvTokens() + 1);
-            if (cost > avail) {
-                unselected_residents.push_back(r);
-                if (stop_at_unfit)
-                    stopped = true;
-                continue;
-            }
-            charge(cost);
-            ++batch;
-            out.decode.push_back(r);
-            lastDecodeCapped.push_back(capped ? 1 : 0);
-            break;
-          }
-          case workload::ExecState::SwappedCpu: {
-            TokenCount cost = pool.chargeFor(r->kvTokens() + 1);
-            if (cost > avail) {
-                if (stop_at_unfit)
-                    stopped = true;
-                continue;
-            }
-            charge(cost);
-            ++batch;
-            out.swapIn.push_back(r);
-            out.decode.push_back(r);
-            lastDecodeCapped.push_back(capped ? 1 : 0);
-            break;
-          }
-          default:
-            panic("greedySelect: unexpected exec state");
-        }
-    }
+        lastKeptResidents;
 
     // Unselected residents stay resident while the leftover budget
     // covers them (they simply skip this iteration); the rest are
-    // evicted, lowest priority first because the walk preserved
-    // priority order and we evict from the back.
-    TokenCount keep_budget = budget;
-    std::size_t kept = 0;
-    for (auto* r : unselected_residents) {
-        TokenCount keep_cost = pool.chargeFor(r->kvTokens());
-        if (keep_cost <= keep_budget) {
-            keep_budget -= keep_cost;
-            unselected_residents[kept++] = r;
-        } else {
-            out.swapOut.push_back(r);
+    // evicted, lowest priority first. The common case keeps them
+    // all, where order is irrelevant; only when an eviction is
+    // actually needed does the early-exit tail (appended in resident-
+    // list order) get sorted back into the walk's priority order so
+    // the evicted set and the swapOut sequence are byte-identical to
+    // the full walk's.
+    TokenCount total_keep_cost = 0;
+    for (const auto* r : unselected_residents)
+        total_keep_cost += pool.chargeFor(r->kvTokens());
+    if (total_keep_cost > leftover_budget) {
+        if (tail_start < unselected_residents.size()) {
+            std::sort(unselected_residents.begin() +
+                          static_cast<std::ptrdiff_t>(tail_start),
+                      unselected_residents.end(),
+                      ResidentEvictOrder{});
         }
+        TokenCount keep_budget = leftover_budget;
+        std::size_t kept = 0;
+        for (auto* r : unselected_residents) {
+            TokenCount keep_cost = pool.chargeFor(r->kvTokens());
+            if (keep_cost <= keep_budget) {
+                keep_budget -= keep_cost;
+                unselected_residents[kept++] = r;
+            } else {
+                out.swapOut.push_back(r);
+            }
+        }
+        unselected_residents.resize(kept); // Record: residents kept.
     }
-    unselected_residents.resize(kept); // Record: residents kept.
 
     if (!out.prefill.empty() && !limits.chunkedPrefill) {
         // Prefill iterations do not decode (vLLM prefill priority).

@@ -47,10 +47,16 @@
 #ifndef PASCAL_CORE_INTRA_SCHEDULER_HH
 #define PASCAL_CORE_INTRA_SCHEDULER_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
+#include <set>
+#include <type_traits>
+#include <utility>
 #include <string>
 #include <vector>
 
+#include "src/common/log.hh"
 #include "src/common/types.hh"
 #include "src/core/iteration_plan.hh"
 #include "src/model/kv_pool.hh"
@@ -61,6 +67,60 @@ namespace pascal
 {
 namespace core
 {
+
+/**
+ * Priority order of GPU residents across every shipped policy,
+ * used to restore walk order over the residents an early-exited
+ * greedy walk never visited, before evicting from the back. The
+ * queue tag ranks PASCAL's high queue above its low queue; within a
+ * queue every policy orders by (quanta, cached score, arrival, id) —
+ * policies that freeze a level (FCFS/SRPT never consume quanta,
+ * reactive policies keep score 0) degenerate to exactly their own
+ * comparator. A policy whose order is NOT expressible in these five
+ * fields must not rely on the early-exit tail (or must extend this
+ * comparator) — the eviction-storm invariance test runs every
+ * shipped policy against recompute mode to keep the equivalence
+ * honest.
+ */
+struct ResidentEvictOrder
+{
+    bool
+    operator()(const workload::Request* a,
+               const workload::Request* b) const
+    {
+        if (a->schedQueueTag != b->schedQueueTag)
+            return a->schedQueueTag < b->schedQueueTag;
+        if (a->quantaConsumed != b->quantaConsumed)
+            return a->quantaConsumed < b->quantaConsumed;
+        if (a->schedScore != b->schedScore)
+            return a->schedScore < b->schedScore;
+        if (a->spec().arrival != b->spec().arrival)
+            return a->spec().arrival < b->spec().arrival;
+        return a->id() < b->id();
+    }
+};
+
+/** Detection idiom for iterators that support dropping their waiting
+ *  stream (OrderedQueue's merged iterator); plain vector iterators
+ *  (the recompute wrapper) are left untouched. */
+template <typename It, typename = void>
+struct HasSkipWaiting : std::false_type
+{
+};
+template <typename It>
+struct HasSkipWaiting<
+    It, std::void_t<decltype(std::declval<It&>().skipWaiting())>>
+    : std::true_type
+{
+};
+
+template <typename It>
+inline void
+maybeSkipWaiting(It& it)
+{
+    if constexpr (HasSkipWaiting<It>::value)
+        it.skipWaiting();
+}
 
 /** Interface + shared mechanics of intra-instance scheduling. */
 class IntraScheduler
@@ -129,6 +189,17 @@ class IntraScheduler
     virtual void onPhaseTransition(workload::Request* req);
 
     /**
+     * Dirty-set contract, residency leg: the engine reports every
+     * exec-state flip of a hosted request (prefill/prewarm
+     * allocation, swap out/in, migration landing) so the scheduler's
+     * intrusive GPU-resident list stays exact. The greedy walk's
+     * early exit settles unvisited residents from this list instead
+     * of scanning the whole admission backlog. add()/remove() sync
+     * membership themselves.
+     */
+    void noteResidency(workload::Request* req);
+
+    /**
      * Instance notification: @p req just emitted a token (or finished
      * prefill) in the iteration being completed. Updates the
      * maintained counters and forwards key changes to the subclass.
@@ -189,8 +260,22 @@ class IntraScheduler
     }
 
   protected:
-    /** True if @p req can be considered for scheduling at all. */
-    static bool schedulable(const workload::Request* req);
+    /** True if @p req can be considered for scheduling at all.
+     *  Inline: evaluated once per walked candidate per plan. */
+    static bool
+    schedulable(const workload::Request* req)
+    {
+        if (req->finished())
+            return false;
+        switch (req->exec) {
+          case workload::ExecState::WaitingNew:
+          case workload::ExecState::ResidentGpu:
+          case workload::ExecState::SwappedCpu:
+            return true;
+          default:
+            return false;
+        }
+    }
 
     /** Policy hook: produce the plan. @p out arrives reset. */
     virtual void planInto(const model::KvPool& pool,
@@ -227,6 +312,19 @@ class IntraScheduler
      */
     virtual bool reuseVeto() { return false; }
 
+    /**
+     * A linked member's materiality flipped in place (a
+     * prefill/prewarm allocation — @p delta is +1, or -1
+     * defensively): forward to the owning queue's noteMaterialized()
+     * so its material/waiting sublists stay exact.
+     */
+    virtual void
+    onMaterialChanged(workload::Request* req, int delta)
+    {
+        (void)req;
+        (void)delta;
+    }
+
     /** True if ordering keys come from the predictor, so a predictor
      *  version bump re-keys every request. */
     virtual bool keysUsePredictions() const { return false; }
@@ -256,26 +354,260 @@ class IntraScheduler
     /** @} */
 
     /**
-     * Shared greedy selection: walk @p order by priority, charging
-     * each candidate's full memory footprint (KV + one token of decode
-     * growth, or prompt + first token for prefills, block-rounded per
-     * the pool's paged allocator) against the GPU capacity. Unselected
-     * residents are kept resident while the leftover budget allows and
-     * evicted (swapOut) otherwise, which preempts the lowest-priority
-     * requests first.
+     * Shared greedy selection over two priority ranges (the capped
+     * high-priority segment, then the uncapped rest): walk by
+     * priority, charging each candidate's full memory footprint (KV +
+     * one token of decode growth, or prompt + first token for
+     * prefills, block-rounded per the pool's paged allocator) against
+     * the GPU capacity. Unselected residents are kept resident while
+     * the leftover budget allows and evicted (swapOut) otherwise,
+     * which preempts the lowest-priority requests first.
      *
      * Policies with skip semantics (RR, PASCAL) pass
      * stop_at_unfit = false; strict-order policies stop the walk at
      * the first candidate that does not fit.
      *
+     * Early exit: once nothing further can be admitted (the walk
+     * stopped, the batch is full, or the leftover budget is below one
+     * paged block — the minimum any candidate charges) the only
+     * remaining work is accounting GPU residents for the keep/evict
+     * pass, so the walk ends as soon as every pool-resident
+     * allocation has been seen. A saturated instance therefore plans
+     * in O(batch + residents) instead of O(hosted), no matter how
+     * deep its admission backlog grows.
+     *
+     * The ranges are templated so the skip-list queues are consumed
+     * in place — no O(n) copy into a scratch order per plan.
+     *
      * In incremental mode the walk also records the reuse-validation
      * state (per-decode-member budget caps and the kept residents)
      * that reusePlan() re-checks each steady-state iteration.
      *
-     * @param high_prefix_len The first this-many entries of @p order
-     *        are additionally capped at @p high_budget_cap charged
-     *        tokens (PASCAL's answering-reserve extension; 0 disables).
+     * @param cap_high Charge the high range against
+     *        @p high_budget_cap as well as the global budget
+     *        (PASCAL's answering-reserve extension).
      */
+    template <typename It>
+    void
+    greedySelectRanges(It high_begin, It high_end, It low_begin,
+                       It low_end, bool cap_high,
+                       TokenCount high_budget_cap,
+                       const model::KvPool& pool, bool stop_at_unfit,
+                       IterationPlan& out)
+    {
+        TokenCount budget = pool.gpuCapacity();
+        TokenCount high_budget = cap_high ? high_budget_cap : budget;
+        TokenCount prefill_tokens = 0;
+        int batch = 0;
+        bool stopped = false;
+        bool walking = true;
+        const std::size_t gpu_total = pool.numGpuResident();
+        const std::size_t cpu_total = pool.numTracked() - gpu_total;
+        std::size_t residents_seen = 0;
+        std::size_t swapped_seen = 0;
+        ++planWalkEpoch;
+        // Exact admission floor for the whole waiting population (the
+        // waiting set is frozen while a plan is built): the smallest
+        // prompt bounds both the memory charge and the prefill token
+        // cap of every waiting candidate, prewarm or not.
+        const TokenCount min_waiting_prompt =
+            waitingPrompts.empty()
+                ? std::numeric_limits<TokenCount>::max()
+                : *waitingPrompts.begin();
+        const TokenCount waiting_floor =
+            waitingPrompts.empty()
+                ? 0
+                : pool.chargeFor(min_waiting_prompt + 1);
+        std::vector<workload::Request*>& unselected_residents =
+            lastKeptResidents; // Reused buffer; doubles as the record.
+        unselected_residents.clear();
+        lastDecodeCapped.clear();
+        lastHighBudgetCap = cap_high ? high_budget_cap : -1;
+
+        // True once no waiting candidate can join the batch. Every
+        // input is monotone along the walk (budget shrinks,
+        // batch/prefill counts grow), so it is re-evaluated only
+        // after admissions; the moment it flips, the walk drops the
+        // queues' waiting streams (iterator::skipWaiting) and
+        // finishes over the material members alone.
+        bool waiting_dead = waitingPrompts.empty();
+        auto recheck = [&]() {
+            if (stopped || batch >= limits.maxBatchSize) {
+                // Nothing at all can be admitted. Incremental mode
+                // settles the unreached residents from the material
+                // list after the walk; recompute mode (whose exec
+                // states may be test-poked without notifications)
+                // only stops once everything with KV has been
+                // walked.
+                if (incremental || (residents_seen == gpu_total &&
+                                    swapped_seen == cpu_total)) {
+                    walking = false;
+                }
+                return;
+            }
+            waiting_dead =
+                waiting_dead || budget < waiting_floor ||
+                (waitingPrewarmCount == 0 &&
+                 (static_cast<int>(out.prefill.size()) >=
+                      limits.maxPrefillSeqs ||
+                  prefill_tokens + min_waiting_prompt >
+                      limits.maxPrefillTokens));
+        };
+        recheck();
+
+        // Strict-order policies (stop_at_unfit) may NOT skip the
+        // waiting stream: their first unfit waiting candidate stops
+        // the whole walk, so a skipped waiting member would let a
+        // later material member be admitted that the reference walk
+        // blocks. They still exit fast — the unfit candidate flips
+        // `stopped` and the material-list tail settles the rest.
+        const bool can_skip_waiting = incremental && !stop_at_unfit;
+        It it = high_begin;
+        It range_end = high_end;
+        bool in_high = true;
+        bool capped = cap_high;
+        if (can_skip_waiting && waiting_dead)
+            maybeSkipWaiting(it);
+        for (;;) {
+            if (!walking)
+                break;
+            if (it == range_end) {
+                if (!in_high)
+                    break;
+                in_high = false;
+                capped = false;
+                it = low_begin;
+                range_end = low_end;
+                if (can_skip_waiting && waiting_dead)
+                    maybeSkipWaiting(it);
+                continue;
+            }
+            workload::Request* r = *it;
+            if (!schedulable(r)) {
+                ++it;
+                continue;
+            }
+            bool resident =
+                r->exec == workload::ExecState::ResidentGpu;
+            if (resident) {
+                ++residents_seen;
+                r->schedPlanStamp = planWalkEpoch;
+                if (residents_seen == gpu_total)
+                    recheck();
+            } else if (r->exec == workload::ExecState::SwappedCpu) {
+                ++swapped_seen;
+                if (swapped_seen == cpu_total)
+                    recheck();
+            }
+
+            if (stopped || batch >= limits.maxBatchSize) {
+                if (resident)
+                    unselected_residents.push_back(r);
+                ++it;
+                continue;
+            }
+
+            // Effective budget: capped (high-queue) candidates may
+            // not eat into the memory reserved for the low queue.
+            TokenCount avail =
+                capped ? std::min(budget, high_budget) : budget;
+            bool admitted = false;
+            TokenCount cost = 0;
+            switch (r->exec) {
+              case workload::ExecState::WaitingNew: {
+                cost = pool.chargeFor(r->spec().promptTokens + 1);
+                bool prewarm = r->spec().startInAnswering;
+                bool caps_ok =
+                    prewarm ||
+                    (static_cast<int>(out.prefill.size()) <
+                         limits.maxPrefillSeqs &&
+                     prefill_tokens + r->spec().promptTokens <=
+                         limits.maxPrefillTokens);
+                if (!caps_ok || cost > avail) {
+                    if (stop_at_unfit) {
+                        stopped = true;
+                        recheck();
+                    }
+                    break;
+                }
+                admitted = true;
+                if (prewarm) {
+                    out.prewarm.push_back(r);
+                } else {
+                    out.prefill.push_back(r);
+                    prefill_tokens += r->spec().promptTokens;
+                }
+                break;
+              }
+              case workload::ExecState::ResidentGpu: {
+                cost = pool.chargeFor(r->kvTokens() + 1);
+                if (cost > avail) {
+                    unselected_residents.push_back(r);
+                    if (stop_at_unfit) {
+                        stopped = true;
+                        recheck();
+                    }
+                    break;
+                }
+                admitted = true;
+                out.decode.push_back(r);
+                lastDecodeCapped.push_back(capped ? 1 : 0);
+                break;
+              }
+              case workload::ExecState::SwappedCpu: {
+                cost = pool.chargeFor(r->kvTokens() + 1);
+                if (cost > avail) {
+                    if (stop_at_unfit) {
+                        stopped = true;
+                        recheck();
+                    }
+                    break;
+                }
+                admitted = true;
+                out.swapIn.push_back(r);
+                out.decode.push_back(r);
+                lastDecodeCapped.push_back(capped ? 1 : 0);
+                break;
+              }
+              default:
+                panic("greedySelect: unexpected exec state");
+            }
+            if (admitted) {
+                budget -= cost;
+                if (capped)
+                    high_budget -= cost;
+                ++batch;
+                // The budget/batch/prefill state moved, so the exit
+                // verdicts may have flipped.
+                bool was_dead = waiting_dead;
+                recheck();
+                if (can_skip_waiting && waiting_dead && !was_dead)
+                    maybeSkipWaiting(it);
+            }
+            ++it;
+        }
+
+        std::size_t tail_start = unselected_residents.size();
+        if (!walking && incremental) {
+            // Full exit (batch full / strict-order stop): settle the
+            // GPU residents the walk never reached. Every unstamped
+            // resident on the material list is by construction
+            // unselected (selection requires a visit).
+            for (workload::Request* r = materialFirst; r != nullptr;
+                 r = r->schedNextResident) {
+                if (r->exec != workload::ExecState::ResidentGpu ||
+                    r->schedPlanStamp == planWalkEpoch ||
+                    !schedulable(r))
+                    continue;
+                unselected_residents.push_back(r);
+            }
+        }
+        finishGreedySelect(pool, out, budget, tail_start);
+    }
+
+    /** Single-order convenience over greedySelectRanges: the first
+     *  @p high_prefix_len entries of @p order form the capped high
+     *  segment (0 disables the cap). */
     void greedySelectInto(const std::vector<workload::Request*>& order,
                           const model::KvPool& pool, bool stop_at_unfit,
                           IterationPlan& out,
@@ -316,6 +648,21 @@ class IntraScheduler
     InstanceId instanceId = kNoInstance;
 
   private:
+    /**
+     * Shared tail of the greedy walk: settle the unvisited residents
+     * the early exit skipped (entries of the resident list not
+     * stamped by this walk — appended after index @p tail_start in
+     * arbitrary order), then keep unselected residents while
+     * @p leftover_budget covers them and evict the rest. When
+     * everything fits, order is irrelevant; when evicting, the tail
+     * is sorted back into the walk's priority order first, so the
+     * emitted plan is byte-identical to the full walk's.
+     */
+    void finishGreedySelect(const model::KvPool& pool,
+                            IterationPlan& out,
+                            TokenCount leftover_budget,
+                            std::size_t tail_start);
+
     /** O(batch) re-walk of the recorded greedy selection. */
     bool revalidate(const IterationPlan& prev,
                     const model::KvPool& pool) const;
@@ -333,6 +680,38 @@ class IntraScheduler
     /** Maintained monitor counters (incremental mode). */
     int reasoningCount = 0;
     int freshAnsweringCount = 0;
+
+    /** @name Greedy-walk early-exit state */
+    /** @{ */
+
+    /**
+     * Head of the intrusive material list: every hosted request that
+     * holds KV (GPU-resident or swapped). Membership changes only at
+     * prefill/prewarm allocation, migration landing, and departure —
+     * swaps move tiers, not membership. The walk counts material
+     * members per queue up front, so once no waiting candidate can be
+     * admitted it skips a queue's (possibly enormous) waiting tail
+     * the moment that queue's material members have all been walked.
+     */
+    workload::Request* materialFirst = nullptr;
+
+    /** Exact multiset of hosted waiting requests' prompt sizes (the
+     *  waiting set is frozen during a walk, so its minimum yields an
+     *  exact "nothing waiting fits" admission floor). */
+    std::multiset<TokenCount> waitingPrompts;
+
+    /** Hosted startInAnswering requests still waiting (they bypass
+     *  the prefill caps, so the walk may only stop early when none
+     *  remain). */
+    int waitingPrewarmCount = 0;
+
+    /** Epoch stamped into visited residents per greedy walk. */
+    std::uint64_t planWalkEpoch = 0;
+
+    /** Unlink @p req from the material list if present. */
+    void unlinkMaterial(workload::Request* req);
+
+    /** @} */
 
     /** Any membership/key/queue change since the last buildPlan. */
     bool stateChanged = true;

@@ -145,6 +145,19 @@ struct SchedLimits
      */
     bool forceAccrue = false;
 
+    /**
+     * Debug mode mirroring forceResort for burst-coalesced arrival
+     * planning: schedule one plan-boundary event per kick() instead
+     * of deduplicating same-timestamp kicks into a single boundary —
+     * the pre-optimization cost model that rebuilds a plan per
+     * arrival-burst member. Results must be byte-identical either
+     * way (the redundant boundaries are provably no-ops); the burst
+     * coalescing invariance tests run both modes and compare
+     * RunResults field by field. The PASCAL_FORCE_KICK environment
+     * variable forces it globally.
+     */
+    bool forcePerArrivalKick = false;
+
     /** Validate; calls fatal() on nonsense values. */
     void validate() const;
 };

@@ -105,6 +105,13 @@ PascalScheduler::reuseVeto()
 }
 
 void
+PascalScheduler::onMaterialChanged(workload::Request* req, int delta)
+{
+    (void)delta;
+    queueOf(req).noteMaterialized(req);
+}
+
+void
 PascalScheduler::onHostedAdded(workload::Request* req)
 {
     if (usesQueueKeys())
@@ -243,20 +250,17 @@ PascalScheduler::incrementalPlan(const model::KvPool& pool,
     highQueue.repair();
     lowQueue.repair();
 
-    const auto& high = highQueue.items();
-    const auto& low = lowQueue.items();
-    orderScratch.clear();
-    orderScratch.insert(orderScratch.end(), high.begin(), high.end());
-    orderScratch.insert(orderScratch.end(), low.begin(), low.end());
-
     TokenCount high_cap = static_cast<TokenCount>(
         static_cast<double>(pool.gpuCapacity()) *
         (1.0 - limits.answeringReserveFraction));
-    std::size_t prefix =
-        limits.answeringReserveFraction > 0.0 ? high.size() : 0;
 
-    greedySelectInto(orderScratch, pool, /*stop_at_unfit=*/false, out,
-                     prefix, high_cap);
+    // The skip lists are walked in place — no scratch concatenation
+    // pass; the high (reasoning) queue outranks the low queue exactly
+    // as the recompute sort's concatenated order does.
+    greedySelectRanges(highQueue.begin(), highQueue.end(),
+                       lowQueue.begin(), lowQueue.end(),
+                       limits.answeringReserveFraction > 0.0, high_cap,
+                       pool, /*stop_at_unfit=*/false, out);
     annotatePrediction(out);
 }
 

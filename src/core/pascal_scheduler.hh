@@ -89,6 +89,8 @@ class PascalScheduler : public IntraScheduler
                            bool quanta_changed) override;
     /** Applies pending demotions; vetoes the reuse if any fired. */
     bool reuseVeto() override;
+    void onMaterialChanged(workload::Request* req,
+                           int delta) override;
     bool keysUsePredictions() const override
     {
         return usesQueueKeys();

@@ -24,8 +24,9 @@ RrScheduler::planInto(const model::KvPool& pool, IterationPlan& out)
     // memory obstacles instead of queueing behind them.
     if (incrementalEnabled()) {
         queue.repair();
-        greedySelectInto(queue.items(), pool, /*stop_at_unfit=*/false,
-                         out);
+        greedySelectRanges(queue.end(), queue.end(), queue.begin(),
+                           queue.end(), /*cap_high=*/false, 0, pool,
+                           /*stop_at_unfit=*/false, out);
         return;
     }
 

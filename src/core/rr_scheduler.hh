@@ -66,6 +66,13 @@ class RrScheduler : public IntraScheduler
         queue.erase(req);
     }
 
+    void
+    onMaterialChanged(workload::Request* req, int delta) override
+    {
+        (void)delta;
+        queue.noteMaterialized(req);
+    }
+
     void onRequestExecuted(workload::Request* req,
                            bool quanta_changed) override
     {

@@ -41,8 +41,9 @@ SrptScheduler::planInto(const model::KvPool& pool, IterationPlan& out)
             noteStateChanged();
         }
         queue.repair();
-        greedySelectInto(queue.items(), pool, /*stop_at_unfit=*/false,
-                         out);
+        greedySelectRanges(queue.end(), queue.end(), queue.begin(),
+                           queue.end(), /*cap_high=*/false, 0, pool,
+                           /*stop_at_unfit=*/false, out);
         annotatePrediction(out);
         return;
     }

@@ -77,6 +77,13 @@ class SrptScheduler : public IntraScheduler
         queue.erase(req);
     }
 
+    void
+    onMaterialChanged(workload::Request* req, int delta) override
+    {
+        (void)delta;
+        queue.noteMaterialized(req);
+    }
+
     void onRequestExecuted(workload::Request* req, bool) override
     {
         // Progress moves the predicted remaining work.

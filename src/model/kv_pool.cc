@@ -23,33 +23,22 @@ KvPool::KvPool(TokenCount gpu_capacity_tokens,
               std::to_string(block_size_tokens));
 }
 
-TokenCount
-KvPool::chargeFor(TokenCount tokens) const
+void
+KvPool::lookupPanic(KvSlot slot) const
 {
-    if (tokens <= 0)
-        return 0;
-    TokenCount blocks = (tokens + blockSizeTokens - 1) / blockSizeTokens;
-    return blocks * blockSizeTokens;
+    panic("KvPool: untracked slot " + std::to_string(slot));
 }
 
-TokenCount
-KvPool::chargedTokensOf(KvSlot slot) const
+void
+KvPool::growGpuPanic(const Entry& e, TokenCount delta) const
 {
-    return chargeFor(tokensOf(slot));
-}
-
-bool
-KvPool::canAllocGpu(TokenCount tokens) const
-{
-    return chargeFor(tokens) <= gpuFree();
-}
-
-KvPool::Entry&
-KvPool::lookup(KvSlot slot)
-{
-    if (!tracks(slot))
-        panic("KvPool: untracked slot " + std::to_string(slot));
-    return entries[static_cast<std::size_t>(slot)];
+    if (delta < 0)
+        panic("KvPool::growGpu negative delta");
+    if (e.tier != KvTier::Gpu)
+        panic("KvPool::growGpu: request " + std::to_string(e.owner) +
+              " not GPU-resident");
+    panic("KvPool::growGpu: over capacity for request " +
+          std::to_string(e.owner));
 }
 
 KvSlot
@@ -85,6 +74,7 @@ KvPool::allocGpu(RequestId id, TokenCount tokens)
     entries[static_cast<std::size_t>(slot)].tier = KvTier::Gpu;
     gpuUsedTokens += chargeFor(tokens);
     peakGpuTokens = std::max(peakGpuTokens, gpuUsedTokens);
+    ++gpuResidentCount;
     return slot;
 }
 
@@ -98,29 +88,6 @@ KvPool::allocCpu(RequestId id, TokenCount tokens)
 }
 
 void
-KvPool::growGpu(KvSlot slot, TokenCount delta)
-{
-    if (delta < 0)
-        panic("KvPool::growGpu negative delta");
-    Entry& e = lookup(slot);
-    if (e.tier != KvTier::Gpu)
-        panic("KvPool::growGpu: request " + std::to_string(e.owner) +
-              " not GPU-resident");
-    // One-token growth (every decode step) opens a fresh block only
-    // when the current size is an exact block multiple.
-    TokenCount extra =
-        delta == 1
-            ? (e.tokens % blockSizeTokens == 0 ? blockSizeTokens : 0)
-            : chargeFor(e.tokens + delta) - chargeFor(e.tokens);
-    if (extra > gpuFree())
-        panic("KvPool::growGpu: over capacity for request " +
-              std::to_string(e.owner));
-    e.tokens += delta;
-    gpuUsedTokens += extra;
-    peakGpuTokens = std::max(peakGpuTokens, gpuUsedTokens);
-}
-
-void
 KvPool::moveToCpu(KvSlot slot)
 {
     Entry& e = lookup(slot);
@@ -130,6 +97,7 @@ KvPool::moveToCpu(KvSlot slot)
     e.tier = KvTier::Cpu;
     gpuUsedTokens -= chargeFor(e.tokens);
     cpuUsedTokens += chargeFor(e.tokens);
+    --gpuResidentCount;
 }
 
 void
@@ -146,16 +114,19 @@ KvPool::moveToGpu(KvSlot slot)
     cpuUsedTokens -= chargeFor(e.tokens);
     gpuUsedTokens += chargeFor(e.tokens);
     peakGpuTokens = std::max(peakGpuTokens, gpuUsedTokens);
+    ++gpuResidentCount;
 }
 
 void
 KvPool::release(KvSlot slot)
 {
     Entry& e = lookup(slot);
-    if (e.tier == KvTier::Gpu)
+    if (e.tier == KvTier::Gpu) {
         gpuUsedTokens -= chargeFor(e.tokens);
-    else if (e.tier == KvTier::Cpu)
+        --gpuResidentCount;
+    } else if (e.tier == KvTier::Cpu) {
         cpuUsedTokens -= chargeFor(e.tokens);
+    }
     e = Entry{};
     --trackedCount;
     freeSlots.push_back(slot);

@@ -75,9 +75,18 @@ class KvPool
     /**
      * Charged (block-rounded) tokens for a logical KV of @p tokens.
      * Schedulers budget in charged units so their arithmetic agrees
-     * with the pool's.
+     * with the pool's. Inline: the greedy selection walk calls it for
+     * every candidate every iteration.
      */
-    TokenCount chargeFor(TokenCount tokens) const;
+    TokenCount
+    chargeFor(TokenCount tokens) const
+    {
+        if (tokens <= 0)
+            return 0;
+        TokenCount blocks =
+            (tokens + blockSizeTokens - 1) / blockSizeTokens;
+        return blocks * blockSizeTokens;
+    }
 
     /** Largest GPU occupancy ever observed (tokens). */
     TokenCount peakGpuUsed() const { return peakGpuTokens; }
@@ -121,11 +130,19 @@ class KvPool
     }
 
     /** Charged (block-rounded) KV tokens held by @p slot. */
-    TokenCount chargedTokensOf(KvSlot slot) const;
+    TokenCount
+    chargedTokensOf(KvSlot slot) const
+    {
+        return chargeFor(tokensOf(slot));
+    }
 
     /** True if a KV of @p tokens (logical) can be allocated on the
      *  GPU, accounting for block rounding. */
-    bool canAllocGpu(TokenCount tokens) const;
+    bool
+    canAllocGpu(TokenCount tokens) const
+    {
+        return chargeFor(tokens) <= gpuFree();
+    }
 
     /** Allocate a fresh GPU-resident KV of @p tokens for @p id.
      *  @return The compact slot handle for all further calls. */
@@ -135,8 +152,29 @@ class KvPool
      *  full instance). @return The slot handle. */
     KvSlot allocCpu(RequestId id, TokenCount tokens);
 
-    /** Grow a GPU-resident KV by @p delta tokens (decode step). */
-    void growGpu(KvSlot slot, TokenCount delta);
+    /** Grow a GPU-resident KV by @p delta tokens (decode step).
+     *  Inline: runs once per decode-batch member per iteration. */
+    void
+    growGpu(KvSlot slot, TokenCount delta)
+    {
+        Entry& e = lookup(slot);
+        if (delta < 0 || e.tier != KvTier::Gpu)
+            growGpuPanic(e, delta);
+        // One-token growth (every decode step) opens a fresh block
+        // only when the current size is an exact block multiple.
+        TokenCount extra =
+            delta == 1 ? (e.tokens % blockSizeTokens == 0
+                              ? blockSizeTokens
+                              : 0)
+                       : chargeFor(e.tokens + delta) -
+                             chargeFor(e.tokens);
+        if (extra > gpuFree())
+            growGpuPanic(e, delta);
+        e.tokens += delta;
+        gpuUsedTokens += extra;
+        if (gpuUsedTokens > peakGpuTokens)
+            peakGpuTokens = gpuUsedTokens;
+    }
 
     /** Offload @p slot's KV from GPU to CPU. */
     void moveToCpu(KvSlot slot);
@@ -157,6 +195,11 @@ class KvPool
     /** Number of requests with KV in either tier. */
     std::size_t numTracked() const { return trackedCount; }
 
+    /** Number of GPU-resident allocations. The greedy selection walk
+     *  uses it to stop as soon as every resident has been accounted
+     *  and nothing further can be admitted. */
+    std::size_t numGpuResident() const { return gpuResidentCount; }
+
     /** Dense-table length: the peak number of simultaneously live
      *  allocations (memory-bounding invariant under test). */
     std::size_t tableSize() const { return entries.size(); }
@@ -170,7 +213,19 @@ class KvPool
     };
 
     /** Lookup @p slot or panic: misuse is a simulator bug. */
-    Entry& lookup(KvSlot slot);
+    Entry&
+    lookup(KvSlot slot)
+    {
+        if (!tracks(slot))
+            lookupPanic(slot);
+        return entries[static_cast<std::size_t>(slot)];
+    }
+
+    /** Cold panic paths kept out of line so the inlined hot calls
+     *  stay small. */
+    [[noreturn]] void lookupPanic(KvSlot slot) const;
+    [[noreturn]] void growGpuPanic(const Entry& e,
+                                   TokenCount delta) const;
 
     /** Pop a recycled slot or append a fresh one. */
     KvSlot acquireSlot(RequestId id, TokenCount tokens);
@@ -181,6 +236,7 @@ class KvPool
     TokenCount cpuUsedTokens = 0; //!< Charged (block-rounded) usage.
     TokenCount peakGpuTokens = 0;
     std::size_t trackedCount = 0;
+    std::size_t gpuResidentCount = 0;
     std::vector<Entry> entries;  //!< Indexed by KvSlot.
     std::vector<KvSlot> freeSlots; //!< Released slots awaiting reuse.
 };

@@ -45,64 +45,10 @@ Request::Request(RequestSpec s) : specData(std::move(s))
     }
 }
 
-TokenCount
-Request::reasoningGenerated() const
-{
-    return std::min(generatedTokens, specData.reasoningTokens);
-}
-
-TokenCount
-Request::answerGenerated() const
-{
-    return std::max<TokenCount>(0,
-        generatedTokens - specData.reasoningTokens);
-}
-
-Phase
-Request::phase() const
-{
-    if (generatedTokens >= totalToGenerate())
-        return Phase::Finished;
-    if (generatedTokens >= specData.reasoningTokens)
-        return Phase::Answering;
-    return Phase::Reasoning;
-}
-
 void
-Request::tickQuantum(TokenCount quantum)
+Request::emitTokenPanic() const
 {
-    if (quantum <= 0)
-        return; // Quantum disabled (FCFS).
-    ++quantumTokens;
-    if (quantumTokens >= quantum) {
-        quantumTokens = 0;
-        ++quantaConsumed;
-    }
-}
-
-void
-Request::emitToken(Time now, TokenCount quantum)
-{
-    if (finished())
-        panic("emitToken on finished request " + std::to_string(id()));
-
-    ++generatedTokens;
-    tickQuantum(quantum);
-
-    if (!specData.startInAnswering &&
-        generatedTokens == specData.reasoningTokens) {
-        // This token is the </think> marker: the reasoning phase ends
-        // here and the instance monitor observes the transition.
-        reasoningEnd = now;
-    }
-    if (generatedTokens == specData.reasoningTokens + 1 ||
-        (specData.startInAnswering && generatedTokens == 1)) {
-        firstAnswer = now;
-    }
-    if (generatedTokens > specData.reasoningTokens)
-        answerEmitTimes.push_back(now);
-    if (generatedTokens == totalToGenerate())
-        finish = now;
+    panic("emitToken on finished request " + std::to_string(id()));
 }
 
 void
@@ -123,29 +69,6 @@ Request::resetQuantum()
 {
     quantumTokens = 0;
     quantaConsumed = 0;
-}
-
-void
-Request::accrue(Time now, BucketKind kind)
-{
-    double dt = now - lastAccount;
-    lastAccount = now;
-    if (dt <= 0.0)
-        return;
-
-    PhaseBuckets& b = (phase() == Phase::Reasoning) ? reasoningBuckets
-                                                    : answeringBuckets;
-    switch (kind) {
-      case BucketKind::Executed:
-        b.executed += dt;
-        break;
-      case BucketKind::Blocked:
-        b.blocked += dt;
-        break;
-      case BucketKind::Preempted:
-        b.preempted += dt;
-        break;
-    }
 }
 
 } // namespace workload

@@ -107,10 +107,22 @@ class Request
     TokenCount generated() const { return generatedTokens; }
 
     /** Reasoning tokens generated so far. */
-    TokenCount reasoningGenerated() const;
+    TokenCount
+    reasoningGenerated() const
+    {
+        return generatedTokens < specData.reasoningTokens
+                   ? generatedTokens
+                   : specData.reasoningTokens;
+    }
 
     /** Answering tokens generated so far. */
-    TokenCount answerGenerated() const;
+    TokenCount
+    answerGenerated() const
+    {
+        return generatedTokens > specData.reasoningTokens
+                   ? generatedTokens - specData.reasoningTokens
+                   : 0;
+    }
 
     /** Total tokens this request will generate. */
     TokenCount
@@ -119,8 +131,17 @@ class Request
         return specData.reasoningTokens + specData.answerTokens;
     }
 
-    /** Current phase implied by progress. */
-    Phase phase() const;
+    /** Current phase implied by progress. Inline: this is the single
+     *  most-called accessor on the simulation hot path. */
+    Phase
+    phase() const
+    {
+        if (generatedTokens >= totalToGenerate())
+            return Phase::Finished;
+        if (generatedTokens >= specData.reasoningTokens)
+            return Phase::Answering;
+        return Phase::Reasoning;
+    }
 
     bool finished() const { return phase() == Phase::Finished; }
 
@@ -134,8 +155,46 @@ class Request
     }
 
     /** Record the emission of one decode token at time @p now.
-     *  Updates phase timestamps and quantum accounting. */
-    void emitToken(Time now, TokenCount quantum);
+     *  Updates phase timestamps and quantum accounting. Inline: runs
+     *  once per decode-batch member per iteration. */
+    void
+    emitToken(Time now, TokenCount quantum)
+    {
+        if (finished())
+            emitTokenPanic();
+        ++generatedTokens;
+        if (quantum > 0) {
+            ++quantumTokens;
+            if (quantumTokens >= quantum) {
+                quantumTokens = 0;
+                ++quantaConsumed;
+            }
+        }
+        if (!specData.startInAnswering &&
+            generatedTokens == specData.reasoningTokens) {
+            // This token is the </think> marker: the reasoning phase
+            // ends here and the instance monitor observes the
+            // transition.
+            reasoningEnd = now;
+        }
+        if (generatedTokens == specData.reasoningTokens + 1 ||
+            (specData.startInAnswering && generatedTokens == 1)) {
+            firstAnswer = now;
+        }
+        if (generatedTokens > specData.reasoningTokens) {
+            // One exact reservation instead of doubling reallocs: the
+            // final answering length is known from the spec, and a
+            // long answer otherwise pays ~log2(n) grow-copy passes.
+            if (answerEmitTimes.capacity() == 0)
+                answerEmitTimes.reserve(
+                    static_cast<std::size_t>(specData.answerTokens));
+            answerEmitTimes.push_back(now);
+        }
+        if (generatedTokens == totalToGenerate())
+            finish = now;
+    }
+
+    [[noreturn]] void emitTokenPanic() const;
 
     /** Mark prefill completion at @p now; emits the first reasoning
      *  token (Fig. 1(b): prefill produces r1). */
@@ -212,6 +271,63 @@ class Request
      *  the per-iteration hash-set batch membership test). */
     std::uint64_t runEpoch = 0;
 
+    /** Skip-list node of the OrderedQueue currently holding the
+     *  request (owned by that queue; null when unlinked or pending).
+     *  Lets erase/markDirty unlink in O(log n) without a search. */
+    void* schedNode = nullptr;
+
+    /** @name Scheduler resident-set tracking
+     *
+     * Intrusive membership in the hosting scheduler's GPU-resident
+     * list, kept in sync by the engine's residency notifications
+     * (incremental mode's dirty-set contract). The greedy selection
+     * walk uses it to account unselected residents without visiting
+     * the admission backlog behind them.
+     */
+    /** @{ */
+    Request* schedPrevResident = nullptr;
+    Request* schedNextResident = nullptr;
+    bool schedInResidentList = false;
+
+    /** Queued-prewarm membership in the scheduler's waitingPrewarm
+     *  counter (startInAnswering arrivals bypass prefill caps, so the
+     *  walk may only stop early when none remain). */
+    bool schedCountedPrewarm = false;
+
+    /** Membership in the scheduler's exact waiting-prompt multiset
+     *  (requests with equal prompts are indistinguishable there, so
+     *  the flag guards against double erases). */
+    bool schedCountedWaiting = false;
+
+    /** Last greedy walk (scheduler-local epoch) that visited this
+     *  request as a GPU resident; unvisited residents are exactly
+     *  the ones the walk's early exit still owes a keep/evict
+     *  decision. */
+    std::uint64_t schedPlanStamp = 0;
+    /** @} */
+
+    /**
+     * Intrusive min-deadline heap slot on the hosting Instance's SLO
+     * heap (-1 = not at risk / not answering). The heap tracks, per
+     * answering request, the earliest time its TPOT/TTFAT verdict
+     * could flip, so the monitor's answeringSloOk is a heap peek
+     * instead of an O(hosted) walk.
+     */
+    std::int32_t sloHeapPos = -1;
+
+    /** Cached conservative flip-time key for the SLO heap, relative
+     *  to the instance's shared offset (valid while sloHeapPos >=
+     *  0). */
+    double sloKey = 0.0;
+
+    /** Already recorded for offset compensation this iteration (see
+     *  Instance::sloNoteExact). */
+    bool sloExactPending = false;
+
+    /** Index of the owning RequestArena chunk inside the Cluster's
+     *  arena (-1 outside a cluster run); drives chunk recycling. */
+    std::int32_t arenaChunk = -1;
+
     /** Compact KV-pool slot on the hosting instance's KvPool
      *  (model::KvPool hands it out on alloc); -1 when no KV is
      *  tracked. Keeping the handle here makes every per-token pool
@@ -228,9 +344,31 @@ class Request
     /**
      * Accrue wall time since the last accrual into the bucket @p kind
      * of the *current* phase. Call before mutating token progress so
-     * the interval lands in the phase it was spent in.
+     * the interval lands in the phase it was spent in. Inline: runs
+     * once per batch member per iteration.
      */
-    void accrue(Time now, BucketKind kind);
+    void
+    accrue(Time now, BucketKind kind)
+    {
+        double dt = now - lastAccount;
+        lastAccount = now;
+        if (dt <= 0.0)
+            return;
+        PhaseBuckets& b = (phase() == Phase::Reasoning)
+                              ? reasoningBuckets
+                              : answeringBuckets;
+        switch (kind) {
+          case BucketKind::Executed:
+            b.executed += dt;
+            break;
+          case BucketKind::Blocked:
+            b.blocked += dt;
+            break;
+          case BucketKind::Preempted:
+            b.preempted += dt;
+            break;
+        }
+    }
 
     /** Reset the accrual cursor without booking time (on arrival or
      *  when landing on a new instance), stamping the standing bucket
@@ -299,8 +437,6 @@ class Request
     TokenCount generatedTokens = 0;
     Time lastAccount = 0.0;
 
-    /** Advance quantum counters by one emitted token. */
-    void tickQuantum(TokenCount quantum);
 };
 
 } // namespace workload

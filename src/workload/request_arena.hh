@@ -13,7 +13,17 @@
  * Pointer stability: each chunk is reserved to its final size before
  * any Request is constructed and never grows afterwards, so raw
  * Request* handed to instances/schedulers stay valid for the arena's
- * lifetime (chunks are only destroyed with the arena).
+ * lifetime (chunks are only destroyed with the arena, or explicitly
+ * recycled once the owner proves every request in them is finished
+ * and will never be dereferenced again).
+ *
+ * Recycling: a long-lived cluster that ingests thousands of traces
+ * would otherwise hold every Request (and its per-token emission
+ * vector) until teardown. recycleChunk() frees a fully-finished
+ * chunk's storage so resident memory stays bounded by *live*
+ * requests; the owner is responsible for harvesting anything it still
+ * needs (the Cluster scores a chunk into compact RequestMetrics rows
+ * first).
  */
 
 #ifndef PASCAL_WORKLOAD_REQUEST_ARENA_HH
@@ -51,11 +61,43 @@ class RequestArena
         return chunk;
     }
 
-    /** Total requests across all chunks. */
+    /** Total requests across all chunks (recycled ones included). */
     std::size_t size() const { return total; }
 
     /** Number of submitted traces. */
     std::size_t numChunks() const { return chunks.size(); }
+
+    /** Requests of chunk @p idx (empty once recycled). */
+    const std::vector<Request>&
+    chunk(std::size_t idx) const
+    {
+        return chunks[idx];
+    }
+
+    std::vector<Request>&
+    chunk(std::size_t idx)
+    {
+        return chunks[idx];
+    }
+
+    /**
+     * Free chunk @p idx's storage (all its Requests are destroyed).
+     * The caller must guarantee no pointer into the chunk is ever
+     * dereferenced again. Idempotent.
+     */
+    void
+    recycleChunk(std::size_t idx)
+    {
+        if (chunks[idx].empty())
+            return;
+        // swap-with-empty actually releases the capacity (clear()
+        // would keep it).
+        std::vector<Request>().swap(chunks[idx]);
+        ++recycled;
+    }
+
+    /** Chunks released by recycleChunk() (memory-bounding stat). */
+    std::size_t numRecycledChunks() const { return recycled; }
 
     /** Visit every request in submission order. */
     template <typename Fn>
@@ -81,6 +123,7 @@ class RequestArena
   private:
     std::vector<std::vector<Request>> chunks;
     std::size_t total = 0;
+    std::size_t recycled = 0;
 };
 
 } // namespace workload

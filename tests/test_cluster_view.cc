@@ -99,6 +99,23 @@ TEST_F(ClusterViewAudit, ChurnHeavyMultiInstanceSnapshotsStayExact)
     }
 }
 
+TEST_F(ClusterViewAudit, SloHeapMatchesReferenceWalkUnderTtfatLoad)
+{
+    // The snapshot's t_i verdict rides the per-instance min-deadline
+    // SLO heap; the audit re-verifies heap membership, keys, order,
+    // verdict, and risk bound against the reference O(hosted) walk at
+    // every placement decision. startInAnswering requests enter the
+    // heap with live TTFAT countdowns at admission — the key path a
+    // plain reasoning trace never exercises.
+    Rng rng(91);
+    auto trace = workload::generateAnsweringCharacterization(
+        200, 120.0, rng, {32, 64, 128, 256});
+    SystemConfig cfg =
+        churnConfig(SchedulerType::Pascal, PlacementType::Pascal, 3);
+    auto result = runAudited(cfg, trace);
+    EXPECT_GT(result.aggregate.numFinished, 0u);
+}
+
 TEST_F(ClusterViewAudit, PredictiveSnapshotsTrackOnlineLearner)
 {
     // The profile predictor bumps its version on every completion,

@@ -203,13 +203,14 @@ TEST(MonitorMargin, FlagsAtRiskRequestsEarlier)
         auto req = std::make_unique<workload::Request>(s);
         for (int i = 0; i < 20; ++i)
             req->emitToken(0.1 + 0.05 * i, 500);
-        req->exec = workload::ExecState::ResidentGpu;
-        // Host it without running: inject via scheduler directly.
-        f.instance->scheduler().add(req.get());
+        // Host it through the instance so the monitor's min-deadline
+        // SLO heap tracks it (scheduler().add alone would bypass the
+        // admission path the heap hooks).
+        f.instance->addRequest(req.get());
 
         EXPECT_EQ(f.instance->answeringSloOk(1.5), expect_ok)
             << "margin=" << margin;
-        f.instance->scheduler().remove(req.get());
+        f.instance->detach(req.get());
     }
 }
 

@@ -103,6 +103,81 @@ predictorNamed(const std::string& kind)
     return cfg;
 }
 
+TEST_F(PlanReuseInvariance, FcfsMigrationKeepsStrictOrderUnderPressure)
+{
+    // Regression guard for the strict-order walk: FCFS may never skip
+    // its waiting stream — the first unfit waiting candidate blocks
+    // every later candidate, including answering requests that
+    // migrated in with late arrival stamps. High transition/migration
+    // rates against a saturating waiting head maximize the chance a
+    // landed migrant sits behind a blocked waiting request.
+    for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        Rng rng(seed);
+        auto profile = workload::DatasetProfile::alpacaEval();
+        profile.prompt = {160.0, 0.5, 64, 320}; // Fat waiting heads.
+        profile.reasoning = {30.0, 0.5, 16, 80}; // Rapid transitions.
+        profile.answering = {120.0, 0.6, 32, 400};
+        auto trace = workload::generateTrace(profile, 160, 60.0, rng);
+
+        SystemConfig cfg;
+        cfg.scheduler = SchedulerType::Fcfs;
+        cfg.placement = PlacementType::Pascal; // Migrations fire.
+        cfg.numInstances = 2;
+        cfg.gpuKvCapacityTokens = 3072;
+        cfg.kvBlockSizeTokens = 16;
+
+        cfg.limits.forceResort = false;
+        auto fast = cluster::RunContext::execute(cfg, trace);
+        cfg.limits.forceResort = true;
+        auto reference = cluster::RunContext::execute(cfg, trace);
+        test::expectIdentical(fast, reference);
+        EXPECT_GT(fast.totalMigrations, 0);
+    }
+}
+
+TEST_F(PlanReuseInvariance, EvictionStormTailStaysByteIdentical)
+{
+    // Swap-thrashing regime: the incremental walk's early exit
+    // settles unreached residents from the material list and restores
+    // priority order only when an eviction actually fires — the
+    // evicted set and swap-out sequence must still match the
+    // recompute walk exactly, every iteration.
+    Rng rng(4711);
+    auto profile = workload::DatasetProfile::alpacaEval();
+    profile.prompt = {96.0, 0.5, 48, 192};
+    profile.reasoning = {240.0, 0.7, 64, 900};
+    profile.answering = {100.0, 0.6, 16, 400};
+    auto trace = workload::generateTrace(profile, 180, 40.0, rng);
+
+    for (SchedulerType sched :
+         {SchedulerType::Fcfs, SchedulerType::Rr, SchedulerType::Pascal,
+          SchedulerType::Srpt, SchedulerType::PascalSpec}) {
+        SCOPED_TRACE("scheduler " +
+                     std::to_string(static_cast<int>(sched)));
+        SystemConfig cfg;
+        cfg.scheduler = sched;
+        cfg.placement = PlacementType::Pascal;
+        cfg.numInstances = 2;
+        cfg.gpuKvCapacityTokens = 2048; // Brutal: constant evictions.
+        cfg.kvBlockSizeTokens = 16;
+        cfg.limits.demoteThresholdTokens = 600;
+        if (sched == SchedulerType::Srpt ||
+            sched == SchedulerType::PascalSpec) {
+            // Predictor-keyed orders: schedScore drives the eviction
+            // tail's priority restoration too.
+            cfg.predictor.type = predict::PredictorType::Oracle;
+        }
+
+        cfg.limits.forceResort = false;
+        auto fast = cluster::RunContext::execute(cfg, trace);
+        cfg.limits.forceResort = true;
+        auto reference = cluster::RunContext::execute(cfg, trace);
+        test::expectIdentical(fast, reference);
+        EXPECT_GT(fast.totalIterations, 0u);
+    }
+}
+
 TEST_F(PlanReuseInvariance, ReactiveSchedulersAcrossPredictors)
 {
     // Reactive policies ignore predictions for ordering, but wiring a
