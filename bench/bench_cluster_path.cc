@@ -1,14 +1,17 @@
 /**
  * @file
- * Cluster-path benchmark: the burst-coalesced arrival planning +
- * min-deadline SLO heap + skip-list queue fast path vs the recompute
- * debug modes (PASCAL_FORCE_ACCRUE eager walk + PASCAL_FORCE_VIEW
- * full per-decision snapshot rebuild + PASCAL_FORCE_KICK per-arrival
- * plan boundaries).
+ * Cluster-path benchmark: the incremental fast-path stack (plan
+ * reuse + O(delta) plan repair + burst-coalesced arrival planning +
+ * min-deadline SLO heap + skip-list queues + lazy accrual +
+ * incremental cluster view) vs the all-force recompute twin — the
+ * all-ones corner of the force-mode matrix the invariance tests pin
+ * (PASCAL_FORCE_REPAIR + PASCAL_FORCE_KICK + PASCAL_FORCE_VIEW +
+ * PASCAL_FORCE_RESORT + PASCAL_FORCE_ACCRUE), i.e. the seed's
+ * per-boundary recompute-everything cost model.
  *
  * Where bench_scheduler_iteration measures the intra-instance
  * scheduling path in isolation, this bench runs whole simulations and
- * measures the cluster-level loops PRs 4-5 made O(dirty) / O(1):
+ * measures the cluster-level loops PRs 3-6 made O(dirty) / O(1):
  *
  *  - arrival-storm:    arrivals pour into a multi-instance deployment
  *                      with deep admission backlogs; the greedy
@@ -31,12 +34,13 @@
  * so the speedups can only come from doing the same work faster.
  *
  * Output: human table + JSON (argv[1], default BENCH_cluster_path.json)
- * including the fast-path engagement counters (plan builds, SLO-heap
+ * with a provenance `meta` block (bench_util.hh) and the fast-path
+ * engagement counters (plan builds/repairs/full walks, SLO-heap
  * re-keys, view refreshes). With --check-fastpath the process exits
  * nonzero if the fast path is not at least as fast as recompute on
- * the sweep-throughput OR the arrival-storm shape — CI runs it this
- * way so a regression that deoptimizes the cluster path fails the
- * perf job.
+ * any shape — CI runs it this way, and ci/check_perf_ratchet.py
+ * additionally ratchets each shape against the committed JSON so a
+ * regression that deoptimizes the cluster path fails the perf job.
  */
 
 #include <chrono>
@@ -52,6 +56,8 @@
 #include "src/common/log.hh"
 #include "src/common/rng.hh"
 #include "src/workload/generator.hh"
+
+#include "bench/bench_util.hh"
 
 namespace
 {
@@ -78,6 +84,8 @@ struct ShapeResult
     std::uint64_t checksum = 0;
     std::string traceLabel;
     std::uint64_t planBuilds = 0;
+    std::uint64_t planRepairs = 0;
+    std::uint64_t fullWalks = 0;
     std::uint64_t sloHeapRekeys = 0;
     std::uint64_t viewRefreshes = 0;
     /** Storm shapes harvest engagement counters from their single
@@ -93,15 +101,22 @@ struct ShapeResult
     }
 };
 
-/** Force the cluster-path debug modes (the pre-optimization cost
- *  model: eager accrual walk + per-decision view rebuild +
- *  per-arrival plan boundaries). */
+/** Force the cluster-path debug modes. The recompute twin is the
+ *  all-ones corner of the force-mode matrix the invariance tests pin
+ *  (REPAIR x KICK x VIEW x RESORT x ACCRUE): per-boundary queue
+ *  re-sorts, the eager accrual walk, per-decision view rebuilds,
+ *  per-arrival plan boundaries, and full greedy walks at every
+ *  non-reused boundary — the seed's cost model with every
+ *  incremental fast path disabled, so the pair measures the whole
+ *  fast-path stack and stays byte-identical by construction. */
 void
 applyMode(SystemConfig& cfg, bool recompute)
 {
+    cfg.limits.forceResort = recompute;
     cfg.limits.forceAccrue = recompute;
     cfg.forceViewRebuild = recompute;
     cfg.limits.forcePerArrivalKick = recompute;
+    cfg.limits.forcePlanRepair = recompute;
 }
 
 std::uint64_t
@@ -142,6 +157,8 @@ arrivalStorm(bool recompute)
             trace.size(),           elapsed,
             resultChecksum(result), trace.describe(),
             ctx.cluster().totalPlanBuilds(),
+            ctx.cluster().totalPlanRepairs(),
+            ctx.cluster().totalFullWalks(),
             ctx.cluster().totalSloHeapRekeys(),
             ctx.cluster().numViewRefreshes(),
             true};
@@ -176,6 +193,8 @@ transitionStorm(bool recompute)
             trace.size(),           elapsed,
             resultChecksum(result), trace.describe(),
             ctx.cluster().totalPlanBuilds(),
+            ctx.cluster().totalPlanRepairs(),
+            ctx.cluster().totalFullWalks(),
             ctx.cluster().totalSloHeapRekeys(),
             ctx.cluster().numViewRefreshes(),
             true};
@@ -279,6 +298,7 @@ try {
     if (!json)
         fatal("cannot open '" + json_path + "' for writing");
     json << "{\n  \"bench\": \"bench_cluster_path\",\n"
+         << "  " << bench::jsonMeta() << ",\n"
          << "  \"big\": " << (big ? "true" : "false") << ",\n"
          << "  \"results\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -290,6 +310,8 @@ try {
              << ", \"requests_per_sec\": " << r.requestsPerSec();
         if (r.hasCounters) {
             json << ", \"plan_builds\": " << r.planBuilds
+                 << ", \"plan_repairs\": " << r.planRepairs
+                 << ", \"full_walks\": " << r.fullWalks
                  << ", \"slo_heap_rekeys\": " << r.sloHeapRekeys
                  << ", \"view_refreshes\": " << r.viewRefreshes;
         }
@@ -298,12 +320,15 @@ try {
     json << "  ],\n  \"speedup\": {";
     double sweep_speedup = 0.0;
     double arrival_speedup = 0.0;
+    double transition_speedup = 0.0;
     for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
         double speedup = results[i + 1].seconds / results[i].seconds;
         if (results[i].shape == "sweep-throughput")
             sweep_speedup = speedup;
         if (results[i].shape == "arrival-storm")
             arrival_speedup = speedup;
+        if (results[i].shape == "transition-storm")
+            transition_speedup = speedup;
         std::printf("%-16s %5.2fx\n", results[i].shape.c_str(),
                     speedup);
         json << (i ? ", " : "") << "\"" << results[i].shape
@@ -325,6 +350,13 @@ try {
                      "FAIL: cluster fast path slower than recompute on "
                      "the arrival-storm shape (%.2fx)\n",
                      arrival_speedup);
+        return 1;
+    }
+    if (check_fastpath && transition_speedup < 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: cluster fast path slower than recompute on "
+                     "the transition-storm shape (%.2fx)\n",
+                     transition_speedup);
         return 1;
     }
     return 0;

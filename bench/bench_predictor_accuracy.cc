@@ -160,6 +160,7 @@ main(int argc, char** argv)
     if (!json)
         fatal("cannot open '" + json_path + "' for writing");
     json << "{\n  \"bench\": \"bench_predictor_accuracy\",\n"
+         << "  " << bench::jsonMeta() << ",\n"
          << "  \"workload\": {\"requests\": " << trace.size()
          << ", \"rate_per_sec\": 14.0, \"instances\": 4},\n"
          << "  \"results\": [\n";

@@ -50,6 +50,8 @@
 #include "src/workload/generator.hh"
 #include "src/workload/request.hh"
 
+#include "bench/bench_util.hh"
+
 namespace
 {
 
@@ -386,6 +388,7 @@ try {
     if (!json)
         fatal("cannot open '" + json_path + "' for writing");
     json << "{\n  \"bench\": \"bench_scheduler_iteration\",\n"
+         << "  " << bench::jsonMeta() << ",\n"
          << "  \"results\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const auto& r = results[i];

@@ -39,6 +39,8 @@
 #include "src/sim/event_queue.hh"
 #include "src/workload/generator.hh"
 
+#include "bench/bench_util.hh"
+
 namespace
 {
 
@@ -377,6 +379,7 @@ try {
     if (!json)
         fatal("cannot open '" + json_path + "' for writing");
     json << "{\n  \"bench\": \"bench_simulator_perf\",\n"
+         << "  " << bench::jsonMeta() << ",\n"
          << "  \"results\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const auto& m = results[i];

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/cluster/serving_system.hh"
@@ -114,6 +115,44 @@ constrainedCapacityFromOracle(const workload::Trace& trace,
     return cluster::SystemConfig::alignKvCapacity(
         std::max<TokenCount>(1, result.peakGpuKvTokens / 2),
         oracle_cfg.kvBlockSizeTokens);
+}
+
+/**
+ * Provenance block every JSON-emitting bench embeds under the "meta"
+ * key, so a committed result file records which build produced it:
+ * git SHA (stamped at CMake configure time; "unknown" outside a
+ * checkout), compiler, the host's hardware_concurrency, and whether
+ * the binary was built under PASCAL_SANITIZE. Returned as a complete
+ * `"meta": {...}` fragment ready to splice into an object.
+ */
+inline std::string
+jsonMeta()
+{
+    const std::string sha =
+#ifdef PASCAL_GIT_SHA
+        PASCAL_GIT_SHA;
+#else
+        "unknown";
+#endif
+    const std::string compiler =
+#if defined(__clang__)
+        "clang " __clang_version__;
+#elif defined(__GNUC__)
+        "gcc " __VERSION__;
+#else
+        "unknown";
+#endif
+    const std::string sanitizer =
+#ifdef PASCAL_SANITIZE_ENABLED
+        "address,undefined";
+#else
+        "none";
+#endif
+    return std::string("\"meta\": {\"git_sha\": \"") + sha +
+           "\", \"compiler\": \"" + compiler +
+           "\", \"hardware_concurrency\": " +
+           std::to_string(std::thread::hardware_concurrency()) +
+           ", \"sanitizer\": \"" + sanitizer + "\"}";
 }
 
 /** Print a horizontal rule sized for our tables. */

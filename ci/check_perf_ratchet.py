@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Perf ratchet for the cluster-path fast path.
+
+Compares the fast-vs-recompute speedups in a freshly generated
+``bench_cluster_path`` JSON (the nightly ``--big --check-fastpath``
+artifact) against the committed baseline ``BENCH_cluster_path.json``
+and fails if any shape regressed below ``RATCHET * committed``.
+
+The committed file is the small-shape run refreshed whenever the fast
+path materially changes; the nightly run is the million-request
+variant. Absolute numbers differ across machines and shape sizes, so
+the ratchet compares *speedups* (a machine-relative ratio), not
+requests/sec, and allows 10 % slack for run-to-run noise.
+
+Usage:
+    ci/check_perf_ratchet.py NEW_JSON [COMMITTED_JSON]
+
+Exit status 1 on regression or malformed input, 0 otherwise.
+"""
+
+import json
+import sys
+
+RATCHET = 0.9  # tolerate 10% noise; anything below is a regression
+
+
+def load_speedups(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    speedups = doc.get("speedup")
+    if not isinstance(speedups, dict) or not speedups:
+        raise SystemExit(f"{path}: no 'speedup' object — malformed bench JSON")
+    return speedups
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 1
+    new_path = argv[1]
+    committed_path = argv[2] if len(argv) == 3 else "BENCH_cluster_path.json"
+
+    new = load_speedups(new_path)
+    committed = load_speedups(committed_path)
+
+    failed = False
+    for shape, baseline in sorted(committed.items()):
+        current = new.get(shape)
+        if current is None:
+            print(f"RATCHET FAIL {shape}: shape missing from {new_path}")
+            failed = True
+            continue
+        floor = RATCHET * baseline
+        verdict = "ok" if current >= floor else "RATCHET FAIL"
+        print(
+            f"{verdict} {shape}: speedup {current:.3f}x vs committed "
+            f"{baseline:.3f}x (floor {floor:.3f}x)"
+        )
+        if current < floor:
+            failed = True
+
+    if failed:
+        print(
+            "\nfast-path speedup regressed below 0.9x of the committed "
+            "baseline; investigate before merging (or refresh "
+            f"{committed_path} if the regression is intended)."
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

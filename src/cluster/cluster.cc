@@ -339,6 +339,24 @@ Cluster::totalPlanBuilds() const
 }
 
 std::uint64_t
+Cluster::totalPlanRepairs() const
+{
+    std::uint64_t n = 0;
+    for (const auto& inst : instances)
+        n += inst->numPlanRepairs();
+    return n;
+}
+
+std::uint64_t
+Cluster::totalFullWalks() const
+{
+    std::uint64_t n = 0;
+    for (const auto& inst : instances)
+        n += inst->numFullWalks();
+    return n;
+}
+
+std::uint64_t
 Cluster::totalSloHeapRekeys() const
 {
     std::uint64_t n = 0;

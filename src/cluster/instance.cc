@@ -188,6 +188,14 @@ Instance::startIteration()
     bool reused = sched->reusePlan(inflight, kvPool);
     if (reused) {
         ++planReuses;
+    } else if (sched->repairPlan(inflight, kvPool)) {
+        // O(delta) middle path: verbatim reuse declined but the dirty
+        // set was small and benign, so the previous plan was patched
+        // in place. Counts as a build (it is a non-reused boundary —
+        // the coalescing gate's builds < arrivals invariant must keep
+        // seeing every boundary) and as a repair.
+        ++planBuilds;
+        ++planRepairs;
     } else {
         sched->buildPlan(kvPool, inflight);
         ++planBuilds;

@@ -188,8 +188,17 @@ class Instance
     std::uint64_t numPlanReuses() const { return planReuses; }
     /** Full scheduler plan builds (non-reused boundaries, including
      *  boundaries whose plan came back idle). The burst-coalescing
-     *  engagement gate checks this stays below the arrival count. */
+     *  engagement gate checks this stays below the arrival count.
+     *  Repaired boundaries count here too (a repair is still a
+     *  non-reused boundary); numFullWalks() isolates the walks. */
     std::uint64_t numPlanBuilds() const { return planBuilds; }
+    /** Non-reused boundaries satisfied by patching the previous plan
+     *  by its dirty set (IntraScheduler::repairPlan) instead of a
+     *  full material walk. Subset of numPlanBuilds(). */
+    std::uint64_t numPlanRepairs() const { return planRepairs; }
+    /** Non-reused boundaries that fell through to the O(material)
+     *  buildPlan walk: numPlanBuilds() - numPlanRepairs(). */
+    std::uint64_t numFullWalks() const { return planBuilds - planRepairs; }
     /** SLO-heap re-key operations (emission / admission / landing /
      *  removal fixups). */
     std::uint64_t numSloHeapRekeys() const { return sloRekeys; }
@@ -293,6 +302,7 @@ class Instance
     std::uint64_t swapIns = 0;
     std::uint64_t planReuses = 0;
     std::uint64_t planBuilds = 0;
+    std::uint64_t planRepairs = 0;
 
     /** @name Min-deadline SLO heap (see answeringSloOk)
      *

@@ -41,6 +41,14 @@ struct RunResult
     std::size_t numUnfinished = 0;
     int totalMigrations = 0;
 
+    /** Plan boundaries satisfied by the O(delta) repair patch instead
+     *  of a full O(material) walk (diagnostic; excluded from the
+     *  byte-identity comparisons so force-recompute twins stay
+     *  comparable). */
+    std::uint64_t numPlanRepairs = 0;
+    /** Non-reused plan boundaries that ran the full buildPlan walk. */
+    std::uint64_t numFullWalks = 0;
+
     /** All KV migration latencies (Section V-C). */
     std::vector<double> kvTransferLatencies;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <functional>
 #include <string>
 
 #include "src/common/log.hh"
@@ -51,6 +52,11 @@ IntraScheduler::enableIncremental()
     incremental = true;
     stateChanged = true;
     lastPlanReusable = false;
+    // The plan-repair force twin backs off only the repair leg;
+    // queues, counters, and plan reuse stay incremental.
+    repairDisabled = std::getenv("PASCAL_FORCE_REPAIR") != nullptr ||
+                     limits.forcePlanRepair;
+    lastPlanRepairable = false;
 }
 
 void
@@ -70,8 +76,10 @@ IntraScheduler::add(workload::Request* req)
     // Greedy-walk early-exit bookkeeping (any previous host already
     // unlinked the request from its own structures in remove()).
     req->schedInResidentList = false;
-    req->schedPrevResident = nullptr;
-    req->schedNextResident = nullptr;
+    req->schedEvictNode = nullptr;
+    req->schedEvictDirty = false;
+    req->schedRepairState = kRepairNone;
+    req->schedRepairSplice = false;
     req->schedPlanStamp = 0;
     req->schedCountedPrewarm = false;
     req->schedCountedWaiting = false;
@@ -98,6 +106,12 @@ IntraScheduler::add(workload::Request* req)
     syncCounters(req);
     noteStateChanged();
     onHostedAdded(req);
+    // Journal entries for material landings are made by noteResidency
+    // (called above, before the state resets): it is the single point
+    // where a request gains KV on this instance — migration landings
+    // here, prefill/prewarm allocations in the engine. WaitingNew
+    // landings need no entry: a non-empty waiting set fails repair
+    // eligibility by itself.
 }
 
 void
@@ -132,6 +146,38 @@ IntraScheduler::remove(workload::Request* req)
         req->schedCountedFreshAns = false;
         req->schedDemotionPending = false;
         noteStateChanged();
+        if (repairActive()) {
+            if (req->schedRepairState == kRepairInsert) {
+                // Landed and departed within one lineage: cancel the
+                // pending insert instead of journaling an erase (the
+                // member never joined the batch).
+                for (auto it = repairJournal.rbegin();
+                     it != repairJournal.rend(); ++it) {
+                    if (it->req == req && it->op == kRepairInsert) {
+                        it->op = kRepairNone;
+                        break;
+                    }
+                }
+                req->schedRepairState = kRepairNone;
+            } else if (req->schedInResidentList) {
+                // Departing batch member: record its histogram bucket
+                // now — the entry must stay valid even if the request
+                // is re-hosted (and keeps growing) elsewhere. Having
+                // executed planAge + 1 times since its bucket was
+                // recorded, its build-time offset is kv - planAge - 1
+                // (mod block).
+                req->schedRepairState = kRepairNone;
+                std::int64_t block =
+                    static_cast<std::int64_t>(lastBlockSize);
+                std::int64_t v =
+                    static_cast<std::int64_t>(req->kvTokens()) -
+                    static_cast<std::int64_t>(planAge) - 1;
+                repairJournal.push_back(
+                    {req, kRepairErase,
+                     static_cast<std::uint32_t>(((v % block) + block) %
+                                                block)});
+            }
+        }
         // Queue unlink first (it reads schedInResidentList to keep
         // its material count exact), then the early-exit structures.
         onHostedRemoved(req);
@@ -155,17 +201,9 @@ IntraScheduler::unlinkMaterial(workload::Request* req)
 {
     if (!req->schedInResidentList)
         return;
+    if (incremental)
+        evictOrder.erase(req);
     req->schedInResidentList = false;
-    if (req->schedPrevResident != nullptr)
-        req->schedPrevResident->schedNextResident =
-            req->schedNextResident;
-    else
-        materialFirst = req->schedNextResident;
-    if (req->schedNextResident != nullptr)
-        req->schedNextResident->schedPrevResident =
-            req->schedPrevResident;
-    req->schedPrevResident = nullptr;
-    req->schedNextResident = nullptr;
 }
 
 void
@@ -176,11 +214,27 @@ IntraScheduler::noteResidency(workload::Request* req)
         req->exec == workload::ExecState::SwappedCpu;
     if (material && !req->schedInResidentList) {
         req->schedInResidentList = true;
-        req->schedPrevResident = nullptr;
-        req->schedNextResident = materialFirst;
-        if (materialFirst != nullptr)
-            materialFirst->schedPrevResident = req;
-        materialFirst = req;
+        if (incremental) {
+            // Deferred link: the eviction-order key is read at the
+            // next build's repair(), after any same-boundary re-keys.
+            evictOrder.insert(req);
+            if (repairActive()) {
+                if (req->exec == workload::ExecState::ResidentGpu &&
+                    req->schedRepairState == kRepairNone) {
+                    // GPU KV appeared mid-lineage (migration landing,
+                    // prefill or prewarm allocation during an
+                    // excursion): patchable — merge it into the
+                    // decode batch at its rank at the next boundary.
+                    req->schedRepairState = kRepairInsert;
+                    repairJournal.push_back({req, kRepairInsert, 0});
+                } else if (req->exec ==
+                           workload::ExecState::SwappedCpu) {
+                    // A swapped landing needs a swap-in decision the
+                    // patch path cannot make; only a full walk can.
+                    repairBail = true;
+                }
+            }
+        }
         if (req->schedNode != nullptr) {
             // Flipped in place while linked (prefill/prewarm
             // allocation): the owning queue's material count moves.
@@ -289,6 +343,10 @@ void
 IntraScheduler::buildPlan(const model::KvPool& pool, IterationPlan& out)
 {
     out.reset();
+    // A walk does not by itself end a patchable lineage: whether it
+    // does depends on the plan it produces (see the excursion test
+    // below), so the journal is cleared at the end, not here.
+    bool lineage_alive = repairActive();
     if (incremental) {
         lastKeptResidents.clear();
         lastDecodeCapped.clear();
@@ -304,7 +362,20 @@ IntraScheduler::buildPlan(const model::KvPool& pool, IterationPlan& out)
         out.swapIn.empty() && out.swapOut.empty() &&
         !out.decode.empty() &&
         lastDecodeCapped.size() == out.decode.size();
-    reusesSinceBuild = 0;
+    if (lineage_alive && out.decode.empty() && out.swapIn.empty() &&
+        out.swapOut.empty() &&
+        (!out.prefill.empty() || !out.prewarm.empty())) {
+        // Prefill/prewarm excursion: the walk only admits new prompts
+        // — no decode member runs this iteration, so every basis
+        // member's KV (and with it the lineage's histogram, age and
+        // journal) is untouched, and the lineage stays patchable. The
+        // newly resident members journal their own inserts from
+        // noteResidency when the engine applies this plan, exactly
+        // like migration landings.
+        lastPlanRepairable = true;
+        return;
+    }
+    planAge = 0;
     if (lastPlanReusable && lastHighBudgetCap < 0) {
         auto block = static_cast<std::size_t>(pool.blockSize());
         blockOffsetHist.assign(block, 0);
@@ -313,6 +384,17 @@ IntraScheduler::buildPlan(const model::KvPool& pool, IterationPlan& out)
                 r->kvTokens() % pool.blockSize())];
         }
     }
+    clearRepairJournal();
+    // A patchable lineage: uncapped pure decode with every material
+    // member selected (no kept residents), so the histogram is the
+    // whole budget story and membership deltas are the whole batch
+    // story. The force twin keeps the journal dark instead.
+    lastPlanRepairable = !repairDisabled && lastPlanReusable &&
+                         lastHighBudgetCap < 0 &&
+                         lastKeptResidents.empty();
+    if (lastPlanRepairable)
+        basisDecode.assign(out.decode.begin(), out.decode.end());
+    lastBlockSize = pool.blockSize();
 }
 
 bool
@@ -332,7 +414,7 @@ IntraScheduler::reusePlan(const IterationPlan& prev,
         // Uncapped walk: one integer comparison decides the whole
         // budget revalidation (see blockOffsetHist).
         TokenCount block = pool.blockSize();
-        std::uint64_t k = reusesSinceBuild + 1;
+        std::uint64_t k = planAge + 1;
         std::uint64_t crossings = blockOffsetHist[static_cast<
             std::size_t>((static_cast<std::uint64_t>(block) -
                           k % static_cast<std::uint64_t>(block)) %
@@ -345,7 +427,184 @@ IntraScheduler::reusePlan(const IterationPlan& prev,
     } else if (!revalidate(prev, pool)) {
         return false;
     }
-    ++reusesSinceBuild;
+    ++planAge;
+    return true;
+}
+
+void
+IntraScheduler::noteKeyChanged(workload::Request* req)
+{
+    if (!incremental || !req->schedInResidentList)
+        return;
+    evictOrder.markDirty(req);
+    if (repairActive() && req->schedRepairState == kRepairNone) {
+        // First key move of this lineage; later moves ride the same
+        // entry (the merge reads keys at patch time), and a pending
+        // insert already re-reads its key too.
+        req->schedRepairState = kRepairRekey;
+        repairJournal.push_back({req, kRepairRekey, 0});
+    }
+}
+
+void
+IntraScheduler::clearRepairJournal()
+{
+    for (auto& e : repairJournal) {
+        // Erase entries' requests may already be journaled by a new
+        // host — their state belongs to that scheduler now. (A
+        // request that round-tripped back shows up in a later entry
+        // of our own journal and is cleared through it.)
+        if (e.op != kRepairErase && isHosted(e.req))
+            e.req->schedRepairState = kRepairNone;
+    }
+    repairJournal.clear();
+    repairBail = false;
+    lastPlanRepairable = false;
+}
+
+bool
+IntraScheduler::repairPlan(IterationPlan& prev,
+                           const model::KvPool& pool)
+{
+    if (!repairActive())
+        return false;
+    // Deferred plan-time decisions (PASCAL's demotions) fire at every
+    // boundary in recompute mode; reusePlan's veto only reaches them
+    // when its earlier gates pass, so re-run them here. Idempotent,
+    // and any applied demotion journals its own re-key.
+    applyDeferredDecisions();
+    if (repairBail || predictorMoved() || !waitingPrompts.empty() ||
+        waitingPrewarmCount > 0 ||
+        pool.numTracked() != pool.numGpuResident()) {
+        return false;
+    }
+
+    // Fold the journal into the histogram and collect the patch. At
+    // this boundary the lineage has run planAge times and is about to
+    // run again (k-th execution), so a member whose KV is kv now
+    // behaves like a build-time member with offset kv - k (mod B).
+    const std::uint64_t k = planAge + 1;
+    const std::int64_t block = static_cast<std::int64_t>(lastBlockSize);
+    repairPatch.clear();
+    eraseScratch.clear();
+    std::int64_t batch = static_cast<std::int64_t>(basisDecode.size());
+    for (auto& e : repairJournal) {
+        switch (e.op) {
+          case kRepairErase:
+            // Self-contained: bucket recorded at remove time, member
+            // guaranteed present in the basis (repairable builds
+            // select every material member). Never dereferenced — the
+            // departed request's arena slot may already host an
+            // unrelated arrival — so the splice goes by pointer
+            // identity.
+            --blockOffsetHist[e.histIdx];
+            eraseScratch.push_back(e.req);
+            --batch;
+            break;
+          case kRepairRekey: {
+            // Stale once the member departed (its state was reset at
+            // remove; a new host may even have re-journaled it).
+            if (e.req->schedRepairState != kRepairRekey ||
+                !isHosted(e.req))
+                break;
+            e.req->schedRepairState = kRepairNone;
+            e.req->schedRepairSplice = true;
+            repairPatch.push_back(e.req);
+            // No histogram move: the member stays in the batch and
+            // keeps growing one token per iteration.
+            break;
+          }
+          case kRepairInsert: {
+            if (e.req->schedRepairState != kRepairInsert ||
+                !isHosted(e.req))
+                break;
+            e.req->schedRepairState = kRepairNone;
+            std::int64_t v =
+                static_cast<std::int64_t>(e.req->kvTokens()) -
+                static_cast<std::int64_t>(k);
+            ++blockOffsetHist[static_cast<std::size_t>(
+                ((v % block) + block) % block)];
+            repairPatch.push_back(e.req);
+            ++batch;
+            break;
+          }
+          default:
+            break; // Cancelled insert.
+        }
+    }
+    repairJournal.clear();
+
+    // Exact budget + cap check over the patched batch: under the
+    // eligibility conditions every material member is in the batch,
+    // so the full walk's admission total is exactly
+    // gpuUsed + block * crossings — if it fits, the walk admits
+    // everyone in eviction-priority order with no evictions, which is
+    // precisely the merged batch below.
+    const std::uint64_t kb = k % static_cast<std::uint64_t>(block);
+    const std::size_t cross_idx = static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(block) - kb) %
+        static_cast<std::uint64_t>(block));
+    const std::uint64_t crossings = blockOffsetHist[cross_idx];
+    if (batch <= 0 ||
+        batch > static_cast<std::int64_t>(limits.maxBatchSize) ||
+        pool.gpuUsed() + static_cast<TokenCount>(block) *
+                             static_cast<TokenCount>(crossings) >
+            pool.gpuCapacity()) {
+        // Bail to the full walk: clear the transient splice marks —
+        // every flagged member is in the patch (erases are flagless)
+        // — and let buildPlan rebuild the moot half-patched
+        // histogram.
+        for (auto* r : repairPatch)
+            r->schedRepairSplice = false;
+        lastPlanRepairable = false;
+        return false;
+    }
+
+    // Splice + ordered merge against the scheduler-held basis (the
+    // caller's plan may be a prefill excursion whose decode is
+    // empty): patch members re-enter at their current
+    // ResidentEvictOrder rank; surviving members are already sorted
+    // under their (unmoved) keys.
+    std::sort(repairPatch.begin(), repairPatch.end(),
+              ResidentEvictOrder{});
+    std::less<const workload::Request*> addr_less{};
+    std::sort(eraseScratch.begin(), eraseScratch.end(), addr_less);
+    decodeScratch.clear();
+    ResidentEvictOrder less{};
+    auto pi = repairPatch.begin();
+    for (auto* r : basisDecode) {
+        if (r->schedRepairSplice) {
+            r->schedRepairSplice = false;
+            continue;
+        }
+        if (!eraseScratch.empty() &&
+            std::binary_search(eraseScratch.begin(),
+                               eraseScratch.end(),
+                               static_cast<const workload::Request*>(r),
+                               addr_less))
+            continue;
+        while (pi != repairPatch.end() && less(*pi, r))
+            decodeScratch.push_back(*pi++);
+        decodeScratch.push_back(r);
+    }
+    while (pi != repairPatch.end())
+        decodeScratch.push_back(*pi++);
+    prev.reset();
+    prev.decode.swap(decodeScratch);
+    basisDecode.assign(prev.decode.begin(), prev.decode.end());
+
+    // The patched plan is byte-for-byte what buildPlan would emit, so
+    // the lineage continues — and is again a reusable pure-decode
+    // plan, even when the boundary followed an excursion. Kept
+    // residents are cleared: the patched batch holds every material
+    // member, so there is nothing for the engine to restamp.
+    // (lastDecodeCapped is left stale on purpose — it is only ever
+    // consulted when lastHighBudgetCap >= 0, which a repairable
+    // lineage excludes.)
+    lastPlanReusable = true;
+    lastKeptResidents.clear();
+    stateChanged = false;
+    ++planAge;
     return true;
 }
 
@@ -410,30 +669,22 @@ IntraScheduler::greedySelectInto(
 void
 IntraScheduler::finishGreedySelect(const model::KvPool& pool,
                                    IterationPlan& out,
-                                   TokenCount leftover_budget,
-                                   std::size_t tail_start)
+                                   TokenCount leftover_budget)
 {
     std::vector<workload::Request*>& unselected_residents =
         lastKeptResidents;
 
     // Unselected residents stay resident while the leftover budget
     // covers them (they simply skip this iteration); the rest are
-    // evicted, lowest priority first. The common case keeps them
-    // all, where order is irrelevant; only when an eviction is
-    // actually needed does the early-exit tail (appended in resident-
-    // list order) get sorted back into the walk's priority order so
-    // the evicted set and the swapOut sequence are byte-identical to
-    // the full walk's.
+    // evicted, lowest priority first. The record is already in walk
+    // priority order end to end (the early-exit tail comes from the
+    // maintained eviction-order structure pre-sorted), so the evicted
+    // set and the swapOut sequence are byte-identical to the full
+    // walk's with no re-sort.
     TokenCount total_keep_cost = 0;
     for (const auto* r : unselected_residents)
         total_keep_cost += pool.chargeFor(r->kvTokens());
     if (total_keep_cost > leftover_budget) {
-        if (tail_start < unselected_residents.size()) {
-            std::sort(unselected_residents.begin() +
-                          static_cast<std::ptrdiff_t>(tail_start),
-                      unselected_residents.end(),
-                      ResidentEvictOrder{});
-        }
         TokenCount keep_budget = leftover_budget;
         std::size_t kept = 0;
         for (auto* r : unselected_residents) {

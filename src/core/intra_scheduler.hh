@@ -59,6 +59,7 @@
 #include "src/common/log.hh"
 #include "src/common/types.hh"
 #include "src/core/iteration_plan.hh"
+#include "src/core/ordered_queue.hh"
 #include "src/model/kv_pool.hh"
 #include "src/predict/predictor.hh"
 #include "src/workload/request.hh"
@@ -183,6 +184,30 @@ class IntraScheduler
      * arithmetic — no sorting, no allocation, no predictor calls.
      */
     bool reusePlan(const IterationPlan& prev, const model::KvPool& pool);
+
+    /**
+     * Delta fast path when reusePlan() declines: patch @p prev (the
+     * previous iteration's plan) by the journaled dirty set instead
+     * of re-walking every material queue. Departed / demoted-and-
+     * re-keyed members are spliced out of the decode batch, landed
+     * arrivals and re-keyed members are merged back in at their
+     * ResidentEvictOrder rank, and the paged-memory budget check
+     * re-runs over the maintained block-offset histogram (patched by
+     * the same deltas) — O(delta log delta + batch) with no queue
+     * walk, no predictor calls, and no allocation once warm.
+     *
+     * Eligibility mirrors the conditions under which the patched
+     * batch provably equals what buildPlan() would produce: the
+     * previous plan must be an uncapped pure-decode plan with no kept
+     * residents (every material member in the batch), no waiting
+     * admission candidates, no swapped members, no predictor
+     * movement, and the patched batch must fit the capacity exactly
+     * as the full walk would conclude. Anything else returns false
+     * and the caller falls back to buildPlan(). Disabled (always
+     * false) by SchedLimits::forcePlanRepair / PASCAL_FORCE_REPAIR —
+     * the plan-repair force twin.
+     */
+    bool repairPlan(IterationPlan& prev, const model::KvPool& pool);
 
     /** Notification that @p req crossed the reasoning->answering
      *  boundary and stays on this instance. */
@@ -334,6 +359,28 @@ class IntraScheduler
      *  buildPlan). */
     void noteStateChanged() { stateChanged = true; }
 
+    /**
+     * Subclasses call this whenever a hosted request's
+     * ResidentEvictOrder key moved (quantum consumption, queue-tag
+     * transfer, demotion, predictor re-key) — always in addition to
+     * marking their own queues dirty. Keeps the maintained
+     * eviction-order structure exact and journals the member for the
+     * plan-repair splice/merge when a repairable lineage is active.
+     * No-op for non-material members (their keys are re-read at
+     * admission) and in recompute mode.
+     */
+    void noteKeyChanged(workload::Request* req);
+
+    /**
+     * Plan-boundary hook run by repairPlan() before it patches:
+     * apply any decisions your reuseVeto() would have taken (PASCAL's
+     * deferred demotions), so a boundary that skips reusePlan's veto
+     * (because stateChanged was already set) still applies them at
+     * the same point recompute mode does. Must journal its own key
+     * changes via noteKeyChanged().
+     */
+    virtual void applyDeferredDecisions() {}
+
     /** Recompute @p req's contribution to the maintained monitor
      *  counters from its live state. */
     void syncCounters(workload::Request* req);
@@ -395,6 +442,15 @@ class IntraScheduler
                        const model::KvPool& pool, bool stop_at_unfit,
                        IterationPlan& out)
     {
+        if (incremental) {
+            // Link any pending eviction-order members now: every key
+            // change of this boundary (demotion, predictor re-key,
+            // quantum rollover) has already been marked dirty by the
+            // planInto prologue, so the settle pass below reads a
+            // fully ordered resident structure — no per-build
+            // re-sort.
+            evictOrder.repair();
+        }
         TokenCount budget = pool.gpuCapacity();
         TokenCount high_budget = cap_high ? high_budget_cap : budget;
         TokenCount prefill_tokens = 0;
@@ -587,14 +643,16 @@ class IntraScheduler
             ++it;
         }
 
-        std::size_t tail_start = unselected_residents.size();
         if (!walking && incremental) {
             // Full exit (batch full / strict-order stop): settle the
             // GPU residents the walk never reached. Every unstamped
-            // resident on the material list is by construction
-            // unselected (selection requires a visit).
-            for (workload::Request* r = materialFirst; r != nullptr;
-                 r = r->schedNextResident) {
+            // member of the maintained eviction-order structure is by
+            // construction unselected (selection requires a visit),
+            // and arrives already in eviction priority order — so the
+            // keep/evict pass needs no tail re-sort.
+            for (auto eit = evictOrder.begin(); eit != evictOrder.end();
+                 ++eit) {
+                workload::Request* r = *eit;
                 if (r->exec != workload::ExecState::ResidentGpu ||
                     r->schedPlanStamp == planWalkEpoch ||
                     !schedulable(r))
@@ -602,7 +660,7 @@ class IntraScheduler
                 unselected_residents.push_back(r);
             }
         }
-        finishGreedySelect(pool, out, budget, tail_start);
+        finishGreedySelect(pool, out, budget);
     }
 
     /** Single-order convenience over greedySelectRanges: the first
@@ -649,19 +707,17 @@ class IntraScheduler
 
   private:
     /**
-     * Shared tail of the greedy walk: settle the unvisited residents
-     * the early exit skipped (entries of the resident list not
-     * stamped by this walk — appended after index @p tail_start in
-     * arbitrary order), then keep unselected residents while
-     * @p leftover_budget covers them and evict the rest. When
-     * everything fits, order is irrelevant; when evicting, the tail
-     * is sorted back into the walk's priority order first, so the
-     * emitted plan is byte-identical to the full walk's.
+     * Shared tail of the greedy walk: keep unselected residents while
+     * @p leftover_budget covers them and evict the rest. The record
+     * arrives in walk priority order end to end — the walked prefix
+     * by construction, the early-exit tail because the maintained
+     * eviction-order structure yields it pre-sorted — so no re-sort
+     * is needed and the emitted plan is byte-identical to the full
+     * walk's.
      */
     void finishGreedySelect(const model::KvPool& pool,
                             IterationPlan& out,
-                            TokenCount leftover_budget,
-                            std::size_t tail_start);
+                            TokenCount leftover_budget);
 
     /** O(batch) re-walk of the recorded greedy selection. */
     bool revalidate(const IterationPlan& prev,
@@ -685,15 +741,17 @@ class IntraScheduler
     /** @{ */
 
     /**
-     * Head of the intrusive material list: every hosted request that
-     * holds KV (GPU-resident or swapped). Membership changes only at
-     * prefill/prewarm allocation, migration landing, and departure —
-     * swaps move tiers, not membership. The walk counts material
-     * members per queue up front, so once no waiting candidate can be
-     * admitted it skips a queue's (possibly enormous) waiting tail
-     * the moment that queue's material members have all been walked.
+     * Maintained eviction-order structure over the material members:
+     * every hosted request that holds KV (GPU-resident or swapped),
+     * kept sorted by ResidentEvictOrder across builds (incremental
+     * mode only; recompute mode never touches it). Membership changes
+     * only at prefill/prewarm allocation, migration landing, and
+     * departure — swaps move tiers, not membership; key moves arrive
+     * via noteKeyChanged(). The greedy walk's early-exit settle pass
+     * reads it pre-sorted, so swap-thrashing instances stop paying a
+     * per-build eviction re-sort.
      */
-    workload::Request* materialFirst = nullptr;
+    OrderedQueue<ResidentEvictOrder, EvictQueueHooks> evictOrder{1};
 
     /** Exact multiset of hosted waiting requests' prompt sizes (the
      *  waiting set is frozen during a walk, so its minimum yields an
@@ -708,8 +766,84 @@ class IntraScheduler
     /** Epoch stamped into visited residents per greedy walk. */
     std::uint64_t planWalkEpoch = 0;
 
-    /** Unlink @p req from the material list if present. */
+    /** Unlink @p req from the material set if present. */
     void unlinkMaterial(workload::Request* req);
+
+    /** @} */
+
+    /** @name Plan-repair journal (the dirty set of the active plan
+     *  lineage; see repairPlan()) */
+    /** @{ */
+
+    /** Journal ops, also stored in Request::schedRepairState (which
+     *  dedupes per-request journaling per lineage). */
+    static constexpr std::uint8_t kRepairNone = 0;
+    static constexpr std::uint8_t kRepairRekey = 1;
+    static constexpr std::uint8_t kRepairInsert = 2;
+    static constexpr std::uint8_t kRepairErase = 3; //!< Entry-only.
+
+    struct RepairEntry
+    {
+        workload::Request* req;
+        std::uint8_t op;
+        /** Erase only: the member's block-offset histogram bucket,
+         *  recorded at remove time (its KV may move afterwards). */
+        std::uint32_t histIdx;
+    };
+
+    /** True while mutations must be journaled: the last build left a
+     *  repairable lineage that has not bailed. */
+    bool
+    repairActive() const
+    {
+        return incremental && lastPlanRepairable && !repairBail;
+    }
+
+    /** Reset the journal and per-request journal states (end of every
+     *  lineage-ending buildPlan). */
+    void clearRepairJournal();
+
+    std::vector<RepairEntry> repairJournal;
+
+    /** Something unjournalable happened (a swapped-in migration
+     *  landing): the lineage cannot be repaired, only rebuilt. */
+    bool repairBail = false;
+
+    /** The last buildPlan produced a patchable plan: uncapped pure
+     *  decode with every material member selected. */
+    bool lastPlanRepairable = false;
+
+    /** forcePlanRepair / PASCAL_FORCE_REPAIR: the repair fast path is
+     *  disabled and every non-reused boundary pays the full walk. */
+    bool repairDisabled = false;
+
+    /** Pool block size at the last build (remove() has no pool). */
+    TokenCount lastBlockSize = 1;
+
+    /** Scratch: re-keyed + inserted members, sorted then merged. */
+    std::vector<workload::Request*> repairPatch;
+
+    /** Scratch: merge target for the patched decode batch. */
+    std::vector<workload::Request*> decodeScratch;
+
+    /**
+     * The lineage's decode basis: the batch of the last full build or
+     * repair, in plan order. Kept scheduler-side (not read from the
+     * caller's plan) because a prefill-only excursion build overwrites
+     * the in-flight plan while the lineage — whose decode members sat
+     * out the prefill iteration with their KV untouched — stays
+     * patchable.
+     */
+    std::vector<workload::Request*> basisDecode;
+
+    /**
+     * Scratch: departed members' pointer identities for the splice.
+     * Erased entries are never dereferenced — the request may have
+     * finished and had its arena slot recycled for an unrelated
+     * arrival by the time the journal is folded — so the merge skips
+     * basis members by pointer identity instead of a flag.
+     */
+    std::vector<const workload::Request*> eraseScratch;
 
     /** @} */
 
@@ -739,7 +873,17 @@ class IntraScheduler
      * bounded by that total when no per-member cap applies).
      */
     std::vector<std::uint32_t> blockOffsetHist;
-    std::uint64_t reusesSinceBuild = 0;
+
+    /**
+     * Iterations the current plan lineage has run since its last full
+     * build: incremented by every verbatim reuse and every successful
+     * repair, reset by buildPlan. Anchors the histogram phase — at a
+     * boundary with planAge = a, every surviving decode member has
+     * executed exactly a + 1 times since its histogram bucket was
+     * recorded, which is what the repair journal's erase/insert
+     * bucket arithmetic relies on.
+     */
+    std::uint64_t planAge = 0;
     /** @} */
 };
 

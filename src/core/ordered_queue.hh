@@ -42,6 +42,23 @@
  * id), so the sorted order is unique and independent of how it was
  * produced.
  *
+ * Intrusive-field indirection: the queue reaches its per-request node
+ * pointer / dirty flag / queue tag through a Hooks policy, so two
+ * queues with different node fields can hold the same request — the
+ * policy queues use the schedNode family (SchedQueueHooks), the
+ * scheduler's maintained eviction-order queue uses the schedEvictNode
+ * family (EvictQueueHooks, which also skips queue-tag stamping since
+ * the tag is an ordering key owned by the policy queues).
+ *
+ * Generation-segregated arena compaction: node recycling through the
+ * per-height free lists keeps memory bounded but slowly randomizes
+ * node addresses, so a long-run level-0 walk stops being
+ * prefetch-sequential. repair() tracks recycle churn and, past a
+ * deterministic threshold, relinks every surviving node into fresh
+ * arenas in level-0 order (O(linked), amortized O(1) per unlink) —
+ * the next generation's walk is address-sequential again. Ordering
+ * and operation results are unchanged; only addresses move.
+ *
  * Contract notes (unchanged from the sorted-vector revision):
  * insert()/markDirty() defer to the next repair(), which reads the
  * request's ordering key at repair time — callers may mutate keys
@@ -67,10 +84,44 @@ namespace pascal
 namespace core
 {
 
+/** Default intrusive-field policy: the per-policy scheduler queues
+ *  (high/low/ready), which own schedQueueTag. */
+struct SchedQueueHooks
+{
+    static void*& node(workload::Request* r) { return r->schedNode; }
+    static bool& dirty(workload::Request* r)
+    {
+        return r->schedDirtyPending;
+    }
+    static void
+    setTag(workload::Request* r, std::uint8_t tag)
+    {
+        r->schedQueueTag = tag;
+    }
+};
+
+/** Intrusive-field policy for the scheduler's maintained
+ *  eviction-order queue: a second queue holding the same requests as
+ *  the policy queues, so it uses its own node/dirty fields and leaves
+ *  schedQueueTag (an ordering key) alone. */
+struct EvictQueueHooks
+{
+    static void*& node(workload::Request* r)
+    {
+        return r->schedEvictNode;
+    }
+    static bool& dirty(workload::Request* r)
+    {
+        return r->schedEvictDirty;
+    }
+    static void setTag(workload::Request*, std::uint8_t) {}
+};
+
 /** Skip-list request queue with dirty-set repair and a material /
  *  waiting split. @tparam Cmp strict total order over Request
- *  pointers (stateless functor). */
-template <typename Cmp>
+ *  pointers (stateless functor). @tparam Hooks intrusive-field
+ *  policy (which per-request node/dirty/tag fields this queue owns). */
+template <typename Cmp, typename Hooks = SchedQueueHooks>
 class OrderedQueue
 {
     /** Tower height cap: p = 1/2 levels support ~2^kMaxHeight
@@ -127,14 +178,8 @@ class OrderedQueue
     {
         if (tag == 0)
             panic("OrderedQueue tag must be nonzero");
-        for (SubList* s : {&material, &waiting}) {
-            s->head = allocNode(kMaxHeight);
-            s->head->req = nullptr;
-            s->head->height = kMaxHeight;
-            s->head->mat = false;
-            for (int l = 0; l < kMaxHeight; ++l)
-                s->head->links()[l] = Link{nullptr, nullptr};
-        }
+        for (SubList* s : {&material, &waiting})
+            s->head = allocSentinel();
     }
 
     /**
@@ -215,8 +260,8 @@ class OrderedQueue
     void
     insert(workload::Request* r)
     {
-        r->schedQueueTag = tag;
-        r->schedDirtyPending = true;
+        Hooks::setTag(r, tag);
+        Hooks::dirty(r) = true;
         pending.push_back(r);
     }
 
@@ -228,9 +273,9 @@ class OrderedQueue
     void
     erase(workload::Request* r)
     {
-        r->schedQueueTag = 0;
-        if (r->schedDirtyPending) {
-            r->schedDirtyPending = false;
+        Hooks::setTag(r, 0);
+        if (Hooks::dirty(r)) {
+            Hooks::dirty(r) = false;
             auto it = std::find(pending.begin(), pending.end(), r);
             if (it == pending.end())
                 panic("OrderedQueue::erase: pending entry missing");
@@ -246,10 +291,10 @@ class OrderedQueue
     void
     markDirty(workload::Request* r)
     {
-        if (r->schedDirtyPending)
+        if (Hooks::dirty(r))
             return; // Already queued for re-insertion.
         unlink(r);
-        r->schedDirtyPending = true;
+        Hooks::dirty(r) = true;
         pending.push_back(r);
     }
 
@@ -261,9 +306,9 @@ class OrderedQueue
     void
     noteMaterialized(workload::Request* r)
     {
-        if (r->schedDirtyPending)
+        if (Hooks::dirty(r))
             return;
-        Node* node = static_cast<Node*>(r->schedNode);
+        Node* node = static_cast<Node*>(Hooks::node(r));
         if (node == nullptr || node->mat == r->schedInResidentList)
             return;
         unlink(r);
@@ -276,13 +321,18 @@ class OrderedQueue
     /**
      * Re-establish the sorted invariant: every pending request is
      * inserted at its key's unique position — O(pending x log n),
-     * with no pass over the clean members.
+     * with no pass over the clean members. Past the churn threshold
+     * this also compacts the arenas first, so the pending nodes land
+     * in the fresh generation too.
      */
     void
     repair()
     {
+        if (recycleChurn >= kCompactMinChurn &&
+            recycleChurn >= 4 * (material.linked + waiting.linked))
+            compact();
         for (auto* r : pending) {
-            r->schedDirtyPending = false;
+            Hooks::dirty(r) = false;
             link(r);
         }
         pending.clear();
@@ -295,7 +345,7 @@ class OrderedQueue
         for (SubList* s : {&material, &waiting}) {
             for (Node* n = s->head->next(0); n != nullptr;) {
                 Node* next = n->next(0);
-                n->req->schedNode = nullptr;
+                Hooks::node(n->req) = nullptr;
                 n->req = nullptr;
                 freeNodes[n->height].push_back(n);
                 n = next;
@@ -313,6 +363,12 @@ class OrderedQueue
     {
         return material.linked + waiting.linked + pending.size();
     }
+
+    /** Arena compactions performed so far (diagnostic). */
+    std::uint64_t numCompactions() const { return compactions; }
+
+    /** Nodes recycled since the last compaction (diagnostic). */
+    std::size_t recycledSinceCompaction() const { return recycleChurn; }
 
   private:
     /** Deterministic tower height: a pure bit mix of the request id
@@ -356,6 +412,61 @@ class OrderedQueue
         return reinterpret_cast<Node*>(p);
     }
 
+    /** Allocate and zero-link a kMaxHeight sentinel head. */
+    Node*
+    allocSentinel()
+    {
+        Node* head = allocNode(kMaxHeight);
+        head->req = nullptr;
+        head->height = kMaxHeight;
+        head->mat = false;
+        for (int l = 0; l < kMaxHeight; ++l)
+            head->links()[l] = Link{nullptr, nullptr};
+        return head;
+    }
+
+    /**
+     * Generation-segregated compaction: relink every surviving node
+     * (both sublists, level-0 order) into fresh arenas via a
+     * per-level last-node spine, drop the old arenas and free lists.
+     * O(linked); ordering untouched — only node addresses change, so
+     * the next generation's level-0 walk is address-sequential.
+     */
+    void
+    compact()
+    {
+        ++compactions;
+        recycleChurn = 0;
+        std::vector<std::unique_ptr<char[]>> retired =
+            std::move(arenas);
+        arenas.clear();
+        arenaUsed = 0;
+        for (auto& free : freeNodes)
+            free.clear();
+        for (SubList* s : {&material, &waiting}) {
+            Node* old = s->head;
+            Node* head = allocSentinel();
+            Node* last[kMaxHeight];
+            for (int l = 0; l < kMaxHeight; ++l)
+                last[l] = head;
+            for (Node* n = old->next(0); n != nullptr; n = n->next(0)) {
+                Node* copy = allocNode(n->height);
+                copy->req = n->req;
+                copy->height = n->height;
+                copy->mat = n->mat;
+                Hooks::node(copy->req) = copy;
+                for (int l = 0; l < copy->height; ++l) {
+                    copy->links()[l] = Link{nullptr, last[l]};
+                    last[l]->links()[l].next = copy;
+                    last[l] = copy;
+                }
+            }
+            s->head = head;
+        }
+        // `retired` keeps the old generation alive until the walk
+        // above has copied every node out of it.
+    }
+
     /** Insert @p r's node (sublist per its current materiality) at
      *  the position its current key dictates. */
     void
@@ -367,7 +478,7 @@ class OrderedQueue
         node->req = r;
         node->height = height;
         node->mat = r->schedInResidentList;
-        r->schedNode = node;
+        Hooks::node(r) = node;
         s.maxLevel = std::max(s.maxLevel, height);
 
         Cmp less{};
@@ -392,7 +503,7 @@ class OrderedQueue
     void
     unlink(workload::Request* r)
     {
-        Node* node = static_cast<Node*>(r->schedNode);
+        Node* node = static_cast<Node*>(Hooks::node(r));
         if (node == nullptr || node->req != r)
             panic("OrderedQueue: request " + std::to_string(r->id()) +
                   " has no linked node in this queue");
@@ -404,12 +515,17 @@ class OrderedQueue
         }
         SubList& s = node->mat ? material : waiting;
         --s.linked;
-        r->schedNode = nullptr;
+        Hooks::node(r) = nullptr;
         node->req = nullptr;
         freeNodes[node->height].push_back(node);
+        ++recycleChurn;
     }
 
     static constexpr std::size_t kArenaBytes = 1 << 16;
+
+    /** Compaction trigger floor: below this many recycles the level-0
+     *  walk is still mostly generation-ordered, so don't bother. */
+    static constexpr std::size_t kCompactMinChurn = 4096;
 
     std::uint8_t tag;
     std::vector<workload::Request*> pending;
@@ -420,6 +536,9 @@ class OrderedQueue
     std::vector<Node*> freeNodes[kMaxHeight + 1];
     SubList material;
     SubList waiting;
+    /** Nodes recycled since the last compaction. */
+    std::size_t recycleChurn = 0;
+    std::uint64_t compactions = 0;
 };
 
 } // namespace core

@@ -71,6 +71,9 @@ PascalScheduler::demote(workload::Request* req)
     syncCounters(req);
     highQueue.erase(req);
     lowQueue.insert(req);
+    // After the transfer, so the eviction-order relink reads the
+    // settled low-queue tag.
+    noteKeyChanged(req);
     noteStateChanged();
 }
 
@@ -102,6 +105,12 @@ bool
 PascalScheduler::reuseVeto()
 {
     return processPendingDemotions();
+}
+
+void
+PascalScheduler::applyDeferredDecisions()
+{
+    processPendingDemotions();
 }
 
 void
@@ -149,11 +158,13 @@ PascalScheduler::onRequestExecuted(workload::Request* req,
             req->schedScore = queueKey(req);
         highQueue.erase(req);
         lowQueue.insert(req);
+        noteKeyChanged(req); // After the transfer: tag settled at 2.
         noteStateChanged();
     } else if (quanta_changed || usesQueueKeys()) {
         if (usesQueueKeys())
             req->schedScore = queueKey(req);
         queueOf(req).markDirty(req);
+        noteKeyChanged(req);
         noteStateChanged();
     }
     if (high && !req->schedDemotionPending && demotionPossible(req)) {
@@ -238,6 +249,7 @@ PascalScheduler::incrementalPlan(const model::KvPool& pool,
         for (auto* r : requests) {
             r->schedScore = queueKey(r);
             queueOf(r).markDirty(r);
+            noteKeyChanged(r);
             if (isHighPriority(r) && !r->schedDemotionPending &&
                 demotionPossible(r)) {
                 r->schedDemotionPending = true;
@@ -275,6 +287,7 @@ PascalScheduler::onPhaseTransition(workload::Request* req)
     // noteExecuted already moved it into the low queue when the
     // transition token was emitted; the reset re-keys it there.
     queueOf(req).markDirty(req);
+    noteKeyChanged(req);
     noteStateChanged();
 }
 

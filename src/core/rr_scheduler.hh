@@ -78,6 +78,7 @@ class RrScheduler : public IntraScheduler
     {
         if (quanta_changed) {
             queue.markDirty(req);
+            noteKeyChanged(req);
             noteStateChanged();
         }
     }

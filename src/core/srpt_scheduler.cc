@@ -37,6 +37,7 @@ SrptScheduler::planInto(const model::KvPool& pool, IterationPlan& out)
             for (auto* r : requests) {
                 r->schedScore = lengthPredictor->rankScore(*r);
                 queue.markDirty(r);
+                noteKeyChanged(r);
             }
             noteStateChanged();
         }

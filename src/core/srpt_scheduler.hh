@@ -89,6 +89,7 @@ class SrptScheduler : public IntraScheduler
         // Progress moves the predicted remaining work.
         req->schedScore = lengthPredictor->rankScore(*req);
         queue.markDirty(req);
+        noteKeyChanged(req);
         noteStateChanged();
     }
 

@@ -279,15 +279,31 @@ class Request
     /** @name Scheduler resident-set tracking
      *
      * Intrusive membership in the hosting scheduler's GPU-resident
-     * list, kept in sync by the engine's residency notifications
+     * set, kept in sync by the engine's residency notifications
      * (incremental mode's dirty-set contract). The greedy selection
      * walk uses it to account unselected residents without visiting
-     * the admission backlog behind them.
+     * the admission backlog behind them; in incremental mode the set
+     * is a maintained ResidentEvictOrder skip list (schedEvictNode)
+     * so the walk's settle pass visits residents pre-sorted in
+     * eviction order instead of re-sorting per build.
      */
     /** @{ */
-    Request* schedPrevResident = nullptr;
-    Request* schedNextResident = nullptr;
     bool schedInResidentList = false;
+
+    /** Skip-list node of the scheduler's maintained eviction-order
+     *  queue (incremental mode only; null when unlinked/pending). */
+    void* schedEvictNode = nullptr;
+
+    /** Awaiting re-insertion into the eviction-order queue. */
+    bool schedEvictDirty = false;
+
+    /** Plan-repair journal state for the active plan lineage
+     *  (core::IntraScheduler repair ops; 0 = not journaled). */
+    std::uint8_t schedRepairState = 0;
+
+    /** Transient mark used by repairPlan's splice-and-merge to drop
+     *  patched members from the surviving decode batch. */
+    bool schedRepairSplice = false;
 
     /** Queued-prewarm membership in the scheduler's waitingPrewarm
      *  counter (startInAnswering arrivals bypass prefill caps, so the

@@ -363,4 +363,169 @@ TEST_F(PlanReuseFastPath, ForceResortEnvAndLimitDisableIncremental)
     EXPECT_FALSE(sched.incrementalEnabled());
 }
 
+/**
+ * The bench's transition-storm shape scaled for CI: short phases at a
+ * moderate rate on a pool with headroom, so plan boundaries are
+ * dirtied by arrivals, departures, phase transitions, demotions and
+ * migration landings — exactly the bounded deltas the O(delta) plan
+ * repair patches — rather than by swap traffic.
+ */
+workload::Trace
+transitionTrace(std::uint64_t seed, int n = 400)
+{
+    Rng rng(seed);
+    auto profile = workload::DatasetProfile::alpacaEval();
+    profile.prompt = {64.0, 0.4, 32, 128};
+    profile.reasoning = {25.0, 0.5, 16, 60};
+    profile.answering = {45.0, 0.5, 16, 120};
+    return workload::generateTrace(profile, n, 60.0, rng);
+}
+
+/**
+ * Sustained memory pressure: the pool fits only a fraction of the
+ * material set, so kept/evicted membership oscillates boundary to
+ * boundary (swap thrash) and most plans carry swap traffic — the
+ * regime plan repair must recognise as out of scope and decline
+ * byte-identically, every time.
+ */
+workload::Trace
+swapThrashTrace(std::uint64_t seed, int n = 250)
+{
+    Rng rng(seed);
+    auto profile = workload::DatasetProfile::alpacaEval();
+    profile.prompt = {96.0, 0.5, 32, 192};
+    profile.reasoning = {200.0, 0.7, 32, 800};
+    profile.answering = {80.0, 0.6, 16, 300};
+    return workload::generateTrace(profile, n, 30.0, rng);
+}
+
+SystemConfig
+repairConfig(SchedulerType sched, predict::PredictorConfig pred,
+             TokenCount capacity)
+{
+    SystemConfig cfg;
+    cfg.scheduler = sched;
+    cfg.placement = pred.type == predict::PredictorType::None
+                        ? PlacementType::Pascal
+                        : PlacementType::PascalPredictive;
+    cfg.predictor = pred;
+    cfg.numInstances = 2;
+    cfg.gpuKvCapacityTokens = capacity;
+    cfg.kvBlockSizeTokens = 16;
+    cfg.limits.demoteThresholdTokens = 700;
+    return cfg;
+}
+
+TEST_F(PlanReuseInvariance, PlanRepairGridByteIdentical)
+{
+    // The repair fast path vs its force twin across the full
+    // scheduler x predictor grid, on both regression shapes: the
+    // repair-friendly transition storm and the repair-hostile swap
+    // thrash. forcePlanRepair keeps the journal dark so every
+    // non-reused boundary pays the full walk — byte-identity proves
+    // the patched plans equal the walked ones everywhere.
+    struct GridPoint
+    {
+        SchedulerType sched;
+        std::string predictor;
+    };
+    std::vector<GridPoint> grid;
+    for (SchedulerType sched :
+         {SchedulerType::Fcfs, SchedulerType::Rr,
+          SchedulerType::Pascal}) {
+        for (const char* kind : {"none", "oracle", "noisy", "profile"})
+            grid.push_back({sched, kind});
+    }
+    for (SchedulerType sched :
+         {SchedulerType::Srpt, SchedulerType::PascalSpec}) {
+        // Speculative schedulers require a predictor (see
+        // SpeculativeWithoutPredictorStillRejected).
+        for (const char* kind : {"oracle", "noisy", "profile"})
+            grid.push_back({sched, kind});
+    }
+
+    auto transition = transitionTrace(77);
+    auto thrash = swapThrashTrace(78);
+    for (const auto& point : grid) {
+        SCOPED_TRACE(std::string("scheduler ") +
+                     std::to_string(static_cast<int>(point.sched)) +
+                     " predictor " + point.predictor);
+        for (const workload::Trace* trace : {&transition, &thrash}) {
+            SystemConfig cfg =
+                repairConfig(point.sched, predictorNamed(point.predictor),
+                             trace == &thrash ? 3072 : 32768);
+            cfg.limits.forcePlanRepair = false;
+            auto fast = cluster::RunContext::execute(cfg, *trace);
+            cfg.limits.forcePlanRepair = true;
+            auto reference = cluster::RunContext::execute(cfg, *trace);
+            test::expectIdentical(fast, reference);
+        }
+    }
+}
+
+TEST_F(PlanReuseInvariance, AllThirtyTwoForceCornersByteIdentical)
+{
+    // {FORCE_REPAIR} x {FORCE_KICK} x {FORCE_VIEW} x {FORCE_RESORT} x
+    // {FORCE_ACCRUE}: every corner disables (or eagerly verifies) a
+    // different maintained structure, so all 32 runs recompute
+    // different subsets of the same state and must agree
+    // byte-for-byte. The all-ones corner is the bench's recompute
+    // twin; mask 0 is the production fast path.
+    auto trace = transitionTrace(555, 300);
+    SystemConfig base = repairConfig(SchedulerType::Pascal,
+                                     predictorNamed("oracle"), 8192);
+
+    std::vector<cluster::RunResult> results;
+    for (int mask = 0; mask < 32; ++mask) {
+        SystemConfig cfg = base;
+        cfg.limits.forcePerArrivalKick = (mask & 1) != 0;
+        cfg.forceViewRebuild = (mask & 2) != 0;
+        cfg.limits.forceResort = (mask & 4) != 0;
+        cfg.limits.forceAccrue = (mask & 8) != 0;
+        cfg.limits.forcePlanRepair = (mask & 16) != 0;
+        results.push_back(cluster::RunContext::execute(cfg, trace));
+    }
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        SCOPED_TRACE("mode mask " + std::to_string(i));
+        test::expectIdentical(results[0], results[i]);
+    }
+}
+
+TEST_F(PlanReuseFastPath, RepairsOutnumberFullWalksOnTransitionStorm)
+{
+    if (std::getenv("PASCAL_FORCE_RESORT") ||
+        std::getenv("PASCAL_FORCE_REPAIR"))
+        GTEST_SKIP() << "fast path globally disabled by env";
+    // On the transition-heavy shape the dominant non-reused boundary
+    // carries only bounded deltas, so the O(delta) patch — not the
+    // full walk — must satisfy most of them.
+    SystemConfig cfg = repairConfig(SchedulerType::Pascal,
+                                    predictorNamed("none"), 32768);
+    auto result =
+        cluster::RunContext::execute(cfg, transitionTrace(99, 500));
+    EXPECT_GT(result.numPlanRepairs, 0u);
+    EXPECT_GT(result.numPlanRepairs, result.numFullWalks);
+}
+
+TEST_F(PlanReuseFastPath, ForcePlanRepairKeepsTheJournalDark)
+{
+    if (std::getenv("PASCAL_FORCE_RESORT") ||
+        std::getenv("PASCAL_FORCE_REPAIR"))
+        GTEST_SKIP() << "fast path globally disabled by env";
+    // The force twin must not merely decline at the repair gate but
+    // never journal at all: with forcePlanRepair set, every non-reused
+    // boundary is a full walk.
+    SystemConfig cfg = repairConfig(SchedulerType::Pascal,
+                                    predictorNamed("none"), 32768);
+    auto trace = transitionTrace(101, 300);
+    cfg.limits.forcePlanRepair = true;
+    auto forced = cluster::RunContext::execute(cfg, trace);
+    EXPECT_EQ(forced.numPlanRepairs, 0u);
+    EXPECT_GT(forced.numFullWalks, 0u);
+    cfg.limits.forcePlanRepair = false;
+    auto fast = cluster::RunContext::execute(cfg, trace);
+    EXPECT_GT(fast.numPlanRepairs, 0u);
+    test::expectIdentical(fast, forced);
+}
+
 } // namespace
