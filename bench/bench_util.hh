@@ -21,6 +21,7 @@
 #include "src/cluster/serving_system.hh"
 #include "src/common/rng.hh"
 #include "src/common/stats.hh"
+#include "src/obs/stat_registry.hh"
 #include "src/workload/generator.hh"
 
 namespace pascal
@@ -153,6 +154,58 @@ jsonMeta()
            "\", \"hardware_concurrency\": " +
            std::to_string(std::thread::hardware_concurrency()) +
            ", \"sanitizer\": \"" + sanitizer + "\"}";
+}
+
+/** Shortest round-trippable rendering of @p v (deterministic for a
+ *  deterministic value stream, so dumped stats diff cleanly). */
+inline std::string
+jsonNumber(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    for (int precision = 1; precision < 17; ++precision) {
+        char shorter[32];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+        std::sscanf(shorter, "%lf", &parsed);
+        if (parsed == v)
+            return shorter;
+    }
+    return buf;
+}
+
+/**
+ * Render a StatRegistry dump as a JSON array, one object per stat in
+ * registration order: counters/gauges carry {name, kind, value},
+ * distributions {name, kind, count, mean, min, max, stddev}. This is
+ * the generic emitter every bench uses instead of hand-wiring counter
+ * keys — any stat a component registers shows up in the artifact
+ * without touching the bench.
+ */
+inline std::string
+jsonStats(const obs::StatDump& dump, const std::string& indent = "    ")
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < dump.size(); ++i) {
+        const auto& s = dump[i];
+        out += i ? ",\n" : "\n";
+        out += indent;
+        out += "  {\"name\": \"" + s.name + "\", \"kind\": \"" +
+               statKindName(s.kind) + "\", ";
+        if (s.kind == obs::StatKind::Distribution) {
+            out += "\"count\": " + std::to_string(s.count) +
+                   ", \"mean\": " + jsonNumber(s.mean) +
+                   ", \"min\": " + jsonNumber(s.min) +
+                   ", \"max\": " + jsonNumber(s.max) +
+                   ", \"stddev\": " + jsonNumber(s.stddev);
+        } else {
+            out += "\"value\": " + jsonNumber(s.value);
+        }
+        out += "}";
+    }
+    out += "\n" + indent + "]";
+    return out;
 }
 
 /** Print a horizontal rule sized for our tables. */

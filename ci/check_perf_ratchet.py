@@ -12,6 +12,11 @@ variant. Absolute numbers differ across machines and shape sizes, so
 the ratchet compares *speedups* (a machine-relative ratio), not
 requests/sec, and allows 10 % slack for run-to-run noise.
 
+When the fresh JSON carries a ``telemetry_overhead`` object (the
+traced re-run of a shape divided by its untraced run), each ratio is
+additionally gated at ``TELEMETRY_BUDGET`` — telemetry must stay
+within 5 % of telemetry-off throughput.
+
 Usage:
     ci/check_perf_ratchet.py NEW_JSON [COMMITTED_JSON]
 
@@ -22,11 +27,15 @@ import json
 import sys
 
 RATCHET = 0.9  # tolerate 10% noise; anything below is a regression
+TELEMETRY_BUDGET = 1.05  # traced run may cost at most 5% extra time
 
 
-def load_speedups(path):
+def load_doc(path):
     with open(path) as fh:
-        doc = json.load(fh)
+        return json.load(fh)
+
+
+def load_speedups(doc, path):
     speedups = doc.get("speedup")
     if not isinstance(speedups, dict) or not speedups:
         raise SystemExit(f"{path}: no 'speedup' object — malformed bench JSON")
@@ -40,8 +49,9 @@ def main(argv):
     new_path = argv[1]
     committed_path = argv[2] if len(argv) == 3 else "BENCH_cluster_path.json"
 
-    new = load_speedups(new_path)
-    committed = load_speedups(committed_path)
+    new_doc = load_doc(new_path)
+    new = load_speedups(new_doc, new_path)
+    committed = load_speedups(load_doc(committed_path), committed_path)
 
     failed = False
     for shape, baseline in sorted(committed.items()):
@@ -58,6 +68,17 @@ def main(argv):
         )
         if current < floor:
             failed = True
+
+    overhead = new_doc.get("telemetry_overhead")
+    if isinstance(overhead, dict):
+        for shape, ratio in sorted(overhead.items()):
+            verdict = "ok" if ratio <= TELEMETRY_BUDGET else "RATCHET FAIL"
+            print(
+                f"{verdict} telemetry overhead on {shape}: {ratio:.3f}x "
+                f"(budget {TELEMETRY_BUDGET:.2f}x)"
+            )
+            if ratio > TELEMETRY_BUDGET:
+                failed = True
 
     if failed:
         print(

@@ -13,6 +13,8 @@
 #define PASCAL_EXAMPLES_EXAMPLE_CLI_HH
 
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -79,6 +81,62 @@ configFor(const PolicyChoice& policy, int instances)
     cfg.predictor.type = policy.predictor;
     cfg.numInstances = instances;
     return cfg;
+}
+
+/** Telemetry flags shared by the example mains. */
+struct TelemetryOptions
+{
+    std::string traceOut;        //!< "" = Perfetto tracing off.
+    bool streamingMetrics = false;
+
+    /** Enable the selected telemetry on @p cfg. */
+    void
+    apply(cluster::SystemConfig& cfg) const
+    {
+        if (!traceOut.empty())
+            cfg.telemetry.traceEnabled = true;
+        if (streamingMetrics)
+            cfg.telemetry.streamingMetrics = true;
+    }
+};
+
+/**
+ * Strip `--trace-out <path>` and `--streaming-metrics` out of argv
+ * (compacting argc/argv in place), so each main's positional parsing
+ * stays untouched. Every example gains the two flags for free:
+ * tracing writes a ui.perfetto.dev-loadable timeline, streaming mode
+ * swaps per-request metric rows for bounded-memory sketches.
+ */
+inline TelemetryOptions
+stripTelemetryFlags(int& argc, char** argv)
+{
+    TelemetryOptions opts;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace-out") == 0) {
+            if (i + 1 >= argc)
+                fatal("--trace-out needs a path argument");
+            opts.traceOut = argv[++i];
+        } else if (std::strcmp(argv[i], "--streaming-metrics") == 0) {
+            opts.streamingMetrics = true;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    return opts;
+}
+
+/** Write one run's Perfetto trace JSON to @p path. */
+inline void
+writeTraceFile(const std::string& path, const std::string& trace_json)
+{
+    if (trace_json.empty())
+        fatal("no trace recorded — was telemetry.traceEnabled set?");
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '" + path + "' for writing");
+    out << trace_json;
 }
 
 /** Parse a whole-string integer; fatal() on garbage or tails. */

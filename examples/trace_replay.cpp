@@ -7,7 +7,8 @@
  * Usage:
  *   trace_replay [<trace.csv> <out_metrics.csv>]
  *                [fcfs|rr|pascal|srpt|pascal-spec|all] [instances]
- *                [--json <path>]
+ *                [--json <path>] [--trace-out <path>]
+ *                [--streaming-metrics]
  *
  * Every replay goes through SweepRunner. A single policy (the
  * default: pascal) writes exactly <out_metrics.csv>; with `all`, the
@@ -19,6 +20,12 @@
  * trend files. With no positional arguments, a demonstration trace is
  * generated, written to a temp file, and swept across all policies,
  * so the example is runnable out of the box.
+ *
+ * `--trace-out <path>` records a Perfetto timeline per policy
+ * (`<path>.<policy>` when sweeping — drop it on ui.perfetto.dev);
+ * `--streaming-metrics` swaps per-request rows for bounded-memory
+ * sketches, so the per-request CSVs come out empty but the summary
+ * aggregates still populate (the long-soak configuration).
  */
 
 #include <cstdio>
@@ -155,6 +162,8 @@ main(int argc, char** argv)
     int instances = 8;
 
     try {
+        auto telemetry = examples::stripTelemetryFlags(argc, argv);
+
         // Split --json off first; the rest stays positional for
         // backward compatibility.
         std::vector<const char*> positional;
@@ -201,9 +210,9 @@ main(int argc, char** argv)
             runner.trace(trace_index).size();
 
         for (const auto& policy : policies) {
-            runner.add({policy.name,
-                        examples::configFor(policy, instances),
-                        trace_index, 0});
+            auto cfg = examples::configFor(policy, instances);
+            telemetry.apply(cfg);
+            runner.add({policy.name, cfg, trace_index, 0});
         }
 
         const bool sweeping = policies.size() > 1;
@@ -230,6 +239,17 @@ main(int argc, char** argv)
             writeSummaryJson(json_path, trace_path, instances,
                              sweep.outcomes);
             std::printf("summary JSON -> %s\n", json_path.c_str());
+        }
+
+        if (!telemetry.traceOut.empty()) {
+            for (const auto& outcome : sweep.outcomes) {
+                const std::string path =
+                    sweeping ? telemetry.traceOut + "." + outcome.label
+                             : telemetry.traceOut;
+                examples::writeTraceFile(path,
+                                         outcome.result.traceJson);
+                std::printf("Perfetto trace -> %s\n", path.c_str());
+            }
         }
 
         if (sweeping) {

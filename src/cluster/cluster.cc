@@ -48,6 +48,19 @@ Cluster::Cluster(sim::Simulator& sim, const SystemConfig& cfg)
     forceViewRebuild = cfg.forceViewRebuild ||
                        std::getenv("PASCAL_FORCE_VIEW") != nullptr;
 
+    if (cfg.telemetry.traceEnabled) {
+        trace =
+            std::make_unique<obs::TraceSink>(cfg.telemetry.traceCapacity);
+        trace->setReasonTable(core::planDeclineNames(),
+                              core::numPlanDeclineNames());
+    }
+    if (cfg.telemetry.streamingMetrics) {
+        // Streaming implies recycling: the sketch is what makes
+        // retiring a chunk lossless for the aggregate report.
+        chunkRecycling = true;
+        streaming = std::make_unique<obs::StreamingMetrics>();
+    }
+
     instances.reserve(cfg.numInstances);
     ingress.reserve(cfg.numInstances);
     view.resize(cfg.numInstances);
@@ -69,6 +82,33 @@ Cluster::Cluster(sim::Simulator& sim, const SystemConfig& cfg)
             sim, cfg.hardware.effFabricBandwidth(),
             "fabric-ingress-" + std::to_string(i)));
     }
+
+    // Stat registry: cluster-level rollups first, then one subtree
+    // per instance. Registration order is dump order, so the dump is
+    // deterministic by construction.
+    registry.counter("cluster.view.refreshes", &viewRefreshes);
+    registry.counter("cluster.view.builds", &viewBuilds);
+    registry.counter("cluster.migrations", [this] {
+        return static_cast<std::uint64_t>(migrations);
+    });
+    registry.counter("cluster.recycled_chunks", [this] {
+        return static_cast<std::uint64_t>(requests.numRecycledChunks());
+    });
+    registry.counter("cluster.plan.builds",
+                     [this] { return totalPlanBuilds(); });
+    registry.counter("cluster.plan.repairs",
+                     [this] { return totalPlanRepairs(); });
+    registry.counter("cluster.plan.full_walks",
+                     [this] { return totalFullWalks(); });
+    registry.counter("cluster.slo.rekeys",
+                     [this] { return totalSloHeapRekeys(); });
+    for (InstanceId i = 0; i < cfg.numInstances; ++i) {
+        instances[static_cast<std::size_t>(i)]->registerStats(
+            registry, "instance." + std::to_string(i));
+        if (trace)
+            instances[static_cast<std::size_t>(i)]->setTraceSink(
+                trace.get());
+    }
 }
 
 void
@@ -82,6 +122,7 @@ Cluster::submitTrace(const workload::Trace& trace)
         static_cast<std::int32_t>(requests.numChunks() - 1);
     chunkLive.push_back(chunk.size());
     retiredMetrics.emplace_back();
+    chunkRetired.push_back(0);
     // Consecutive same-timestamp requests become one burst event:
     // their placements and admissions drain back-to-back and the
     // instances' deferred plan boundaries coalesce to a single build
@@ -105,11 +146,23 @@ Cluster::submitTrace(const workload::Trace& trace)
 void
 Cluster::refreshSnapshot(InstanceId id, Time now)
 {
+    const bool was_ok =
+        view[static_cast<std::size_t>(id)].answeringSloOk;
     view[static_cast<std::size_t>(id)] =
         instances[static_cast<std::size_t>(id)]->snapshot(
             now, &sloRiskAt[static_cast<std::size_t>(id)]);
     viewDirtyFlags[static_cast<std::size_t>(id)] = 0;
     ++viewRefreshes;
+    if (trace != nullptr && viewPrimed &&
+        view[static_cast<std::size_t>(id)].answeringSloOk != was_ok) {
+        // The paper's t_i verdict flipped for this instance — the
+        // signal the adaptive placement override keys off.
+        trace->instant(obs::TraceCat::Slo,
+                       view[static_cast<std::size_t>(id)].answeringSloOk
+                           ? obs::TraceName::SloOk
+                           : obs::TraceName::SloViolated,
+                       id, now);
+    }
 }
 
 const core::ClusterView&
@@ -223,10 +276,18 @@ Cluster::retireChunk(std::size_t idx)
     // emission, so the scored rows are exactly what collectMetrics
     // would produce at teardown.
     std::vector<workload::Request>& chunk = requests.chunk(idx);
-    std::vector<qoe::RequestMetrics>& out = retiredMetrics[idx];
-    out.reserve(chunk.size());
-    for (auto& req : chunk)
-        out.push_back(qoe::computeRequestMetrics(req, cfg.slo));
+    if (streaming != nullptr) {
+        // Streaming mode: fold each scored row into the sketches and
+        // store nothing — this is what bounds soak-run memory.
+        for (auto& req : chunk)
+            streaming->fold(qoe::computeRequestMetrics(req, cfg.slo));
+    } else {
+        std::vector<qoe::RequestMetrics>& out = retiredMetrics[idx];
+        out.reserve(chunk.size());
+        for (auto& req : chunk)
+            out.push_back(qoe::computeRequestMetrics(req, cfg.slo));
+    }
+    chunkRetired[idx] = 1;
     requests.recycleChunk(idx);
 }
 
@@ -239,6 +300,13 @@ Cluster::onPhaseTransition(workload::Request* req, InstanceId from)
         panic("placement returned invalid instance " +
               std::to_string(target));
 
+    if (trace != nullptr) {
+        trace->instant(obs::TraceCat::Phase,
+                       target == from ? obs::TraceName::PhaseStay
+                                      : obs::TraceName::PhaseMigrate,
+                       from, sim.now(), obs::TraceArg::Request,
+                       static_cast<std::int64_t>(req->id()));
+    }
     if (target == from) {
         // Stay home: the intra-instance scheduler requeues the request
         // into its answering-phase (low-priority) machinery.
@@ -258,10 +326,24 @@ Cluster::migrate(workload::Request* req, InstanceId from, InstanceId to)
     req->resetQuantum();
     ++migrations;
 
+    if (trace != nullptr) {
+        // Async span on the target's track: begin at detach, end when
+        // the KV lands over the fabric ingress link.
+        trace->asyncBegin(obs::TraceCat::Migration,
+                          obs::TraceName::KvTransfer, to, start,
+                          static_cast<std::uint64_t>(req->id()),
+                          obs::TraceArg::Tokens,
+                          static_cast<std::int64_t>(req->kvTokens()));
+    }
     Bytes bytes = perf.kvBytes(req->kvTokens());
     ingress[to]->submit(bytes, [this, req, to, start]() {
         req->kvTransferLatencies.push_back(sim.now() - start);
         ++req->migrationCount;
+        if (trace != nullptr) {
+            trace->asyncEnd(obs::TraceCat::Migration,
+                            obs::TraceName::KvTransfer, to, sim.now(),
+                            static_cast<std::uint64_t>(req->id()));
+        }
         instances[to]->landMigration(req);
     });
 
@@ -363,6 +445,32 @@ Cluster::totalSloHeapRekeys() const
     for (const auto& inst : instances)
         n += inst->numSloHeapRekeys();
     return n;
+}
+
+std::shared_ptr<const obs::StreamingMetrics>
+Cluster::finalStreamingMetrics() const
+{
+    if (streaming == nullptr)
+        return nullptr;
+    // Copy the running sketch, then fold every chunk that has not
+    // retired — its rows were never folded. Same settle-then-score
+    // walk as collectMetrics, so both modes cover the identical
+    // population.
+    auto snap = std::make_shared<obs::StreamingMetrics>(*streaming);
+    Time now = sim.now();
+    for (std::size_t c = 0; c < requests.numChunks(); ++c) {
+        if (chunkRetired[c] != 0)
+            continue;
+        for (auto& req : requests.chunk(c)) {
+            if (!req.finished() &&
+                req.exec != workload::ExecState::Unassigned &&
+                req.exec != workload::ExecState::Done) {
+                req.settleAccrual(now);
+            }
+            snap->fold(qoe::computeRequestMetrics(req, cfg.slo));
+        }
+    }
+    return snap;
 }
 
 std::vector<double>

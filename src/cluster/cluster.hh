@@ -19,6 +19,7 @@
 #include "src/cluster/instance.hh"
 #include "src/cluster/system_config.hh"
 #include "src/core/placement.hh"
+#include "src/obs/streaming_metrics.hh"
 #include "src/predict/predictor.hh"
 #include "src/qoe/metrics.hh"
 #include "src/sim/simulator.hh"
@@ -131,6 +132,44 @@ class Cluster
     /** Sum of SLO-heap re-key operations across instances. */
     std::uint64_t totalSloHeapRekeys() const;
 
+    /** @name Observability (src/obs/) */
+    /** @{ */
+
+    /** The gem5-style stat registry: every engine/plan/view/KV
+     *  counter under a hierarchical dotted name. Always built (it is
+     *  non-owning pointers over counters that exist anyway). */
+    const obs::StatRegistry& statRegistry() const { return registry; }
+
+    /** Snapshot every registered stat (registration order). */
+    obs::StatDump dumpStats() const { return registry.dump(); }
+
+    /** The trace sink, or nullptr when cfg.telemetry.traceEnabled is
+     *  off. */
+    obs::TraceSink* traceSink() { return trace.get(); }
+    const obs::TraceSink* traceSink() const { return trace.get(); }
+
+    /** Chrome trace-event JSON of the recorded ring ("" when tracing
+     *  is off). */
+    std::string traceJson() const
+    {
+        return trace ? trace->writeJson() : std::string();
+    }
+
+    /** Streaming-sketch mode active (implies chunk recycling). */
+    bool streamingEnabled() const { return streaming != nullptr; }
+
+    /**
+     * Streaming mode's end-of-run rollup: a copy of the running
+     * sketch with every still-unretired request folded in (settling
+     * lazily accrued phase time exactly like collectMetrics), so it
+     * covers the same population collectMetrics would score. nullptr
+     * when streaming is off.
+     */
+    std::shared_ptr<const obs::StreamingMetrics>
+    finalStreamingMetrics() const;
+
+    /** @} */
+
   private:
     /** Route @p n same-timestamp arrivals via Placement::placeNew
      *  (Algorithm 1). Each member's decision sees the previous
@@ -189,8 +228,20 @@ class Cluster
     bool chunkRecycling = false;
     std::vector<std::size_t> chunkLive; //!< Unfinished per chunk.
     /** Scored rows of retired chunks, in chunk order (so
-     *  collectMetrics output is order-identical with recycling). */
+     *  collectMetrics output is order-identical with recycling).
+     *  Streaming mode leaves these empty — rows fold into the sketch
+     *  at retire time instead of being stored. */
     std::vector<std::vector<qoe::RequestMetrics>> retiredMetrics;
+    /** Chunks already retired (streaming mode leaves retiredMetrics
+     *  empty, so emptiness cannot mark retirement). */
+    std::vector<std::uint8_t> chunkRetired;
+    /** @} */
+
+    /** @name Observability state */
+    /** @{ */
+    obs::StatRegistry registry;
+    std::unique_ptr<obs::TraceSink> trace;  //!< Null unless tracing.
+    std::unique_ptr<obs::StreamingMetrics> streaming; //!< Null unless on.
     /** @} */
 
     /** @name Incremental cluster view state */

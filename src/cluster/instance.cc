@@ -84,6 +84,11 @@ Instance::admit(Request* req)
     // moment they are admitted.
     sloHeapFix(req);
     sloNoteExact(req);
+    if (trace != nullptr) {
+        trace->instant(obs::TraceCat::Admission, obs::TraceName::Admit,
+                       instanceId, sim.now(), obs::TraceArg::Request,
+                       static_cast<std::int64_t>(req->id()));
+    }
 }
 
 void
@@ -188,6 +193,11 @@ Instance::startIteration()
     bool reused = sched->reusePlan(inflight, kvPool);
     if (reused) {
         ++planReuses;
+        if (trace != nullptr) {
+            trace->instant(obs::TraceCat::Plan,
+                           obs::TraceName::PlanReuse, instanceId,
+                           sim.now());
+        }
     } else if (sched->repairPlan(inflight, kvPool)) {
         // O(delta) middle path: verbatim reuse declined but the dirty
         // set was small and benign, so the previous plan was patched
@@ -196,9 +206,25 @@ Instance::startIteration()
         // seeing every boundary) and as a repair.
         ++planBuilds;
         ++planRepairs;
+        if (trace != nullptr) {
+            // The reason arg answers "why not verbatim reuse".
+            trace->instant(obs::TraceCat::Plan,
+                           obs::TraceName::PlanRepair, instanceId,
+                           sim.now(), obs::TraceArg::Reason,
+                           static_cast<std::int64_t>(
+                               sched->lastReuseDecline()));
+        }
     } else {
         sched->buildPlan(kvPool, inflight);
         ++planBuilds;
+        if (trace != nullptr) {
+            // The reason arg answers "why not the O(delta) repair".
+            trace->instant(obs::TraceCat::Plan,
+                           obs::TraceName::PlanFullWalk, instanceId,
+                           sim.now(), obs::TraceArg::Reason,
+                           static_cast<std::int64_t>(
+                               sched->lastRepairDecline()));
+        }
     }
     // Plan construction itself can mutate monitor-visible state
     // (PASCAL applies demotions at the plan boundary), so the
@@ -223,6 +249,12 @@ Instance::startIteration()
         Time done = pcie.submit(perf.kvBytes(r->kvTokens()), nullptr);
         swaps_done = std::max(swaps_done, done);
         ++swapOuts;
+        if (trace != nullptr) {
+            trace->instant(obs::TraceCat::Eviction,
+                           obs::TraceName::Evict, instanceId, t0,
+                           obs::TraceArg::Request,
+                           static_cast<std::int64_t>(r->id()));
+        }
     }
     for (auto* r : plan.swapIn) {
         r->stampAccrual(t0, BucketKind::Executed);
@@ -300,6 +332,14 @@ Instance::startIteration()
 
     Time step_end = std::max(swaps_done, t0 + latency);
     ++iterations;
+    if (batchDist != nullptr)
+        batchDist->add(static_cast<double>(plan.decode.size()));
+    if (trace != nullptr) {
+        trace->complete(obs::TraceCat::Iteration,
+                        obs::TraceName::Iteration, instanceId, t0,
+                        step_end - t0, obs::TraceArg::Batch,
+                        static_cast<std::int64_t>(plan.decode.size()));
+    }
     sim.at(step_end, [this, t0] { completeIteration(t0); });
 }
 
@@ -754,6 +794,45 @@ Instance::snapshot(Time now, Time* slo_risk_at) const
             static_cast<TokenCount>(std::llround(growth));
     }
     return snap;
+}
+
+void
+Instance::registerStats(obs::StatRegistry& reg,
+                        const std::string& prefix)
+{
+    reg.counter(prefix + ".engine.iterations", &iterations);
+    reg.counter(prefix + ".engine.decode_tokens", &decodeTokens);
+    reg.counter(prefix + ".engine.prefills", &prefills);
+    reg.counter(prefix + ".engine.swap_outs", &swapOuts);
+    reg.counter(prefix + ".engine.swap_ins", &swapIns);
+    reg.counter(prefix + ".plan.reuses", &planReuses);
+    reg.counter(prefix + ".plan.builds", &planBuilds);
+    reg.counter(prefix + ".plan.repairs", &planRepairs);
+    reg.counter(prefix + ".plan.full_walks",
+                [this] { return planBuilds - planRepairs; });
+    reg.counter(prefix + ".slo.rekeys", &sloRekeys);
+    reg.counter(prefix + ".queue.compactions", [this] {
+        return sched->numEvictQueueCompactions();
+    });
+    reg.gauge(prefix + ".kv.gpu_capacity", [this] {
+        return static_cast<double>(kvPool.gpuCapacity());
+    });
+    reg.gauge(prefix + ".kv.gpu_free", [this] {
+        return static_cast<double>(kvPool.gpuFree());
+    });
+    reg.gauge(prefix + ".kv.peak_gpu_used", [this] {
+        return static_cast<double>(kvPool.peakGpuUsed());
+    });
+    reg.gauge(prefix + ".kv.footprint_tokens", [this] {
+        return static_cast<double>(kvPool.totalFootprintTokens());
+    });
+    reg.gauge(prefix + ".kv.gpu_resident", [this] {
+        return static_cast<double>(kvPool.numGpuResident());
+    });
+    reg.gauge(prefix + ".kv.table_size", [this] {
+        return static_cast<double>(kvPool.tableSize());
+    });
+    batchDist = &reg.distribution(prefix + ".batch.decode_size");
 }
 
 } // namespace cluster

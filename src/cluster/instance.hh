@@ -24,6 +24,8 @@
 #include "src/model/kv_pool.hh"
 #include "src/model/link.hh"
 #include "src/model/perf_model.hh"
+#include "src/obs/stat_registry.hh"
+#include "src/obs/trace_sink.hh"
 #include "src/predict/predictor.hh"
 #include "src/qoe/slo.hh"
 #include "src/sim/simulator.hh"
@@ -205,6 +207,24 @@ class Instance
     /** @} */
 
     /**
+     * Wire the cluster's trace sink (not owned; nullptr disables).
+     * Recording is observation-only: it never touches scheduler or
+     * engine state, so traced and untraced runs are byte-identical.
+     */
+    void setTraceSink(obs::TraceSink* sink) { trace = sink; }
+
+    /**
+     * Register this instance's counters/gauges on @p reg under
+     * @p prefix (e.g. "instance.3"): engine counters, plan fast-path
+     * counters, SLO-heap rekeys, eviction-queue compactions, KV pool
+     * gauges, and the decode batch-size distribution. Registration is
+     * non-owning pointers/functors — the hot path keeps its bare
+     * member increments.
+     */
+    void registerStats(obs::StatRegistry& reg,
+                       const std::string& prefix);
+
+    /**
      * Debug hook (cluster view audits): recompute every hosted
      * request's SLO-heap membership and key from scratch and panic on
      * any divergence from the maintained heap, then cross-check the
@@ -303,6 +323,13 @@ class Instance
     std::uint64_t planReuses = 0;
     std::uint64_t planBuilds = 0;
     std::uint64_t planRepairs = 0;
+
+    /** Cluster-owned trace sink (may be null — the common case). */
+    obs::TraceSink* trace = nullptr;
+
+    /** Registry-owned decode batch-size distribution (null until
+     *  registerStats wires it). */
+    stats::Summary* batchDist = nullptr;
 
     /** @name Min-deadline SLO heap (see answeringSloOk)
      *

@@ -40,8 +40,17 @@ RunContext::result() const
     }
 
     RunResult result;
-    result.perRequest = clusterPtr->collectMetrics();
-    result.aggregate = qoe::aggregateMetrics(result.perRequest);
+    if (clusterPtr->streamingEnabled()) {
+        // Streaming mode: no per-request rows exist to collect — the
+        // aggregate comes from the bounded-memory sketches.
+        result.streaming = clusterPtr->finalStreamingMetrics();
+        result.aggregate = result.streaming->aggregate();
+    } else {
+        result.perRequest = clusterPtr->collectMetrics();
+        result.aggregate = qoe::aggregateMetrics(result.perRequest);
+    }
+    result.statsDump = clusterPtr->dumpStats();
+    result.traceJson = clusterPtr->traceJson();
     result.peakGpuKvTokens = clusterPtr->maxPeakGpuKv();
     result.kvCapacityTokens = clusterPtr->kvCapacityTokens();
     result.totalIterations = clusterPtr->totalIterations();

@@ -12,10 +12,13 @@
 #define PASCAL_CLUSTER_SERVING_SYSTEM_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/cluster/system_config.hh"
+#include "src/obs/stat_registry.hh"
+#include "src/obs/streaming_metrics.hh"
 #include "src/qoe/metrics.hh"
 #include "src/workload/trace.hh"
 
@@ -55,6 +58,25 @@ struct RunResult
     std::string schedulerName;
     std::string placementName;
     std::string predictorName; //!< "none" when running reactively.
+
+    /** @name Telemetry (src/obs/; excluded from byte-identity
+     *  comparisons like the fast-path diagnostics above) */
+    /** @{ */
+
+    /** Generic snapshot of the cluster's stat registry (always
+     *  populated — the registry is costless). */
+    obs::StatDump statsDump;
+
+    /** Chrome/Perfetto trace-event JSON; "" unless
+     *  SystemConfig::telemetry.traceEnabled. */
+    std::string traceJson;
+
+    /** Streaming-sketch rollup; non-null only in streaming mode
+     *  (where perRequest stays empty and aggregate comes from the
+     *  sketches). */
+    std::shared_ptr<const obs::StreamingMetrics> streaming;
+
+    /** @} */
 };
 
 /** Facade running complete serving simulations. */

@@ -46,6 +46,9 @@ SystemConfig::validate() const
     }
     if (maxSimTime <= 0.0)
         fatal("SystemConfig: maxSimTime must be positive");
+    if (telemetry.traceEnabled && telemetry.traceCapacity == 0)
+        fatal("SystemConfig: telemetry.traceCapacity must be positive "
+              "when tracing is enabled");
 
     // Speculative policies cannot run blind; reject the inconsistent
     // combination here so it fails at configuration time, not when the

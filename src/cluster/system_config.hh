@@ -14,6 +14,7 @@
 #include "src/core/placement.hh"
 #include "src/model/hardware_config.hh"
 #include "src/model/model_config.hh"
+#include "src/obs/telemetry_config.hh"
 #include "src/predict/predictor.hh"
 #include "src/qoe/slo.hh"
 
@@ -95,6 +96,15 @@ struct SystemConfig
      * field.
      */
     bool forceViewRebuild = false;
+
+    /**
+     * Observability knobs (src/obs/): Perfetto trace recording and
+     * streaming metric sketches. The stat registry is always built —
+     * it is non-owning pointers over counters the cluster maintains
+     * anyway. Tracing and streaming are opt-in; neither perturbs
+     * scheduling (RunResults are byte-identical either way).
+     */
+    obs::TelemetryConfig telemetry;
 
     void validate() const;
 

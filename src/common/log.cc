@@ -10,6 +10,7 @@ namespace pascal
 namespace
 {
 std::atomic<bool> quietFlag{false};
+std::atomic<std::uint64_t> emittedWarnings{0};
 } // namespace
 
 void
@@ -36,14 +37,46 @@ inform(const std::string& msg)
 void
 warn(const std::string& msg)
 {
-    if (!quietFlag.load(std::memory_order_relaxed))
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (quietFlag.load(std::memory_order_relaxed))
+        return;
+    emittedWarnings.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+warnOnce(WarnSite& site, const std::string& msg)
+{
+    if (site.count.fetch_add(1, std::memory_order_relaxed) == 0)
+        warn(msg);
+}
+
+void
+warnEvery(WarnSite& site, std::uint64_t n, const std::string& msg)
+{
+    if (n == 0)
+        n = 1;
+    std::uint64_t hit =
+        site.count.fetch_add(1, std::memory_order_relaxed);
+    if (hit % n != 0)
+        return;
+    if (hit == 0) {
+        warn(msg);
+    } else {
+        warn(msg + " (" + std::to_string(n - 1) +
+             " similar suppressed)");
+    }
 }
 
 void
 setQuiet(bool quiet)
 {
     quietFlag.store(quiet, std::memory_order_relaxed);
+}
+
+std::uint64_t
+warningsEmitted()
+{
+    return emittedWarnings.load(std::memory_order_relaxed);
 }
 
 } // namespace pascal

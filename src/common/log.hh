@@ -11,6 +11,8 @@
 #ifndef PASCAL_COMMON_LOG_HH
 #define PASCAL_COMMON_LOG_HH
 
+#include <atomic>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -47,8 +49,48 @@ void inform(const std::string& msg);
 /** Print a warning line to stderr. */
 void warn(const std::string& msg);
 
+/**
+ * Per-site state for rate-limited warnings. Declare one (usually
+ * function-local static, or a member for per-object sites) and pass
+ * it to warnOnce()/warnEvery(); the counter is atomic so hot paths
+ * shared across SweepRunner workers stay safe.
+ */
+class WarnSite
+{
+  public:
+    /** Times the site was hit (emitted or suppressed). */
+    std::uint64_t calls() const
+    {
+        return count.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend void warnOnce(WarnSite&, const std::string&);
+    friend void warnEvery(WarnSite&, std::uint64_t,
+                          const std::string&);
+    std::atomic<std::uint64_t> count{0};
+};
+
+/** Warn on the first hit of @p site only; later hits are counted but
+ *  silent, so a million-request run cannot flood stderr. Respects
+ *  setQuiet() like warn(). */
+void warnOnce(WarnSite& site, const std::string& msg);
+
+/**
+ * Warn on every @p n-th hit of @p site (the 1st, n+1st, ...),
+ * annotating repeats with how many similar warnings were suppressed
+ * since the last emission. @p n == 0 behaves like 1 (every hit).
+ * Respects setQuiet() like warn().
+ */
+void warnEvery(WarnSite& site, std::uint64_t n, const std::string& msg);
+
 /** Globally silence inform()/warn() output (used by benches/tests). */
 void setQuiet(bool quiet);
+
+/** Warning lines actually printed (suppressed ones — rate-limited or
+ *  quieted — do not count). Lets tests assert suppression without
+ *  capturing stderr. */
+std::uint64_t warningsEmitted();
 
 } // namespace pascal
 

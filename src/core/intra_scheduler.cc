@@ -12,6 +12,43 @@ namespace pascal
 namespace core
 {
 
+namespace
+{
+const char* const kPlanDeclineNames[] = {
+    "none",           // PlanDecline::None
+    "inactive",       // PlanDecline::Inactive
+    "state_changed",  // PlanDecline::StateChanged
+    "predictor_moved",// PlanDecline::PredictorMoved
+    "veto",           // PlanDecline::Veto
+    "budget",         // PlanDecline::Budget
+    "waiting_work",   // PlanDecline::WaitingWork
+    "swapped_members",// PlanDecline::SwappedMembers
+    "bailed",         // PlanDecline::Bailed
+    "batch_limit",    // PlanDecline::BatchLimit
+};
+} // namespace
+
+const char*
+planDeclineName(PlanDecline d)
+{
+    const auto idx = static_cast<std::size_t>(d);
+    if (idx >= numPlanDeclineNames())
+        return "unknown";
+    return kPlanDeclineNames[idx];
+}
+
+const char* const*
+planDeclineNames()
+{
+    return kPlanDeclineNames;
+}
+
+std::size_t
+numPlanDeclineNames()
+{
+    return sizeof(kPlanDeclineNames) / sizeof(kPlanDeclineNames[0]);
+}
+
 void
 SchedLimits::validate() const
 {
@@ -401,15 +438,26 @@ bool
 IntraScheduler::reusePlan(const IterationPlan& prev,
                           const model::KvPool& pool)
 {
-    if (!incremental || !lastPlanReusable || stateChanged)
+    reuseDecline = PlanDecline::None;
+    if (!incremental) {
+        reuseDecline = PlanDecline::Inactive;
         return false;
-    if (predictorMoved())
+    }
+    if (!lastPlanReusable || stateChanged) {
+        reuseDecline = PlanDecline::StateChanged;
         return false;
+    }
+    if (predictorMoved()) {
+        reuseDecline = PlanDecline::PredictorMoved;
+        return false;
+    }
     // Deferred plan-time decisions (demotion) fire exactly here, the
     // same point recompute mode applies them, so their timing relative
     // to snapshots and callbacks is identical in both modes.
-    if (reuseVeto())
+    if (reuseVeto()) {
+        reuseDecline = PlanDecline::Veto;
         return false;
+    }
     if (lastHighBudgetCap < 0) {
         // Uncapped walk: one integer comparison decides the whole
         // budget revalidation (see blockOffsetHist).
@@ -422,9 +470,11 @@ IntraScheduler::reusePlan(const IterationPlan& prev,
         if (pool.gpuUsed() +
                 block * static_cast<TokenCount>(crossings) >
             pool.gpuCapacity()) {
+            reuseDecline = PlanDecline::Budget;
             return false;
         }
     } else if (!revalidate(prev, pool)) {
+        reuseDecline = PlanDecline::Budget;
         return false;
     }
     ++planAge;
@@ -466,8 +516,12 @@ bool
 IntraScheduler::repairPlan(IterationPlan& prev,
                            const model::KvPool& pool)
 {
-    if (!repairActive())
+    repairDecline = PlanDecline::None;
+    if (!repairActive()) {
+        repairDecline = repairBail ? PlanDecline::Bailed
+                                   : PlanDecline::Inactive;
         return false;
+    }
     // Deferred plan-time decisions (PASCAL's demotions) fire at every
     // boundary in recompute mode; reusePlan's veto only reaches them
     // when its earlier gates pass, so re-run them here. Idempotent,
@@ -476,6 +530,13 @@ IntraScheduler::repairPlan(IterationPlan& prev,
     if (repairBail || predictorMoved() || !waitingPrompts.empty() ||
         waitingPrewarmCount > 0 ||
         pool.numTracked() != pool.numGpuResident()) {
+        repairDecline =
+            repairBail ? PlanDecline::Bailed
+            : predictorMoved()
+                ? PlanDecline::PredictorMoved
+                : (!waitingPrompts.empty() || waitingPrewarmCount > 0)
+                      ? PlanDecline::WaitingWork
+                      : PlanDecline::SwappedMembers;
         return false;
     }
 
@@ -550,6 +611,11 @@ IntraScheduler::repairPlan(IterationPlan& prev,
         pool.gpuUsed() + static_cast<TokenCount>(block) *
                              static_cast<TokenCount>(crossings) >
             pool.gpuCapacity()) {
+        repairDecline =
+            (batch <= 0 ||
+             batch > static_cast<std::int64_t>(limits.maxBatchSize))
+                ? PlanDecline::BatchLimit
+                : PlanDecline::Budget;
         // Bail to the full walk: clear the transient splice marks —
         // every flagged member is in the patch (erases are flagless)
         // — and let buildPlan rebuild the moot half-patched

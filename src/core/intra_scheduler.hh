@@ -123,6 +123,36 @@ maybeSkipWaiting(It& it)
         it.skipWaiting();
 }
 
+/**
+ * Why a plan-boundary fast path declined, recorded per boundary for
+ * the telemetry layer: reusePlan()'s decline reason annotates the
+ * repair trace event, repairPlan()'s annotates the full-walk event.
+ * Purely observational — never consulted by scheduling decisions.
+ */
+enum class PlanDecline : std::uint8_t
+{
+    None = 0,       //!< The path ran (or was never consulted).
+    Inactive,       //!< Fast path off (recompute mode / force twin).
+    StateChanged,   //!< Membership/key/queue change since last build.
+    PredictorMoved, //!< Predictor version bumped under spec keys.
+    Veto,           //!< Policy veto (PASCAL's deferred demotion).
+    Budget,         //!< Paged-memory revalidation failed.
+    WaitingWork,    //!< Waiting admission candidates exist.
+    SwappedMembers, //!< Tracked KV not fully GPU-resident.
+    Bailed,         //!< Lineage bailed (unjournalable mutation).
+    BatchLimit,     //!< Patched batch empty or over maxBatchSize.
+};
+
+/** Stable lowercase name of @p d (trace "reason" arg rendering). */
+const char* planDeclineName(PlanDecline d);
+
+/** The full name table, index == enum value (TraceSink reason
+ *  table). */
+const char* const* planDeclineNames();
+
+/** Number of entries in planDeclineNames(). */
+std::size_t numPlanDeclineNames();
+
 /** Interface + shared mechanics of intra-instance scheduling. */
 class IntraScheduler
 {
@@ -282,6 +312,20 @@ class IntraScheduler
     const std::vector<workload::Request*>& keptResidents() const
     {
         return lastKeptResidents;
+    }
+
+    /** Why the last reusePlan() call declined (None if it reused). */
+    PlanDecline lastReuseDecline() const { return reuseDecline; }
+
+    /** Why the last repairPlan() call declined (None if it
+     *  repaired). */
+    PlanDecline lastRepairDecline() const { return repairDecline; }
+
+    /** Lazy-erase compactions of the maintained eviction-order
+     *  structure (stat registry: <instance>.queue.compactions). */
+    std::uint64_t numEvictQueueCompactions() const
+    {
+        return evictOrder.numCompactions();
     }
 
   protected:
@@ -846,6 +890,10 @@ class IntraScheduler
     std::vector<const workload::Request*> eraseScratch;
 
     /** @} */
+
+    /** Telemetry: why the last reuse / repair attempt declined. */
+    PlanDecline reuseDecline = PlanDecline::None;
+    PlanDecline repairDecline = PlanDecline::None;
 
     /** Any membership/key/queue change since the last buildPlan. */
     bool stateChanged = true;

@@ -1,0 +1,134 @@
+#include "src/obs/stat_registry.hh"
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace obs
+{
+
+const char*
+statKindName(StatKind kind)
+{
+    switch (kind) {
+      case StatKind::Counter:
+        return "counter";
+      case StatKind::Gauge:
+        return "gauge";
+      case StatKind::Distribution:
+        return "distribution";
+    }
+    return "unknown";
+}
+
+bool
+operator==(const StatValue& a, const StatValue& b)
+{
+    return a.name == b.name && a.kind == b.kind && a.value == b.value &&
+           a.count == b.count && a.mean == b.mean && a.min == b.min &&
+           a.max == b.max && a.stddev == b.stddev;
+}
+
+const StatValue*
+findStat(const StatDump& dump, const std::string& name)
+{
+    for (const auto& row : dump) {
+        if (row.name == name)
+            return &row;
+    }
+    return nullptr;
+}
+
+void
+StatRegistry::checkName(const std::string& name) const
+{
+    if (name.empty())
+        panic("StatRegistry: empty stat name");
+    for (const auto& e : entries) {
+        if (e.name == name)
+            panic("StatRegistry: duplicate stat name '" + name + "'");
+    }
+}
+
+void
+StatRegistry::counter(std::string name, const std::uint64_t* ptr)
+{
+    checkName(name);
+    if (ptr == nullptr)
+        panic("StatRegistry: null counter pointer for '" + name + "'");
+    Entry e;
+    e.name = std::move(name);
+    e.kind = StatKind::Counter;
+    e.counterPtr = ptr;
+    entries.push_back(std::move(e));
+}
+
+void
+StatRegistry::counter(std::string name,
+                      std::function<std::uint64_t()> poll)
+{
+    checkName(name);
+    Entry e;
+    e.name = std::move(name);
+    e.kind = StatKind::Counter;
+    e.counterPoll = std::move(poll);
+    entries.push_back(std::move(e));
+}
+
+void
+StatRegistry::gauge(std::string name, std::function<double()> poll)
+{
+    checkName(name);
+    Entry e;
+    e.name = std::move(name);
+    e.kind = StatKind::Gauge;
+    e.gaugePoll = std::move(poll);
+    entries.push_back(std::move(e));
+}
+
+stats::Summary&
+StatRegistry::distribution(std::string name)
+{
+    checkName(name);
+    ownedDists.emplace_back();
+    Entry e;
+    e.name = std::move(name);
+    e.kind = StatKind::Distribution;
+    e.dist = &ownedDists.back();
+    entries.push_back(std::move(e));
+    return ownedDists.back();
+}
+
+StatDump
+StatRegistry::dump() const
+{
+    StatDump out;
+    out.reserve(entries.size());
+    for (const auto& e : entries) {
+        StatValue v;
+        v.name = e.name;
+        v.kind = e.kind;
+        switch (e.kind) {
+          case StatKind::Counter:
+            v.value = static_cast<double>(
+                e.counterPtr != nullptr ? *e.counterPtr
+                                        : e.counterPoll());
+            break;
+          case StatKind::Gauge:
+            v.value = e.gaugePoll();
+            break;
+          case StatKind::Distribution:
+            v.count = e.dist->count();
+            v.mean = e.dist->mean();
+            v.min = v.count ? e.dist->min() : 0.0;
+            v.max = v.count ? e.dist->max() : 0.0;
+            v.stddev = e.dist->stddev();
+            break;
+        }
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+} // namespace obs
+} // namespace pascal

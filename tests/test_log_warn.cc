@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Rate-limited warning tests: warnOnce emits exactly once per site,
+ * warnEvery every n-th hit with a suppression note, and setQuiet
+ * silences both (asserted via the warningsEmitted counter, so no
+ * stderr capture is needed).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/log.hh"
+
+namespace
+{
+
+using namespace pascal;
+
+TEST(LogWarn, WarnOnceEmitsExactlyOncePerSite)
+{
+    setQuiet(false);
+    WarnSite site;
+    const std::uint64_t before = warningsEmitted();
+    for (int i = 0; i < 5; ++i)
+        warnOnce(site, "only once");
+    EXPECT_EQ(warningsEmitted() - before, 1u);
+    EXPECT_EQ(site.calls(), 5u);
+
+    // A distinct site is its own rate limit.
+    WarnSite other;
+    warnOnce(other, "other site");
+    EXPECT_EQ(warningsEmitted() - before, 2u);
+    setQuiet(false);
+}
+
+TEST(LogWarn, WarnEveryEmitsOnTheNthHits)
+{
+    setQuiet(false);
+    WarnSite site;
+    const std::uint64_t before = warningsEmitted();
+    // Hits 0..6 with n = 3: emissions at hits 0, 3, 6.
+    for (int i = 0; i < 7; ++i)
+        warnEvery(site, 3, "every third");
+    EXPECT_EQ(warningsEmitted() - before, 3u);
+    EXPECT_EQ(site.calls(), 7u);
+}
+
+TEST(LogWarn, WarnEveryZeroBehavesLikeEveryHit)
+{
+    setQuiet(false);
+    WarnSite site;
+    const std::uint64_t before = warningsEmitted();
+    for (int i = 0; i < 4; ++i)
+        warnEvery(site, 0, "n=0");
+    EXPECT_EQ(warningsEmitted() - before, 4u);
+}
+
+TEST(LogWarn, SetQuietSuppressesRateLimitedWarnings)
+{
+    setQuiet(true);
+    WarnSite once_site;
+    WarnSite every_site;
+    const std::uint64_t before = warningsEmitted();
+    warn("plain");
+    warnOnce(once_site, "quiet once");
+    for (int i = 0; i < 6; ++i)
+        warnEvery(every_site, 2, "quiet every");
+    // Nothing may have printed; the sites still count their hits.
+    EXPECT_EQ(warningsEmitted(), before);
+    EXPECT_EQ(once_site.calls(), 1u);
+    EXPECT_EQ(every_site.calls(), 6u);
+    setQuiet(false);
+}
+
+} // namespace
