@@ -6,7 +6,9 @@ Loads a trace file (e.g. the nightly ``bench_cluster_path
 
   * every event carries the required fields for its phase and its
     category is one of the known vocabulary (iteration/plan/admission/
-    eviction/phase/migration/slo);
+    eviction/phase/migration/slo, plus fault/retry from the fault
+    layer's crash/drain/straggler/link-failure and backoff-retry
+    events);
   * timestamps are monotonically non-decreasing per (pid, tid) track
     in file order (recording order is simulation order, so any
     decrease means the ring or the export reordered events);
@@ -37,6 +39,8 @@ KNOWN_CATEGORIES = {
     "phase",
     "migration",
     "slo",
+    "fault",
+    "retry",
 }
 
 KNOWN_PHASES = {"i", "X", "b", "e"}

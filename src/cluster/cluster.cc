@@ -83,6 +83,27 @@ Cluster::Cluster(sim::Simulator& sim, const SystemConfig& cfg)
             "fabric-ingress-" + std::to_string(i)));
     }
 
+    if (cfg.fault.enabled) {
+        // The injector only generates the seeded fault schedule; every
+        // reaction routes back through the cluster's failover path.
+        fault::FaultHooks hooks;
+        hooks.onCrash = [this](InstanceId id) { crashInstance(id); };
+        hooks.onRecover = [this](InstanceId id) { recoverInstance(id); };
+        hooks.onDrainStart = [this](InstanceId id) { startDrain(id); };
+        hooks.onDrainDeadline = [this](InstanceId id) {
+            finishDrain(id);
+        };
+        hooks.onStragglerStart = [this](InstanceId id, double f) {
+            setStraggler(id, f);
+        };
+        hooks.onStragglerEnd = [this](InstanceId id) {
+            setStraggler(id, 1.0);
+        };
+        hooks.anyWorkLeft = [this] { return liveRequests > 0; };
+        injector = std::make_unique<fault::FaultInjector>(
+            sim, cfg.fault, cfg.numInstances, std::move(hooks));
+    }
+
     // Stat registry: cluster-level rollups first, then one subtree
     // per instance. Registration order is dump order, so the dump is
     // deterministic by construction.
@@ -102,6 +123,18 @@ Cluster::Cluster(sim::Simulator& sim, const SystemConfig& cfg)
                      [this] { return totalFullWalks(); });
     registry.counter("cluster.slo.rekeys",
                      [this] { return totalSloHeapRekeys(); });
+    // Failure accounting: registered unconditionally (all-zero rows
+    // when the fault layer is off) so dashboards and the bench JSON
+    // emitters see a stable schema.
+    registry.counter("cluster.fault.crashes", &numCrashesCount);
+    registry.counter("cluster.fault.drains", &numDrainsCount);
+    registry.counter("cluster.fault.straggler_windows",
+                     &stragglerWindowsCount);
+    registry.counter("cluster.fault.link_failures", &linkFailuresCount);
+    registry.counter("cluster.fault.retries", &retriesCount);
+    registry.counter("cluster.fault.shed", &shedCount);
+    registry.counter("cluster.fault.terminal_failures",
+                     &terminalFailuresCount);
     for (InstanceId i = 0; i < cfg.numInstances; ++i) {
         instances[static_cast<std::size_t>(i)]->registerStats(
             registry, "instance." + std::to_string(i));
@@ -123,6 +156,7 @@ Cluster::submitTrace(const workload::Trace& trace)
     chunkLive.push_back(chunk.size());
     retiredMetrics.emplace_back();
     chunkRetired.push_back(0);
+    liveRequests += static_cast<std::int64_t>(chunk.size());
     // Consecutive same-timestamp requests become one burst event:
     // their placements and admissions drain back-to-back and the
     // instances' deferred plan boundaries coalesce to a single build
@@ -243,10 +277,30 @@ Cluster::onArrivals(workload::Request* first, std::uint32_t n)
     // placed). What coalesces is the plan boundary — every kick() of
     // the burst dedupes into one deferred build per touched
     // instance.
+    // Admission control under capacity loss: while the surviving
+    // fraction of the fleet sits below the shed floor, new work is
+    // rejected outright (terminal failure with an accounted reason)
+    // so the survivors degrade to reduced goodput instead of
+    // drowning in a backlog they can never clear.
+    if (injector != nullptr && cfg.fault.shedFloor > 0.0 &&
+        upFraction() < cfg.fault.shedFloor) {
+        for (std::uint32_t i = 0; i < n; ++i) {
+            ++shedCount;
+            failTerminally(first + i, workload::FailReason::Shed);
+        }
+        return;
+    }
     for (std::uint32_t i = 0; i < n; ++i) {
         workload::Request* req = first + i;
         const core::ClusterView& v = buildView(sim.now());
         InstanceId target = placement->placeNew(v, *req);
+        if (target == kNoInstance && injector != nullptr) {
+            // Whole fleet down/draining: hold the arrival in the
+            // retry loop until capacity returns or its budget runs
+            // out.
+            requeueRequest(req);
+            continue;
+        }
         if (target < 0 ||
             target >= static_cast<InstanceId>(instances.size()))
             panic("placement returned invalid instance " +
@@ -261,6 +315,7 @@ Cluster::onArrivals(workload::Request* first, std::uint32_t n)
 void
 Cluster::noteRequestFinished(workload::Request* req)
 {
+    --liveRequests;
     if (req->arenaChunk < 0)
         return;
     auto idx = static_cast<std::size_t>(req->arenaChunk);
@@ -336,7 +391,36 @@ Cluster::migrate(workload::Request* req, InstanceId from, InstanceId to)
                           static_cast<std::int64_t>(req->kvTokens()));
     }
     Bytes bytes = perf.kvBytes(req->kvTokens());
-    ingress[to]->submit(bytes, [this, req, to, start]() {
+    std::uint64_t nonce =
+        injector != nullptr ? ++req->transferNonce : 0;
+    ingress[to]->submit(bytes, [this, req, to, start, nonce]() {
+        if (injector != nullptr) {
+            // The transfer can abort in flight: a seeded link failure
+            // (stateless per-attempt draw) or the destination crashing
+            // while the KV was on the wire. Either way the request is
+            // re-queued through the backoff retry path.
+            bool link_fail = injector->drawLinkFailure(req->id(), nonce);
+            if (link_fail || !instances[to]->isUp()) {
+                if (link_fail) {
+                    ++linkFailuresCount;
+                    if (trace != nullptr) {
+                        trace->instant(
+                            obs::TraceCat::Fault,
+                            obs::TraceName::LinkFail, to, sim.now(),
+                            obs::TraceArg::Request,
+                            static_cast<std::int64_t>(req->id()));
+                    }
+                }
+                if (trace != nullptr) {
+                    trace->asyncEnd(
+                        obs::TraceCat::Migration,
+                        obs::TraceName::KvTransfer, to, sim.now(),
+                        static_cast<std::uint64_t>(req->id()));
+                }
+                requeueRequest(req);
+                return;
+            }
+        }
         req->kvTransferLatencies.push_back(sim.now() - start);
         ++req->migrationCount;
         if (trace != nullptr) {
@@ -349,6 +433,224 @@ Cluster::migrate(workload::Request* req, InstanceId from, InstanceId to)
 
     // The source may have capacity freed up; let it reschedule.
     instances[from]->kick();
+}
+
+double
+Cluster::upFraction() const
+{
+    int up = 0;
+    for (const auto& inst : instances) {
+        if (inst->isUp() && !inst->isDraining())
+            ++up;
+    }
+    return static_cast<double>(up) /
+           static_cast<double>(instances.size());
+}
+
+void
+Cluster::crashInstance(InstanceId id)
+{
+    ++numCrashesCount;
+    crashImpl(id, obs::TraceName::Crash);
+}
+
+void
+Cluster::recoverInstance(InstanceId id)
+{
+    if (injector == nullptr)
+        panic("fault API needs cfg.fault.enabled");
+    if (trace != nullptr) {
+        trace->instant(obs::TraceCat::Fault, obs::TraceName::Recover,
+                       id, sim.now());
+    }
+    instances[static_cast<std::size_t>(id)]->recover();
+}
+
+void
+Cluster::startDrain(InstanceId id)
+{
+    if (injector == nullptr)
+        panic("fault API needs cfg.fault.enabled");
+    ++numDrainsCount;
+    if (trace != nullptr) {
+        trace->instant(obs::TraceCat::Fault, obs::TraceName::DrainStart,
+                       id, sim.now());
+    }
+    instances[static_cast<std::size_t>(id)]->setDraining(true);
+}
+
+void
+Cluster::finishDrain(InstanceId id)
+{
+    crashImpl(id, obs::TraceName::DrainDeadline);
+}
+
+void
+Cluster::setStraggler(InstanceId id, double factor)
+{
+    if (injector == nullptr)
+        panic("fault API needs cfg.fault.enabled");
+    if (factor != 1.0) {
+        ++stragglerWindowsCount;
+        if (trace != nullptr) {
+            trace->instant(obs::TraceCat::Fault,
+                           obs::TraceName::StragglerStart, id,
+                           sim.now(), obs::TraceArg::Value,
+                           static_cast<std::int64_t>(
+                               std::llround(factor * 1000.0)));
+        }
+    } else if (trace != nullptr) {
+        trace->instant(obs::TraceCat::Fault,
+                       obs::TraceName::StragglerEnd, id, sim.now());
+    }
+    instances[static_cast<std::size_t>(id)]->setPerfScale(factor);
+}
+
+void
+Cluster::crashImpl(InstanceId id, obs::TraceName why)
+{
+    if (injector == nullptr)
+        panic("fault API needs cfg.fault.enabled");
+    if (trace != nullptr)
+        trace->instant(obs::TraceCat::Fault, why, id, sim.now());
+    orphanScratch.clear();
+    instances[static_cast<std::size_t>(id)]->crash(
+        cfg.fault.preserveCpuKv, orphanScratch);
+    // Re-queue in detach order (deterministic: the hosted walk is
+    // insertion-ordered), so same-seed replays place the orphans
+    // identically.
+    for (auto* r : orphanScratch)
+        requeueRequest(r);
+    orphanScratch.clear();
+}
+
+void
+Cluster::requeueRequest(workload::Request* req)
+{
+    using workload::ExecState;
+    if (req->exec == ExecState::Unassigned) {
+        // Never admitted anywhere (placement found no live target):
+        // start the wait clock; the interval books Blocked on the
+        // eventual admit.
+        req->resetAccrual(sim.now(), workload::BucketKind::Blocked);
+        req->exec = ExecState::InTransit;
+    }
+    if (req->retryCount >= cfg.fault.retryBudget) {
+        failTerminally(req, workload::FailReason::RetryBudget);
+        return;
+    }
+    ++req->retryCount;
+    ++retriesCount;
+    if (trace != nullptr) {
+        trace->instant(obs::TraceCat::Retry,
+                       obs::TraceName::RetryScheduled,
+                       obs::TraceSink::kClusterTrack, sim.now(),
+                       obs::TraceArg::Request,
+                       static_cast<std::int64_t>(req->id()));
+    }
+    Time delay = fault::backoffDelay(cfg.fault, req->retryCount - 1);
+    sim.after(delay, [this, req] { retryPlace(req); });
+}
+
+void
+Cluster::retryPlace(workload::Request* req)
+{
+    const core::ClusterView& v = buildView(sim.now());
+    InstanceId target = placement->placeNew(v, *req);
+    if (target == kNoInstance) {
+        // Still no live capacity; the retry budget bounds this loop.
+        requeueRequest(req);
+        return;
+    }
+    if (target < 0 ||
+        target >= static_cast<InstanceId>(instances.size()))
+        panic("placement returned invalid instance " +
+              std::to_string(target));
+    if (!req->prefillDone) {
+        // No KV to restore: plain re-admission (prefill will rerun).
+        instances[static_cast<std::size_t>(target)]->addRequest(req);
+        return;
+    }
+    restoreKv(req, target);
+}
+
+void
+Cluster::restoreKv(workload::Request* req, InstanceId to)
+{
+    // Failover restore: the request's KV is re-materialized over the
+    // target's fabric ingress link, as if fetched from a host-side
+    // replica — the same transfer model as a migration, including the
+    // possibility of a link failure or the target crashing mid-
+    // transfer.
+    Time start = sim.now();
+    if (trace != nullptr) {
+        trace->asyncBegin(obs::TraceCat::Migration,
+                          obs::TraceName::KvTransfer, to, start,
+                          static_cast<std::uint64_t>(req->id()),
+                          obs::TraceArg::Tokens,
+                          static_cast<std::int64_t>(req->kvTokens()));
+    }
+    Bytes bytes = perf.kvBytes(req->kvTokens());
+    std::uint64_t nonce = ++req->transferNonce;
+    ingress[static_cast<std::size_t>(to)]->submit(
+        bytes, [this, req, to, start, nonce]() {
+            bool link_fail =
+                injector->drawLinkFailure(req->id(), nonce);
+            if (link_fail || !instances[to]->isUp()) {
+                if (link_fail) {
+                    ++linkFailuresCount;
+                    if (trace != nullptr) {
+                        trace->instant(
+                            obs::TraceCat::Fault,
+                            obs::TraceName::LinkFail, to, sim.now(),
+                            obs::TraceArg::Request,
+                            static_cast<std::int64_t>(req->id()));
+                    }
+                }
+                if (trace != nullptr) {
+                    trace->asyncEnd(
+                        obs::TraceCat::Migration,
+                        obs::TraceName::KvTransfer, to, sim.now(),
+                        static_cast<std::uint64_t>(req->id()));
+                }
+                requeueRequest(req);
+                return;
+            }
+            req->kvTransferLatencies.push_back(sim.now() - start);
+            if (trace != nullptr) {
+                trace->asyncEnd(obs::TraceCat::Migration,
+                                obs::TraceName::KvTransfer, to,
+                                sim.now(),
+                                static_cast<std::uint64_t>(req->id()));
+            }
+            instances[static_cast<std::size_t>(to)]->landMigration(req);
+        });
+}
+
+void
+Cluster::failTerminally(workload::Request* req,
+                        workload::FailReason reason)
+{
+    using workload::ExecState;
+    // Shed arrivals never started an accrual cursor; displaced
+    // requests settle their final wait interval before release.
+    if (req->exec == ExecState::InTransit)
+        req->settleAccrual(sim.now());
+    req->failReason = reason;
+    req->exec = ExecState::Done;
+    ++terminalFailuresCount;
+    if (trace != nullptr) {
+        trace->instant(obs::TraceCat::Retry,
+                       reason == workload::FailReason::Shed
+                           ? obs::TraceName::Shed
+                           : obs::TraceName::TerminalFail,
+                       obs::TraceSink::kClusterTrack, sim.now(),
+                       obs::TraceArg::Request,
+                       static_cast<std::int64_t>(req->id()));
+    }
+    // No predictor->observeCompletion: a failed request generated no
+    // terminal length signal to learn from.
+    noteRequestFinished(req);
 }
 
 std::vector<qoe::RequestMetrics>

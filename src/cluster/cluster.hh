@@ -19,6 +19,7 @@
 #include "src/cluster/instance.hh"
 #include "src/cluster/system_config.hh"
 #include "src/core/placement.hh"
+#include "src/fault/fault_injector.hh"
 #include "src/obs/streaming_metrics.hh"
 #include "src/predict/predictor.hh"
 #include "src/qoe/metrics.hh"
@@ -95,6 +96,65 @@ class Cluster
     }
 
     const SystemConfig& config() const { return cfg; }
+
+    /** @name Fault layer
+     *
+     * The failover path is driven by the seeded FaultInjector when
+     * cfg.fault.enabled, but the entry points are public so tests can
+     * script exact fault timings (enable the fault layer with all
+     * rates at zero and call these directly). On crash, hosted
+     * requests lose GPU KV (CPU-offloaded KV survives when
+     * cfg.fault.preserveCpuKv), get re-queued through placement under
+     * capped exponential backoff, and terminally fail with an
+     * accounted FailReason once the per-request retry budget is
+     * spent. Requires the fault layer (panics when cfg.fault.enabled
+     * is false — the migration abort checks would silently not run).
+     */
+    /** @{ */
+
+    /** Take an instance down now and run the failover path. */
+    void crashInstance(InstanceId id);
+
+    /** Bring a crashed/drained-out instance back up. */
+    void recoverInstance(InstanceId id);
+
+    /** Begin a planned decommission: placement routes away, the
+     *  engine keeps executing. */
+    void startDrain(InstanceId id);
+
+    /** Drain deadline: take the (draining) instance down like a
+     *  crash. */
+    void finishDrain(InstanceId id);
+
+    /** Apply a straggler latency multiplier (1.0 restores). */
+    void setStraggler(InstanceId id, double factor);
+
+    /** Per-instance fabric ingress link (tests observe in-flight
+     *  migrations/restores through its busy horizon). */
+    const model::Link& ingressLink(InstanceId id) const
+    {
+        return *ingress[static_cast<std::size_t>(id)];
+    }
+
+    /** @name Failure accounting */
+    /** @{ */
+    std::uint64_t numCrashes() const { return numCrashesCount; }
+    std::uint64_t numDrains() const { return numDrainsCount; }
+    std::uint64_t numStragglerWindows() const
+    {
+        return stragglerWindowsCount;
+    }
+    std::uint64_t numLinkFailures() const { return linkFailuresCount; }
+    std::uint64_t numRetries() const { return retriesCount; }
+    std::uint64_t numShed() const { return shedCount; }
+    /** All terminal failures (retry-budget exhaustion + shed). */
+    std::uint64_t numTerminalFailures() const
+    {
+        return terminalFailuresCount;
+    }
+    /** @} */
+
+    /** @} */
 
     /** The shared length predictor (nullptr when cfg.predictor is
      *  None). Exposed so harnesses can inspect what a run learned. */
@@ -192,6 +252,36 @@ class Cluster
     void migrate(workload::Request* req, InstanceId from,
                  InstanceId to);
 
+    /** @name Failover internals (fault layer) */
+    /** @{ */
+
+    /** Shared crash body: detach/preserve hosted work and re-queue
+     *  the orphans (@p why distinguishes crash vs drain deadline in
+     *  the trace). */
+    void crashImpl(InstanceId id, obs::TraceName why);
+
+    /** Schedule a backoff retry for a displaced request, or fail it
+     *  terminally once the budget is spent. */
+    void requeueRequest(workload::Request* req);
+
+    /** Backoff expired: place the request again; prefill-complete
+     *  requests re-materialize their KV over the target's ingress
+     *  link (as if restored from a replica) instead of recomputing
+     *  the prefill. */
+    void retryPlace(workload::Request* req);
+
+    /** Restore a prefill-complete request's KV onto @p to. */
+    void restoreKv(workload::Request* req, InstanceId to);
+
+    /** Account a terminal failure and release the request. */
+    void failTerminally(workload::Request* req,
+                        workload::FailReason reason);
+
+    /** Fraction of instances currently routable (up, not draining). */
+    double upFraction() const;
+
+    /** @} */
+
     /**
      * The placement algorithms' cluster view. The cluster keeps one
      * persistent core::ClusterView and refreshes only the snapshots
@@ -261,6 +351,30 @@ class Cluster
     /** @} */
 
     int migrations = 0;
+
+    /** @name Fault layer state */
+    /** @{ */
+
+    /** Seeded fault scheduler (null unless cfg.fault.enabled; the
+     *  null check also gates every failover branch on hot paths, so
+     *  fault-off runs take the exact pre-fault code). */
+    std::unique_ptr<fault::FaultInjector> injector;
+
+    /** Submitted-but-not-yet-finished requests (includes terminal
+     *  failures as finished); gates fault-chain re-arming. */
+    std::int64_t liveRequests = 0;
+
+    /** crashImpl scratch: requests displaced by one crash. */
+    std::vector<workload::Request*> orphanScratch;
+
+    std::uint64_t numCrashesCount = 0;
+    std::uint64_t numDrainsCount = 0;
+    std::uint64_t stragglerWindowsCount = 0;
+    std::uint64_t linkFailuresCount = 0;
+    std::uint64_t retriesCount = 0;
+    std::uint64_t shedCount = 0;
+    std::uint64_t terminalFailuresCount = 0;
+    /** @} */
 };
 
 } // namespace cluster

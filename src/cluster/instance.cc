@@ -73,12 +73,18 @@ Instance::Instance(InstanceId id, sim::Simulator& sim,
 void
 Instance::admit(Request* req)
 {
+    // A failover re-admission arrives InTransit with a live accrual
+    // cursor (the crash/retry wait since detach); settle it before
+    // switching to Blocked so the backoff interval stays booked.
+    // Fresh arrivals just reset the cursor.
+    if (req->exec == ExecState::InTransit)
+        req->stampAccrual(sim.now(), BucketKind::Blocked);
+    else
+        req->resetAccrual(sim.now(), BucketKind::Blocked);
     req->exec = ExecState::WaitingNew;
     req->home = instanceId;
     req->runEpoch = 0;
     req->kvSlot = model::kNoKvSlot;
-    // A queued arrival accrues Blocked until its prefill runs.
-    req->resetAccrual(sim.now(), BucketKind::Blocked);
     sched->add(req);
     // startInAnswering arrivals begin their TTFAT countdown the
     // moment they are admitted.
@@ -186,6 +192,9 @@ Instance::kick()
 void
 Instance::startIteration()
 {
+    // A down instance executes nothing; recover() kicks it back on.
+    if (!up)
+        return;
     // Steady-state fast path: when the scheduler observed no state
     // change since it built the in-flight plan (the dominant
     // decode-only regime), the previous plan is provably what a full
@@ -329,6 +338,8 @@ Instance::startIteration()
     // mode (the default vLLM-style planner clears decode otherwise).
     Time latency = perf.mixedStepLatency(
         prompt_tokens, static_cast<int>(plan.decode.size()), batch_kv);
+    // Straggler windows stretch compute; x1.0 is an exact no-op.
+    latency *= perfScale;
 
     Time step_end = std::max(swaps_done, t0 + latency);
     ++iterations;
@@ -340,7 +351,63 @@ Instance::startIteration()
                         step_end - t0, obs::TraceArg::Batch,
                         static_cast<std::int64_t>(plan.decode.size()));
     }
-    sim.at(step_end, [this, t0] { completeIteration(t0); });
+    // The completion event carries the crash generation it was
+    // scheduled under: a crash abandons the step by bumping the
+    // generation, turning the stale event into a no-op.
+    sim.at(step_end, [this, t0, gen = crashGen] {
+        if (gen == crashGen)
+            completeIteration(t0);
+    });
+}
+
+void
+Instance::crash(bool preserve_cpu_kv,
+                std::vector<Request*>& orphans)
+{
+    up = false;
+    draining = false;
+    ++crashGen; // Invalidate the in-flight step's completion event.
+    stepInFlight = false;
+    kickPending = false;
+    // detach() mutates the scheduler's hosted set; walk a copy. The
+    // hosted order is deterministic (insertion order via swap-pop
+    // vector), so the orphan list — and every retry placement made
+    // from it — replays byte-identically.
+    scratchHosted.assign(sched->hosted().begin(),
+                         sched->hosted().end());
+    for (auto* r : scratchHosted) {
+        if (preserve_cpu_kv && r->exec == ExecState::SwappedCpu) {
+            // Host-DRAM KV survives the GPU loss: the request stays
+            // hosted and resumes after recovery, accruing preempted
+            // time while the instance is down.
+            r->stampAccrual(sim.now(), BucketKind::Preempted);
+            continue;
+        }
+        detach(r);
+        orphans.push_back(r);
+    }
+    markViewDirty();
+}
+
+void
+Instance::recover()
+{
+    up = true;
+    markViewDirty();
+    kick();
+}
+
+void
+Instance::setDraining(bool on)
+{
+    draining = on;
+    markViewDirty();
+}
+
+void
+Instance::setPerfScale(double scale)
+{
+    perfScale = scale;
 }
 
 void
@@ -765,6 +832,7 @@ Instance::snapshot(Time now, Time* slo_risk_at) const
 {
     core::InstanceSnapshot snap;
     snap.id = instanceId;
+    snap.up = up && !draining;
     snap.answeringSloOk = answeringSloOk(now, slo_risk_at);
     snap.kvFootprintTokens = kvPool.totalFootprintTokens();
     snap.numReasoning = sched->numReasoning();

@@ -104,6 +104,41 @@ class Instance
     /** Remove a request that migrates away; releases its KV. */
     void detach(workload::Request* req);
 
+    /** @name Fault layer (driven by the Cluster's failover path) */
+    /** @{ */
+
+    /** Instance is up (serving). */
+    bool isUp() const { return up; }
+
+    /** Instance is draining toward a planned decommission. */
+    bool isDraining() const { return draining; }
+
+    /**
+     * Take the instance down. Every hosted request that holds GPU KV
+     * (or no KV yet) is detached and appended to @p orphans for the
+     * cluster's failover re-placement; when @p preserve_cpu_kv is set,
+     * CPU-offloaded requests keep their host-DRAM KV and stay hosted,
+     * resuming after recover(). The in-flight iteration (if any) is
+     * abandoned: its completion event is invalidated by a generation
+     * bump, and the partial step's wall time stays booked as executed
+     * (the GPU really did spend it).
+     */
+    void crash(bool preserve_cpu_kv,
+               std::vector<workload::Request*>& orphans);
+
+    /** Rejoin the fleet after MTTR; resumes any preserved work. */
+    void recover();
+
+    /** Enter/leave the draining state (placement routes away; the
+     *  engine keeps executing until the drain deadline). */
+    void setDraining(bool on);
+
+    /** Straggler window: multiply every iteration's latency by
+     *  @p scale (1.0 restores full speed). */
+    void setPerfScale(double scale);
+
+    /** @} */
+
     /**
      * A hosted request crossed the reasoning->answering boundary and
      * the placement decision keeps it here: requeue it into the
@@ -290,6 +325,27 @@ class Instance
     bool forceKick = false;
 
     bool stepInFlight = false;
+
+    /** Fault layer: false while crashed/drained-out (the engine idles
+     *  and placement routes away). */
+    bool up = true;
+
+    /** Fault layer: planned decommission in its grace window. */
+    bool draining = false;
+
+    /** Fault layer: straggler latency multiplier (1.0 = full speed;
+     *  multiplying by 1.0 is an exact IEEE no-op, so fault-off runs
+     *  are byte-identical). */
+    double perfScale = 1.0;
+
+    /** Bumped by crash() so the abandoned step's completion event
+     *  (which carries the generation it was scheduled under) becomes
+     *  a no-op instead of completing into post-crash state. */
+    std::uint64_t crashGen = 0;
+
+    /** crash() scratch: hosted-set copy walked while detach mutates
+     *  the live set. */
+    std::vector<workload::Request*> scratchHosted;
 
     /** A deferred plan-boundary event is already scheduled at the
      *  current timestamp (coalesced mode only). */

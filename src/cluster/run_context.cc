@@ -62,9 +62,23 @@ RunContext::result() const
     result.schedulerName = cfg.schedulerName();
     result.placementName = cfg.placementName();
     result.predictorName = cfg.predictorName();
+    result.numCrashes = clusterPtr->numCrashes();
+    result.numRetries = clusterPtr->numRetries();
+    result.numShed = clusterPtr->numShed();
+    result.numTerminalFailures = clusterPtr->numTerminalFailures();
+    result.goodputFraction =
+        result.aggregate.numRequests == 0
+            ? 1.0
+            : static_cast<double>(result.aggregate.numFinished) /
+                  static_cast<double>(result.aggregate.numRequests);
 
-    if (ranToHorizon && result.numUnfinished > 0) {
-        warn(std::to_string(result.numUnfinished) +
+    // Unfinished beyond the accounted terminal failures means the
+    // trace was infeasible or the horizon cut the run short; accounted
+    // failures are an expected fault-layer outcome, not a warning.
+    if (ranToHorizon &&
+        result.numUnfinished > result.numTerminalFailures) {
+        warn(std::to_string(result.numUnfinished -
+                            result.numTerminalFailures) +
              " requests did not finish (infeasible trace or horizon)");
     }
     return result;

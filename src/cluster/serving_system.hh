@@ -44,6 +44,19 @@ struct RunResult
     std::size_t numUnfinished = 0;
     int totalMigrations = 0;
 
+    /** @name Failure accounting (src/fault/; all zero — and goodput
+     *  1.0 with an empty trace — when the fault layer is off) */
+    /** @{ */
+    std::uint64_t numCrashes = 0;
+    std::uint64_t numRetries = 0;
+    std::uint64_t numShed = 0;
+    /** All terminal failures (retry-budget exhaustion + shed). */
+    std::uint64_t numTerminalFailures = 0;
+    /** Fraction of submitted requests that completed (finished all
+     *  tokens): numFinished / numRequests, 1.0 for an empty trace. */
+    double goodputFraction = 1.0;
+    /** @} */
+
     /** Plan boundaries satisfied by the O(delta) repair patch instead
      *  of a full O(material) walk (diagnostic; excluded from the
      *  byte-identity comparisons so force-recompute twins stay

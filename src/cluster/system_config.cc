@@ -23,6 +23,7 @@ SystemConfig::validate() const
     limits.validate();
     slo.validate();
     predictor.validate();
+    fault.validate();
     if (numInstances <= 0)
         fatal("SystemConfig: numInstances must be positive");
     if (gpuKvCapacityTokens < 0)

@@ -12,6 +12,7 @@
 
 #include "src/core/intra_scheduler.hh"
 #include "src/core/placement.hh"
+#include "src/fault/fault_config.hh"
 #include "src/model/hardware_config.hh"
 #include "src/model/model_config.hh"
 #include "src/obs/telemetry_config.hh"
@@ -105,6 +106,15 @@ struct SystemConfig
      * scheduling (RunResults are byte-identical either way).
      */
     obs::TelemetryConfig telemetry;
+
+    /**
+     * Fault-injection knobs (src/fault/): seeded crash/drain/
+     * straggler/link-failure schedules plus the failover policy
+     * (retry backoff, budget, CPU-KV preservation, shed floor).
+     * Disabled by default; a disabled fault layer leaves RunResults
+     * byte-identical to a build without it.
+     */
+    fault::FaultConfig fault;
 
     void validate() const;
 

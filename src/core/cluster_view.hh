@@ -22,6 +22,11 @@ struct InstanceSnapshot
 {
     InstanceId id = kNoInstance;
 
+    /** Routable: the instance is up and not draining. Placement skips
+     *  down/draining instances entirely (fault layer; always true
+     *  when fault injection is off). */
+    bool up = true;
+
     /** Paper t_i: every answering request on the instance is meeting
      *  its SLO according to the token pacer. */
     bool answeringSloOk = true;
@@ -57,7 +62,8 @@ struct InstanceSnapshot
 inline bool
 operator==(const InstanceSnapshot& a, const InstanceSnapshot& b)
 {
-    return a.id == b.id && a.answeringSloOk == b.answeringSloOk &&
+    return a.id == b.id && a.up == b.up &&
+           a.answeringSloOk == b.answeringSloOk &&
            a.kvFootprintTokens == b.kvFootprintTokens &&
            a.predictedKvFootprintTokens == b.predictedKvFootprintTokens &&
            a.numReasoning == b.numReasoning &&

@@ -53,15 +53,19 @@ PascalPlacement::placeNew(const ClusterView& view,
 
     // Algorithm 1: E <- {i | t_i}; if empty, E <- I; argmin m_i. The
     // predictive variant scores m_i as the footprint the instance is
-    // *heading toward*, not the one it has.
+    // *heading toward*, not the one it has. Down/draining instances
+    // are outside I entirely; with none up the caller gets
+    // kNoInstance and must retry or shed.
     bool predictive = mode == Variant::Predictive;
     bool any_slo_ok = false;
     for (const auto& snap : view)
-        any_slo_ok = any_slo_ok || snap.answeringSloOk;
+        any_slo_ok = any_slo_ok || (snap.up && snap.answeringSloOk);
 
     InstanceId best = kNoInstance;
     TokenCount best_kv = std::numeric_limits<TokenCount>::max();
     for (const auto& snap : view) {
+        if (!snap.up)
+            continue;
         if (any_slo_ok && !snap.answeringSloOk)
             continue;
         TokenCount kv = predictive ? snap.predictedKvFootprintTokens
@@ -85,14 +89,18 @@ PascalPlacement::placeTransition(const ClusterView& view,
         fatal("PascalPlacement: empty cluster");
 
     // Algorithm 2: E <- {i | t_i}; argmin r_i over E. If E is empty,
-    // fall back to argmin (r_i + a_i) over all instances.
+    // fall back to argmin (r_i + a_i) over all *up* instances; if the
+    // whole fleet is down, stay home (the request is already hosted
+    // there, and the crash path re-queues it anyway).
     bool any_slo_ok = false;
     for (const auto& snap : view)
-        any_slo_ok = any_slo_ok || snap.answeringSloOk;
+        any_slo_ok = any_slo_ok || (snap.up && snap.answeringSloOk);
 
     InstanceId best = kNoInstance;
     std::int64_t best_key = std::numeric_limits<std::int64_t>::max();
     for (const auto& snap : view) {
+        if (!snap.up)
+            continue;
         if (any_slo_ok && !snap.answeringSloOk)
             continue;
         std::int64_t key =
@@ -104,6 +112,8 @@ PascalPlacement::placeTransition(const ClusterView& view,
         }
     }
 
+    if (best == kNoInstance)
+        return home;
     if (best == home || mode == Variant::NonAdaptive)
         return best;
 
@@ -121,6 +131,8 @@ PascalPlacement::placeTransition(const ClusterView& view,
     }
     if (home_snap == nullptr || target_snap == nullptr)
         panic("PascalPlacement: home/target missing from cluster view");
+    if (!home_snap->up)
+        return best; // Never override back onto a down/draining home.
 
     bool home_sufficient =
         home_snap->gpuFreeTokens >= kAdaptiveHomeMarginTokens;

@@ -1,5 +1,7 @@
 #include "src/core/placement.hh"
 
+#include <limits>
+
 #include "src/common/log.hh"
 
 namespace pascal
@@ -15,9 +17,13 @@ BaselinePlacement::placeNew(const ClusterView& view,
     if (view.empty())
         fatal("BaselinePlacement: empty cluster");
 
-    InstanceId best = view.front().id;
-    TokenCount best_kv = view.front().kvFootprintTokens;
+    // Down/draining instances are unroutable; with every instance
+    // down the caller gets kNoInstance and must retry or shed.
+    InstanceId best = kNoInstance;
+    TokenCount best_kv = std::numeric_limits<TokenCount>::max();
     for (const auto& snap : view) {
+        if (!snap.up)
+            continue;
         if (snap.kvFootprintTokens < best_kv) {
             best_kv = snap.kvFootprintTokens;
             best = snap.id;

@@ -1,0 +1,61 @@
+#include "src/fault/fault_config.hh"
+
+#include <string>
+
+#include "src/common/log.hh"
+
+namespace pascal
+{
+namespace fault
+{
+
+void
+FaultConfig::validate() const
+{
+    auto nonNegative = [](double v, const char* name) {
+        if (!(v >= 0.0)) {
+            fatal(std::string("FaultConfig::") + name + " must be >= 0, got " +
+                  std::to_string(v));
+        }
+    };
+    nonNegative(crashRate, "crashRate");
+    nonNegative(decommissionRate, "decommissionRate");
+    nonNegative(stragglerRate, "stragglerRate");
+    nonNegative(drainGrace, "drainGrace");
+    nonNegative(stragglerDuration, "stragglerDuration");
+
+    if (!(mttr > 0.0)) {
+        fatal("FaultConfig::mttr must be > 0 seconds (a crashed instance "
+              "needs a finite recovery time), got " + std::to_string(mttr));
+    }
+    if (!(stragglerFactor >= 1.0)) {
+        fatal("FaultConfig::stragglerFactor must be >= 1 (a straggler "
+              "slows down, never speeds up), got " +
+              std::to_string(stragglerFactor));
+    }
+    if (!(linkFailureProb >= 0.0 && linkFailureProb <= 1.0)) {
+        fatal("FaultConfig::linkFailureProb must be a probability in "
+              "[0, 1], got " + std::to_string(linkFailureProb));
+    }
+    if (retryBudget < 0) {
+        fatal("FaultConfig::retryBudget must be >= 0 retries, got " +
+              std::to_string(retryBudget));
+    }
+    if (!(backoffBase > 0.0)) {
+        fatal("FaultConfig::backoffBase must be > 0 seconds, got " +
+              std::to_string(backoffBase));
+    }
+    if (!(backoffCap >= backoffBase)) {
+        fatal("FaultConfig backoff ordering violated: backoffCap (" +
+              std::to_string(backoffCap) + ") must be >= backoffBase (" +
+              std::to_string(backoffBase) + ")");
+    }
+    if (!(shedFloor >= 0.0 && shedFloor <= 1.0)) {
+        fatal("FaultConfig::shedFloor must be a fraction in [0, 1] of "
+              "instances that must be up to admit work, got " +
+              std::to_string(shedFloor));
+    }
+}
+
+} // namespace fault
+} // namespace pascal

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * User-facing knobs for the deterministic fault-injection layer.
+ *
+ * FaultConfig is a plain value struct carried inside SystemConfig.
+ * With `enabled == false` (the default) the cluster builds no
+ * FaultInjector and every fault code path is dormant, so runs are
+ * byte-identical to a build without the fault layer at all.
+ *
+ * All rates are Poisson rates in events per simulated second; all
+ * durations are simulated seconds. Faults are scheduled as ordinary
+ * events on the slotted event queue from per-instance seeded RNG
+ * chains, so a {config, trace, seed} triple replays byte-identically.
+ */
+
+#ifndef PASCAL_FAULT_FAULT_CONFIG_HH
+#define PASCAL_FAULT_FAULT_CONFIG_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/types.hh"
+
+namespace pascal
+{
+namespace fault
+{
+
+/** Knobs for the seeded fault injector and the failover policy. */
+struct FaultConfig
+{
+    /** Master switch; false leaves the whole layer dormant. */
+    bool enabled = false;
+
+    /** Seed for the per-instance fault chains (mixed with the
+     *  instance id, independent of the workload seed). */
+    std::uint64_t seed = 1;
+
+    /** Poisson rate of instance crashes, per instance (events/sec). */
+    double crashRate = 0.0;
+
+    /** Mean time to recovery: a crashed (or drained-out) instance
+     *  rejoins this many seconds after going down. */
+    Time mttr = 30.0;
+
+    /** Poisson rate of planned decommissions, per instance. */
+    double decommissionRate = 0.0;
+
+    /** Grace window of a planned decommission: the instance stops
+     *  taking new placements immediately but keeps executing for this
+     *  long before going down. */
+    Time drainGrace = 60.0;
+
+    /** Poisson rate of transient straggler windows, per instance. */
+    double stragglerRate = 0.0;
+
+    /** Latency multiplier applied to every iteration while a
+     *  straggler window is active (>= 1). */
+    double stragglerFactor = 4.0;
+
+    /** Length of one straggler window in seconds. */
+    Time stragglerDuration = 20.0;
+
+    /** Probability that any single KV transfer (migration or
+     *  post-crash restore) fails in flight and must be retried. */
+    double linkFailureProb = 0.0;
+
+    /** Per-request budget of placement retries after crashes, link
+     *  failures, or no-capacity outcomes; once exhausted the request
+     *  terminally fails with FailReason::RetryBudget. */
+    int retryBudget = 3;
+
+    /** First retry delay in seconds; doubles per attempt. */
+    Time backoffBase = 0.5;
+
+    /** Ceiling on the exponential backoff delay. */
+    Time backoffCap = 8.0;
+
+    /** When true, CPU-offloaded KV survives an instance crash: swapped
+     *  requests stay hosted and resume after recovery. GPU-resident KV
+     *  is always lost. */
+    bool preserveCpuKv = false;
+
+    /** Admission floor: while the fraction of up instances is below
+     *  this, newly arriving requests are shed (terminally failed with
+     *  FailReason::Shed) instead of queued. 0 disables shedding. */
+    double shedFloor = 0.0;
+
+    /** Throw FatalError on out-of-range values (see fault_config.cc). */
+    void validate() const;
+};
+
+/**
+ * Capped exponential backoff delay for the given retry.
+ *
+ * @param cfg Fault knobs (backoffBase / backoffCap).
+ * @param retry_index Zero-based index of the retry being scheduled.
+ * @return min(cap, base * 2^retry_index), computed with std::ldexp so
+ *         the doubling is exact in binary floating point.
+ */
+inline Time
+backoffDelay(const FaultConfig& cfg, int retry_index)
+{
+    int exp = std::min(retry_index, 60);
+    return std::min(cfg.backoffCap, std::ldexp(cfg.backoffBase, exp));
+}
+
+} // namespace fault
+} // namespace pascal
+
+#endif // PASCAL_FAULT_FAULT_CONFIG_HH

@@ -1,0 +1,131 @@
+#include "src/fault/fault_injector.hh"
+
+#include <utility>
+
+namespace pascal
+{
+namespace fault
+{
+
+FaultInjector::FaultInjector(sim::Simulator& sim_, const FaultConfig& cfg_,
+                             int num_instances, FaultHooks hooks_)
+    : sim(sim_), cfg(cfg_), hooks(std::move(hooks_))
+{
+    nodes.resize(static_cast<std::size_t>(num_instances));
+    for (int id = 0; id < num_instances; ++id) {
+        auto& node = nodes[static_cast<std::size_t>(id)];
+        // Independent streams per instance and per chain, decoupled
+        // from the workload seed by fixed salts.
+        std::uint64_t base = splitmix64(cfg.seed) ^
+            splitmix64(static_cast<std::uint64_t>(id) * 0x51ed2701ULL + 1);
+        node.lifecycleRng = Rng(splitmix64(base ^ 0xfaa17c4a5ae31b01ULL));
+        node.stragglerRng = Rng(splitmix64(base ^ 0x517a667e97a911dbULL));
+        if (cfg.crashRate + cfg.decommissionRate > 0.0)
+            armLifecycle(id);
+        if (cfg.stragglerRate > 0.0)
+            armStraggler(id);
+    }
+}
+
+bool
+FaultInjector::drawLinkFailure(RequestId req, std::uint64_t nonce) const
+{
+    if (cfg.linkFailureProb <= 0.0)
+        return false;
+    std::uint64_t h = splitmix64(splitmix64(cfg.seed ^ 0x6c62272e07bb0142ULL) ^
+        splitmix64(static_cast<std::uint64_t>(req)) ^ (nonce * 0x100000001b3ULL));
+    // Top 53 bits -> uniform double in [0, 1).
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return u < cfg.linkFailureProb;
+}
+
+void
+FaultInjector::armLifecycle(InstanceId id)
+{
+    auto& node = nodes[static_cast<std::size_t>(id)];
+    double rate = cfg.crashRate + cfg.decommissionRate;
+    Time delay = node.lifecycleRng.exponential(rate);
+    sim.after(delay, [this, id] { fireLifecycle(id); });
+}
+
+void
+FaultInjector::armStraggler(InstanceId id)
+{
+    auto& node = nodes[static_cast<std::size_t>(id)];
+    Time delay = node.stragglerRng.exponential(cfg.stragglerRate);
+    sim.after(delay, [this, id] { fireStraggler(id); });
+}
+
+void
+FaultInjector::fireLifecycle(InstanceId id)
+{
+    if (!hooks.anyWorkLeft())
+        return; // Workload drained; let the run end.
+    auto& node = nodes[static_cast<std::size_t>(id)];
+    if (node.down || node.draining) {
+        // Already failing; skip this occurrence and re-arm.
+        armLifecycle(id);
+        return;
+    }
+    double rate = cfg.crashRate + cfg.decommissionRate;
+    bool crash = node.lifecycleRng.bernoulli(cfg.crashRate / rate);
+    if (crash) {
+        node.down = true;
+        hooks.onCrash(id);
+        sim.after(cfg.mttr, [this, id] { fireRecover(id); });
+    } else {
+        node.draining = true;
+        hooks.onDrainStart(id);
+        sim.after(cfg.drainGrace, [this, id] { fireDrainDeadline(id); });
+    }
+}
+
+void
+FaultInjector::fireDrainDeadline(InstanceId id)
+{
+    auto& node = nodes[static_cast<std::size_t>(id)];
+    node.draining = false;
+    node.down = true;
+    hooks.onDrainDeadline(id);
+    sim.after(cfg.mttr, [this, id] { fireRecover(id); });
+}
+
+void
+FaultInjector::fireRecover(InstanceId id)
+{
+    auto& node = nodes[static_cast<std::size_t>(id)];
+    node.down = false;
+    hooks.onRecover(id);
+    if (hooks.anyWorkLeft())
+        armLifecycle(id);
+}
+
+void
+FaultInjector::fireStraggler(InstanceId id)
+{
+    if (!hooks.anyWorkLeft())
+        return;
+    auto& node = nodes[static_cast<std::size_t>(id)];
+    if (node.down || node.straggling) {
+        armStraggler(id);
+        return;
+    }
+    node.straggling = true;
+    hooks.onStragglerStart(id, cfg.stragglerFactor);
+    sim.after(cfg.stragglerDuration, [this, id] { fireStragglerEnd(id); });
+}
+
+void
+FaultInjector::fireStragglerEnd(InstanceId id)
+{
+    auto& node = nodes[static_cast<std::size_t>(id)];
+    node.straggling = false;
+    // A crash during the window already reset the scale; the hook is
+    // idempotent, so always restore.
+    hooks.onStragglerEnd(id);
+    if (hooks.anyWorkLeft())
+        armStraggler(id);
+}
+
+} // namespace fault
+} // namespace pascal

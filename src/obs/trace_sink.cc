@@ -27,6 +27,10 @@ traceCatName(TraceCat cat)
         return "migration";
       case TraceCat::Slo:
         return "slo";
+      case TraceCat::Fault:
+        return "fault";
+      case TraceCat::Retry:
+        return "retry";
     }
     return "unknown";
 }
@@ -57,6 +61,26 @@ traceNameStr(TraceName name)
         return "ok";
       case TraceName::SloViolated:
         return "violated";
+      case TraceName::Crash:
+        return "crash";
+      case TraceName::Recover:
+        return "recover";
+      case TraceName::DrainStart:
+        return "drain_start";
+      case TraceName::DrainDeadline:
+        return "drain_deadline";
+      case TraceName::StragglerStart:
+        return "straggler_start";
+      case TraceName::StragglerEnd:
+        return "straggler_end";
+      case TraceName::LinkFail:
+        return "link_fail";
+      case TraceName::RetryScheduled:
+        return "scheduled";
+      case TraceName::Shed:
+        return "shed";
+      case TraceName::TerminalFail:
+        return "terminal_fail";
     }
     return "unknown";
 }

@@ -23,6 +23,20 @@
  *   phase     / stay|migrate   "i"  reasoning->answering decision
  *   migration / kv_transfer    "b/e" async KV move, id = request id
  *   slo       / ok|violated    "i"  instance t_i verdict flip
+ *   fault     / crash          "i"  instance went down (GPU KV lost)
+ *             / recover        "i"  instance rejoined after MTTR
+ *             / drain_start    "i"  planned decommission began
+ *             / drain_deadline "i"  grace expired, instance down
+ *             / straggler_start"i"  slowdown window opened, arg v =
+ *                                   latency multiplier x1000
+ *             / straggler_end  "i"  slowdown window closed
+ *             / link_fail      "i"  KV transfer aborted in flight,
+ *                                   arg req
+ *   retry     / scheduled      "i"  failover re-placement queued with
+ *                                   backoff, arg req
+ *             / shed           "i"  arrival rejected below the shed
+ *                                   floor, arg req
+ *             / terminal_fail  "i"  retry budget exhausted, arg req
  *
  * Determinism: timestamps are virtual seconds (rendered as
  * microseconds), recording order is simulation order, and the ring is
@@ -61,6 +75,8 @@ enum class TraceCat : std::uint8_t
     Phase,
     Migration,
     Slo,
+    Fault,
+    Retry,
 };
 
 /** Event names within their category (the Chrome "name" field). */
@@ -77,6 +93,16 @@ enum class TraceName : std::uint8_t
     KvTransfer,
     SloOk,
     SloViolated,
+    Crash,
+    Recover,
+    DrainStart,
+    DrainDeadline,
+    StragglerStart,
+    StragglerEnd,
+    LinkFail,
+    RetryScheduled,
+    Shed,
+    TerminalFail,
 };
 
 /** Key under which an event's numeric argument is rendered. */

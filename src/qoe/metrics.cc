@@ -28,6 +28,8 @@ computeRequestMetrics(const workload::Request& req, const SloConfig& slo)
     m.migrationCount = req.migrationCount;
     m.kvTransferLatencies = req.kvTransferLatencies;
     m.finished = req.finished();
+    m.failReason = req.failReason;
+    m.failed = m.failReason != workload::FailReason::None;
 
     if (req.reasoningEnd >= 0.0)
         m.reasoningLatency = req.reasoningEnd - spec.arrival;

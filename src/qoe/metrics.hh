@@ -37,6 +37,11 @@ struct RequestMetrics
 
     bool finished = false;
 
+    /** Terminally failed by the fault layer (failed implies
+     *  !finished); why is in failReason. */
+    bool failed = false;
+    workload::FailReason failReason = workload::FailReason::None;
+
     /** Submission to first answering token (the paper's TTFT). */
     double ttft = 0.0;
     /** Reasoning end (</think>) to first answering token. */

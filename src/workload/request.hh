@@ -46,6 +46,15 @@ enum class ExecState
     Done,        //!< Finished; KV released.
 };
 
+/** Why a request terminally failed under fault injection. */
+enum class FailReason : std::uint8_t
+{
+    None,        //!< Not failed (completed or still running).
+    RetryBudget, //!< Crash/link-failure retries exhausted the budget.
+    Shed,        //!< Rejected at admission while capacity was below
+                 //!< the configured shed floor.
+};
+
 /** Immutable description of one request, as read from a trace. */
 struct RequestSpec
 {
@@ -209,6 +218,18 @@ class Request
     InstanceId home = kNoInstance;
     bool demoted = false;       //!< PASCAL: forced into the low queue.
     bool prefillDone = false;
+
+    /** Terminal failure reason (fault layer); None otherwise. */
+    FailReason failReason = FailReason::None;
+
+    /** Placement retries consumed (crashes, link failures,
+     *  no-capacity outcomes) against FaultConfig::retryBudget. */
+    int retryCount = 0;
+
+    /** Monotonic KV-transfer attempt counter; feeds the stateless
+     *  per-attempt link-failure draw so the verdict is independent of
+     *  event interleaving. */
+    std::uint64_t transferNonce = 0;
 
     /** Tokens generated inside the current quantum. */
     TokenCount quantumTokens = 0;

@@ -41,6 +41,8 @@ expectIdentical(const cluster::RunResult& a, const cluster::RunResult& b)
         EXPECT_EQ(ra.dataset, rb.dataset);
         EXPECT_EQ(ra.arrival, rb.arrival);
         EXPECT_EQ(ra.finished, rb.finished);
+        EXPECT_EQ(ra.failed, rb.failed);
+        EXPECT_EQ(ra.failReason, rb.failReason);
         EXPECT_EQ(ra.ttft, rb.ttft);
         EXPECT_EQ(ra.ttfat, rb.ttfat);
         EXPECT_EQ(ra.reasoningLatency, rb.reasoningLatency);
@@ -87,6 +89,11 @@ expectIdentical(const cluster::RunResult& a, const cluster::RunResult& b)
     EXPECT_EQ(a.totalIterations, b.totalIterations);
     EXPECT_EQ(a.numUnfinished, b.numUnfinished);
     EXPECT_EQ(a.totalMigrations, b.totalMigrations);
+    EXPECT_EQ(a.numCrashes, b.numCrashes);
+    EXPECT_EQ(a.numRetries, b.numRetries);
+    EXPECT_EQ(a.numShed, b.numShed);
+    EXPECT_EQ(a.numTerminalFailures, b.numTerminalFailures);
+    EXPECT_EQ(a.goodputFraction, b.goodputFraction);
     EXPECT_EQ(a.kvTransferLatencies, b.kvTransferLatencies);
     EXPECT_EQ(a.schedulerName, b.schedulerName);
     EXPECT_EQ(a.placementName, b.placementName);

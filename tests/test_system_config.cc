@@ -189,6 +189,78 @@ TEST(SystemConfig, RejectsInconsistentPredictorAndQuantumKnobs)
     EXPECT_THROW(cfg.validate(), FatalError);
 }
 
+TEST(SystemConfig, FaultConfigValidation)
+{
+    // SystemConfig::validate() covers the fault layer's knobs too.
+    SystemConfig cfg;
+    cfg.fault.mttr = 0.0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = SystemConfig{};
+    cfg.fault.crashRate = -0.1;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = SystemConfig{};
+    cfg.fault.stragglerFactor = 0.5; // A straggler never speeds up.
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = SystemConfig{};
+    cfg.fault.linkFailureProb = 1.5;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = SystemConfig{};
+    cfg.fault.retryBudget = -1;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = SystemConfig{};
+    cfg.fault.backoffBase = 0.0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = SystemConfig{};
+    cfg.fault.shedFloor = 1.5;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    // A maxed-out-but-legal fault config passes.
+    cfg = SystemConfig{};
+    cfg.fault.enabled = true;
+    cfg.fault.crashRate = 1.0;
+    cfg.fault.linkFailureProb = 1.0;
+    cfg.fault.shedFloor = 1.0;
+    cfg.fault.retryBudget = 0;
+    cfg.validate();
+}
+
+TEST(SystemConfig, FaultBackoffOrderingMessageIsActionable)
+{
+    SystemConfig cfg;
+    cfg.fault.backoffBase = 4.0;
+    cfg.fault.backoffCap = 1.0; // Cap below base: rejected by name.
+    try {
+        cfg.validate();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("backoffCap"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("backoffBase"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("ordering"), std::string::npos) << msg;
+    }
+    cfg.fault.backoffCap = 4.0; // Equal is legal (constant backoff).
+    cfg.validate();
+}
+
+TEST(SystemConfig, BackoffDelayCapsExponentialGrowth)
+{
+    fault::FaultConfig cfg;
+    cfg.backoffBase = 0.5;
+    cfg.backoffCap = 8.0;
+    EXPECT_DOUBLE_EQ(fault::backoffDelay(cfg, 0), 0.5);
+    EXPECT_DOUBLE_EQ(fault::backoffDelay(cfg, 1), 1.0);
+    EXPECT_DOUBLE_EQ(fault::backoffDelay(cfg, 2), 2.0);
+    EXPECT_DOUBLE_EQ(fault::backoffDelay(cfg, 4), 8.0);
+    EXPECT_DOUBLE_EQ(fault::backoffDelay(cfg, 5), 8.0);   // Capped.
+    EXPECT_DOUBLE_EQ(fault::backoffDelay(cfg, 500), 8.0); // No overflow.
+}
+
 TEST(SystemConfig, SpeculativeFactoryAndNames)
 {
     predict::PredictorConfig pred;
