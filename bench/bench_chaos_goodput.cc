@@ -17,11 +17,17 @@
  * along generically). The nightly chaos job runs this under
  * ASan/UBSan over several seeds and uploads the JSON artifact;
  * --check-invariants makes the process exit nonzero if any run leaks
- * a request (neither finished nor terminally failed). --trace-out
+ * a request (neither finished nor terminally failed) or breaks the
+ * per-class outcome totality (submitted == completed + shed +
+ * deadline_failed + retry_failed for every SLO class). --trace-out
  * FILE additionally writes one traced chaos run's Chrome trace-event
  * JSON (the fault/retry categories) for ci/validate_trace.py.
+ * --classes enables the SLO-class subsystem (the trace is always
+ * class-annotated; without the flag the annotation is dormant and the
+ * per-class columns stay zero).
  */
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -59,6 +65,9 @@ struct ChaosRow
     double meanTtft = 0.0;
     double p99Ttft = 0.0;
     bool invariantsOk = true;
+    std::array<cluster::RunResult::ClassOutcome,
+               workload::kNumSloClasses>
+        perClass{};
     obs::StatDump stats;
 };
 
@@ -70,15 +79,19 @@ chaosTrace(int n)
     profile.prompt = {96.0, 0.5, 32, 256};
     profile.reasoning = {200.0, 0.7, 32, 800};
     profile.answering = {80.0, 0.6, 16, 350};
-    return workload::generateTrace(profile, n, 24.0, rng);
+    auto trace = workload::generateTrace(profile, n, 24.0, rng);
+    // Dormant unless --classes: annotation alone never perturbs a run.
+    workload::assignSloClasses(trace);
+    return trace;
 }
 
 SystemConfig
 chaosConfig(const bench::PolicyUnderTest& policy,
-            std::uint64_t fault_seed, bool traced)
+            std::uint64_t fault_seed, bool traced, bool classes_on)
 {
     SystemConfig cfg = bench::clusterConfig(policy, 4);
     cfg.gpuKvCapacityTokens = 32768;
+    cfg.sloClasses.enabled = classes_on;
     if (traced) {
         cfg.telemetry.traceEnabled = true;
         cfg.telemetry.traceCapacity = 1u << 14;
@@ -103,10 +116,11 @@ chaosConfig(const bench::PolicyUnderTest& policy,
 
 ChaosRow
 runOne(const bench::PolicyUnderTest& policy, std::uint64_t fault_seed,
-       const workload::Trace& trace, bool traced = false,
-       std::string* trace_json = nullptr)
+       const workload::Trace& trace, bool classes_on,
+       bool traced = false, std::string* trace_json = nullptr)
 {
-    SystemConfig cfg = chaosConfig(policy, fault_seed, traced);
+    SystemConfig cfg =
+        chaosConfig(policy, fault_seed, traced, classes_on);
     RunContext ctx(cfg);
     ctx.submit(trace);
     ctx.run();
@@ -136,6 +150,18 @@ runOne(const bench::PolicyUnderTest& policy, std::uint64_t fault_seed,
         if (inst->pool().numTracked() != 0 || inst->pool().gpuUsed() != 0)
             row.invariantsOk = false;
     }
+    // Per-class totality: every class's submissions land in exactly
+    // one outcome bucket (the run drained, so nothing is live).
+    row.perClass = result.perClass;
+    std::uint64_t class_submitted = 0;
+    for (const auto& out : row.perClass) {
+        if (out.submitted != out.completed + out.shed +
+                                 out.deadlineFailed + out.retryFailed)
+            row.invariantsOk = false;
+        class_submitted += out.submitted;
+    }
+    if (classes_on && class_submitted != trace.size())
+        row.invariantsOk = false;
     if (trace_json != nullptr)
         *trace_json = result.traceJson;
     return row;
@@ -157,7 +183,35 @@ print(const ChaosRow& r)
                 static_cast<unsigned long long>(r.shed),
                 static_cast<unsigned long long>(r.terminalFailures),
                 r.invariantsOk ? "" : "INVARIANT-VIOLATION");
+    std::printf("         goodput/class:");
+    for (std::size_t c = 0; c < workload::kNumSloClasses; ++c) {
+        std::printf(" %s=%.4f",
+                    workload::sloClassName(
+                        static_cast<workload::SloClass>(c)),
+                    r.perClass[c].goodputFraction);
+    }
+    std::printf("\n");
     std::fflush(stdout);
+}
+
+void
+jsonPerClass(std::ofstream& json, const ChaosRow& r)
+{
+    json << "\"per_class\": {";
+    for (std::size_t c = 0; c < workload::kNumSloClasses; ++c) {
+        const auto& out = r.perClass[c];
+        json << "\"" << workload::sloClassName(
+                            static_cast<workload::SloClass>(c))
+             << "\": {\"submitted\": " << out.submitted
+             << ", \"completed\": " << out.completed
+             << ", \"shed\": " << out.shed
+             << ", \"deadline_failed\": " << out.deadlineFailed
+             << ", \"retry_failed\": " << out.retryFailed
+             << ", \"demoted\": " << out.demoted << ", \"goodput\": "
+             << bench::jsonNumber(out.goodputFraction) << "}"
+             << (c + 1 < workload::kNumSloClasses ? ", " : "");
+    }
+    json << "}";
 }
 
 } // namespace
@@ -168,11 +222,14 @@ try {
     std::string json_path = "BENCH_chaos_goodput.json";
     std::string trace_out;
     bool check_invariants = false;
+    bool classes_on = false;
     int num_seeds = 3;
     int num_requests = 800;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--check-invariants") == 0)
             check_invariants = true;
+        else if (std::strcmp(argv[i], "--classes") == 0)
+            classes_on = true;
         else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc)
             num_seeds = std::atoi(argv[++i]);
         else if (std::strcmp(argv[i], "--requests") == 0 &&
@@ -197,8 +254,9 @@ try {
         // Seed 0: fault-free baseline (goodput 1.0 unless the trace
         // itself is infeasible); then the seeded chaos replays.
         for (int s = 0; s <= num_seeds; ++s) {
-            ChaosRow row =
-                runOne(policy, static_cast<std::uint64_t>(s), trace);
+            ChaosRow row = runOne(policy,
+                                  static_cast<std::uint64_t>(s), trace,
+                                  classes_on);
             print(row);
             all_ok = all_ok && row.invariantsOk;
             rows.push_back(std::move(row));
@@ -211,6 +269,8 @@ try {
     json << "{\n  \"bench\": \"bench_chaos_goodput\",\n"
          << "  " << bench::jsonMeta() << ",\n"
          << "  \"trace\": \"" << trace.describe() << "\",\n"
+         << "  \"classes_enabled\": "
+         << (classes_on ? "true" : "false") << ",\n"
          << "  \"results\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const auto& r = rows[i];
@@ -227,9 +287,10 @@ try {
              << ", \"mean_ttft\": " << bench::jsonNumber(r.meanTtft)
              << ", \"p99_ttft\": " << bench::jsonNumber(r.p99Ttft)
              << ", \"invariants_ok\": "
-             << (r.invariantsOk ? "true" : "false") << ",\n     \"stats\": "
-             << bench::jsonStats(r.stats) << "}"
-             << (i + 1 < rows.size() ? "," : "") << "\n";
+             << (r.invariantsOk ? "true" : "false") << ",\n     ";
+        jsonPerClass(json, r);
+        json << ",\n     \"stats\": " << bench::jsonStats(r.stats)
+             << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     json << "  ]\n}\n";
     json.close();
@@ -240,7 +301,7 @@ try {
         // fault/retry trace categories for ci/validate_trace.py.
         std::string trace_json;
         ChaosRow traced = runOne(bench::mainPolicies().back(), 1, trace,
-                                 true, &trace_json);
+                                 classes_on, true, &trace_json);
         all_ok = all_ok && traced.invariantsOk;
         std::ofstream out(trace_out);
         if (!out)

@@ -15,7 +15,13 @@ requests/sec, and allows 10 % slack for run-to-run noise.
 When the fresh JSON carries a ``telemetry_overhead`` object (the
 traced re-run of a shape divided by its untraced run), each ratio is
 additionally gated at ``TELEMETRY_BUDGET`` — telemetry must stay
-within 5 % of telemetry-off throughput.
+within 5 % of telemetry-off throughput. A ``classes_overhead`` object
+(``bench_slo_classes``: the uniform-class classes-enabled run divided
+by the classes-off run, which bounds the dormant class layer's cost
+from above) is gated the same way at ``CLASSES_BUDGET``.
+
+A JSON with no ``speedup`` object (e.g. ``BENCH_slo_classes.json``)
+skips the speedup ratchet and checks only its overhead objects.
 
 Usage:
     ci/check_perf_ratchet.py NEW_JSON [COMMITTED_JSON]
@@ -28,6 +34,7 @@ import sys
 
 RATCHET = 0.9  # tolerate 10% noise; anything below is a regression
 TELEMETRY_BUDGET = 1.05  # traced run may cost at most 5% extra time
+CLASSES_BUDGET = 1.05  # enabled-but-uniform class layer, same budget
 
 
 def load_doc(path):
@@ -50,35 +57,43 @@ def main(argv):
     committed_path = argv[2] if len(argv) == 3 else "BENCH_cluster_path.json"
 
     new_doc = load_doc(new_path)
-    new = load_speedups(new_doc, new_path)
-    committed = load_speedups(load_doc(committed_path), committed_path)
 
     failed = False
-    for shape, baseline in sorted(committed.items()):
-        current = new.get(shape)
-        if current is None:
-            print(f"RATCHET FAIL {shape}: shape missing from {new_path}")
-            failed = True
-            continue
-        floor = RATCHET * baseline
-        verdict = "ok" if current >= floor else "RATCHET FAIL"
-        print(
-            f"{verdict} {shape}: speedup {current:.3f}x vs committed "
-            f"{baseline:.3f}x (floor {floor:.3f}x)"
-        )
-        if current < floor:
-            failed = True
-
-    overhead = new_doc.get("telemetry_overhead")
-    if isinstance(overhead, dict):
-        for shape, ratio in sorted(overhead.items()):
-            verdict = "ok" if ratio <= TELEMETRY_BUDGET else "RATCHET FAIL"
-            print(
-                f"{verdict} telemetry overhead on {shape}: {ratio:.3f}x "
-                f"(budget {TELEMETRY_BUDGET:.2f}x)"
-            )
-            if ratio > TELEMETRY_BUDGET:
+    has_overheads = isinstance(
+        new_doc.get("telemetry_overhead"), dict
+    ) or isinstance(new_doc.get("classes_overhead"), dict)
+    if "speedup" in new_doc or not has_overheads:
+        new = load_speedups(new_doc, new_path)
+        committed = load_speedups(load_doc(committed_path), committed_path)
+        for shape, baseline in sorted(committed.items()):
+            current = new.get(shape)
+            if current is None:
+                print(f"RATCHET FAIL {shape}: shape missing from {new_path}")
                 failed = True
+                continue
+            floor = RATCHET * baseline
+            verdict = "ok" if current >= floor else "RATCHET FAIL"
+            print(
+                f"{verdict} {shape}: speedup {current:.3f}x vs committed "
+                f"{baseline:.3f}x (floor {floor:.3f}x)"
+            )
+            if current < floor:
+                failed = True
+
+    for key, label, budget in (
+        ("telemetry_overhead", "telemetry overhead", TELEMETRY_BUDGET),
+        ("classes_overhead", "classes overhead", CLASSES_BUDGET),
+    ):
+        overhead = new_doc.get(key)
+        if isinstance(overhead, dict):
+            for shape, ratio in sorted(overhead.items()):
+                verdict = "ok" if ratio <= budget else "RATCHET FAIL"
+                print(
+                    f"{verdict} {label} on {shape}: {ratio:.3f}x "
+                    f"(budget {budget:.2f}x)"
+                )
+                if ratio > budget:
+                    failed = True
 
     if failed:
         print(

@@ -9,6 +9,10 @@ Loads a trace file (e.g. the nightly ``bench_cluster_path
     eviction/phase/migration/slo, plus fault/retry from the fault
     layer's crash/drain/straggler/link-failure and backoff-retry
     events);
+  * events in the ``admission`` and ``slo`` categories use their known
+    name vocabulary, and the SLO-class instants (``class_shed``,
+    ``deadline_exceeded``, ``demoted``) each carry a ``request`` arg
+    identifying which request was shed/expired/demoted;
   * timestamps are monotonically non-decreasing per (pid, tid) track
     in file order (recording order is simulation order, so any
     decrease means the ring or the export reordered events);
@@ -45,6 +49,18 @@ KNOWN_CATEGORIES = {
 
 KNOWN_PHASES = {"i", "X", "b", "e"}
 
+# Name vocabulary for the categories with a pinned schema. The
+# SLO-class subsystem owns these: admission carries per-instance
+# admits plus class-aware sheds, slo carries the monitor verdicts plus
+# the deadline outcomes.
+KNOWN_NAMES_BY_CATEGORY = {
+    "admission": {"admit", "class_shed"},
+    "slo": {"ok", "violated", "deadline_exceeded", "demoted"},
+}
+
+# Instants that must identify their request in args.
+REQUEST_ARG_NAMES = {"class_shed", "deadline_exceeded", "demoted"}
+
 
 def fail(errors, message, limit=20):
     if len(errors) < limit:
@@ -77,6 +93,24 @@ def validate(doc, min_categories):
             fail(errors, f"{where}: unknown category '{cat}'")
         else:
             categories.add(cat)
+            known_names = KNOWN_NAMES_BY_CATEGORY.get(cat)
+            name = e.get("name")
+            if known_names is not None and name not in known_names:
+                fail(
+                    errors,
+                    f"{where}: unknown name '{name}' in category "
+                    f"'{cat}' (known: {sorted(known_names)})",
+                )
+            if name in REQUEST_ARG_NAMES:
+                args = e.get("args")
+                if not isinstance(args, dict) or not isinstance(
+                    args.get("request"), int
+                ):
+                    fail(
+                        errors,
+                        f"{where}: '{name}' without an integer "
+                        "'request' arg",
+                    )
         if ph not in KNOWN_PHASES:
             fail(errors, f"{where}: unknown phase '{ph}'")
         if not isinstance(ts, (int, float)) or ts < 0:

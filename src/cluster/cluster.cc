@@ -40,8 +40,19 @@ Cluster::Cluster(sim::Simulator& sim, const SystemConfig& cfg)
     callbacks.onFinished = [this](workload::Request* r, InstanceId) {
         if (predictor)
             predictor->observeCompletion(*r);
+        if (classesOn) {
+            ++classCompletedCount[workload::sloClassIndex(
+                r->spec().sloClass)];
+        }
         noteRequestFinished(r);
     };
+    // Deadline expiries deferred past an in-flight step re-enter the
+    // class policy at the iteration boundary through this hook.
+    callbacks.onDeadlineExpired = [this](workload::Request* r,
+                                         InstanceId) {
+        enforceExpiry(r);
+    };
+    classesOn = cfg.sloClasses.enabled;
 
     predictiveView = cfg.placement == PlacementType::PascalPredictive &&
                      predictor != nullptr;
@@ -73,6 +84,7 @@ Cluster::Cluster(sim::Simulator& sim, const SystemConfig& cfg)
         instances.push_back(std::make_unique<Instance>(
             i, sim, perf, makeScheduler(cfg.scheduler, cfg.limits),
             kvCapacity, cfg.slo, callbacks, cfg.kvBlockSizeTokens));
+        instances.back()->setSloClassConfig(cfg.sloClasses);
         instances.back()->setPredictor(
             predictor.get(),
             cfg.placement == PlacementType::PascalPredictive);
@@ -135,6 +147,21 @@ Cluster::Cluster(sim::Simulator& sim, const SystemConfig& cfg)
     registry.counter("cluster.fault.shed", &shedCount);
     registry.counter("cluster.fault.terminal_failures",
                      &terminalFailuresCount);
+    // SLO-class accounting: registered unconditionally (all-zero rows
+    // when the class layer is off) for the same stable-schema reason.
+    for (std::size_t c = 0; c < workload::kNumSloClasses; ++c) {
+        std::string p = std::string("cluster.slo.") +
+                        workload::sloClassName(
+                            static_cast<workload::SloClass>(c));
+        registry.counter(p + ".submitted", &classSubmittedCount[c]);
+        registry.counter(p + ".completed", &classCompletedCount[c]);
+        registry.counter(p + ".shed", &classShedCount[c]);
+        registry.counter(p + ".deadline_failed",
+                         &classDeadlineFailedCount[c]);
+        registry.counter(p + ".retry_failed",
+                         &classRetryFailedCount[c]);
+        registry.counter(p + ".demoted", &classDemotedCount[c]);
+    }
     for (InstanceId i = 0; i < cfg.numInstances; ++i) {
         instances[static_cast<std::size_t>(i)]->registerStats(
             registry, "instance." + std::to_string(i));
@@ -292,6 +319,19 @@ Cluster::onArrivals(workload::Request* first, std::uint32_t n)
     }
     for (std::uint32_t i = 0; i < n; ++i) {
         workload::Request* req = first + i;
+        if (classesOn) {
+            // The class layer owns the scheduler-visible rank: traces
+            // may carry class annotations, but with classes off every
+            // rank stays at its zero default and the schedulers'
+            // class-rank comparator levels are inert.
+            ++classSubmittedCount[workload::sloClassIndex(
+                req->spec().sloClass)];
+            req->schedClassRank =
+                static_cast<std::uint8_t>(req->spec().sloClass);
+            if (classAdmissionShed(req))
+                continue;
+            armDeadline(req);
+        }
         const core::ClusterView& v = buildView(sim.now());
         InstanceId target = placement->placeNew(v, *req);
         if (target == kNoInstance && injector != nullptr) {
@@ -315,6 +355,12 @@ Cluster::onArrivals(workload::Request* first, std::uint32_t n)
 void
 Cluster::noteRequestFinished(workload::Request* req)
 {
+    // A finished (or terminally failed) request's pending deadline
+    // timeout must not fire into a dead pointer's state.
+    if (classesOn && req->deadlineEventId != sim::kNoEvent) {
+        sim.cancel(req->deadlineEventId);
+        req->deadlineEventId = sim::kNoEvent;
+    }
     --liveRequests;
     if (req->arenaChunk < 0)
         return;
@@ -335,12 +381,12 @@ Cluster::retireChunk(std::size_t idx)
         // Streaming mode: fold each scored row into the sketches and
         // store nothing — this is what bounds soak-run memory.
         for (auto& req : chunk)
-            streaming->fold(qoe::computeRequestMetrics(req, cfg.slo));
+            streaming->fold(qoe::computeRequestMetrics(req, cfg.slo, &cfg.sloClasses));
     } else {
         std::vector<qoe::RequestMetrics>& out = retiredMetrics[idx];
         out.reserve(chunk.size());
         for (auto& req : chunk)
-            out.push_back(qoe::computeRequestMetrics(req, cfg.slo));
+            out.push_back(qoe::computeRequestMetrics(req, cfg.slo, &cfg.sloClasses));
     }
     chunkRetired[idx] = 1;
     requests.recycleChunk(idx);
@@ -421,6 +467,17 @@ Cluster::migrate(workload::Request* req, InstanceId from, InstanceId to)
                 return;
             }
         }
+        if (req->deadlineExpired && interceptExpired(req)) {
+            // Expired while the KV was on the wire: the transfer
+            // completes (span closed) but the request never lands.
+            if (trace != nullptr) {
+                trace->asyncEnd(obs::TraceCat::Migration,
+                                obs::TraceName::KvTransfer, to,
+                                sim.now(),
+                                static_cast<std::uint64_t>(req->id()));
+            }
+            return;
+        }
         req->kvTransferLatencies.push_back(sim.now() - start);
         ++req->migrationCount;
         if (trace != nullptr) {
@@ -445,6 +502,169 @@ Cluster::upFraction() const
     }
     return static_cast<double>(up) /
            static_cast<double>(instances.size());
+}
+
+double
+Cluster::freeGpuKvFraction() const
+{
+    TokenCount free_tokens = 0;
+    TokenCount cap = 0;
+    for (const auto& inst : instances) {
+        if (!inst->isUp() || inst->isDraining())
+            continue;
+        free_tokens += inst->pool().gpuFree();
+        cap += inst->pool().gpuCapacity();
+    }
+    if (cap <= 0)
+        return 0.0;
+    return static_cast<double>(free_tokens) /
+           static_cast<double>(cap);
+}
+
+bool
+Cluster::classAdmissionShed(workload::Request* req)
+{
+    if (!cfg.sloClasses.overloadControl)
+        return false;
+    const qoe::SloClassParams& p =
+        cfg.sloClasses.of(req->spec().sloClass);
+    bool shed = false;
+    if (p.shedUpFloor > 0.0 && upFraction() < p.shedUpFloor)
+        shed = true;
+    if (!shed && p.shedKvFloor > 0.0 &&
+        freeGpuKvFraction() < p.shedKvFloor) {
+        shed = true;
+    }
+    if (!shed && cfg.sloClasses.shedOnNegativeSlack &&
+        p.relativeDeadline > 0.0) {
+        // Optimistic completion bound: one clean prefill pass plus a
+        // batch-1 decode step per remaining token on an otherwise idle
+        // instance. If even that misses the deadline, admitting the
+        // request wastes capacity the surviving classes need.
+        const workload::RequestSpec& s = req->spec();
+        TokenCount to_generate = s.reasoningTokens + s.answerTokens;
+        Time lower = perf.mixedStepLatency(s.promptTokens, 0, 0) +
+                     static_cast<double>(to_generate) *
+                         perf.mixedStepLatency(0, 1, s.promptTokens);
+        shed = lower > p.relativeDeadline;
+    }
+    if (!shed)
+        return false;
+    ++shedCount;
+    if (trace != nullptr) {
+        trace->instant(obs::TraceCat::Admission,
+                       obs::TraceName::ClassShed,
+                       obs::TraceSink::kClusterTrack, sim.now(),
+                       obs::TraceArg::Request,
+                       static_cast<std::int64_t>(req->id()));
+    }
+    failTerminally(req, workload::FailReason::Shed);
+    return true;
+}
+
+void
+Cluster::armDeadline(workload::Request* req)
+{
+    if (!cfg.sloClasses.enforceDeadlines)
+        return;
+    Time rel = cfg.sloClasses.of(req->spec().sloClass).relativeDeadline;
+    if (rel <= 0.0)
+        return;
+    req->deadlineEventId =
+        sim.after(rel, [this, req] { onDeadlineFire(req); });
+}
+
+void
+Cluster::onDeadlineFire(workload::Request* req)
+{
+    req->deadlineEventId = sim::kNoEvent;
+    if (req->finished() || req->exec == workload::ExecState::Done)
+        return;
+    req->deadlineExpired = true;
+    if (trace != nullptr) {
+        trace->instant(obs::TraceCat::Slo,
+                       obs::TraceName::DeadlineExceeded,
+                       obs::TraceSink::kClusterTrack, sim.now(),
+                       obs::TraceArg::Request,
+                       static_cast<std::int64_t>(req->id()));
+    }
+    enforceExpiry(req);
+}
+
+void
+Cluster::enforceExpiry(workload::Request* req)
+{
+    using workload::ExecState;
+    if (req->finished() || req->exec == ExecState::Done ||
+        !req->deadlineExpired) {
+        return;
+    }
+    bool hosted = req->exec == ExecState::WaitingNew ||
+                  req->exec == ExecState::ResidentGpu ||
+                  req->exec == ExecState::SwappedCpu;
+    Instance* inst = nullptr;
+    if (hosted) {
+        inst = instances[static_cast<std::size_t>(req->home)].get();
+        if (inst->hasStepInFlight()) {
+            // Mid-step: the in-flight plan's vectors still reference
+            // the request, so ripping it out now would corrupt the
+            // step completion. The instance parks the expiry and
+            // replays it through this handler at the boundary.
+            inst->noteDeadlineExpired(req);
+            return;
+        }
+    }
+    if (cfg.sloClasses.of(req->spec().sloClass).demoteOnExpiry) {
+        if (req->bestEffort)
+            return; // Already demoted (double-fire safe).
+        ++classDemotedCount[workload::sloClassIndex(
+            req->spec().sloClass)];
+        if (trace != nullptr) {
+            trace->instant(obs::TraceCat::Slo, obs::TraceName::Demoted,
+                           obs::TraceSink::kClusterTrack, sim.now(),
+                           obs::TraceArg::Request,
+                           static_cast<std::int64_t>(req->id()));
+        }
+        if (hosted) {
+            inst->demoteBestEffort(req);
+            inst->kick();
+        } else {
+            // InTransit/Unassigned: flag only — the landing or retry
+            // admission re-keys it under the best-effort rank.
+            req->bestEffort = true;
+            req->schedClassRank = workload::kBestEffortClassRank;
+        }
+        return;
+    }
+    if (hosted) {
+        // Real timeout: reclaim the KV through the same detach path a
+        // migration uses, fail the request, and let the instance
+        // reschedule into the freed capacity.
+        inst->detach(req);
+        failTerminally(req, workload::FailReason::DeadlineExceeded);
+        inst->kick();
+        return;
+    }
+    if (req->exec == ExecState::Unassigned) {
+        failTerminally(req, workload::FailReason::DeadlineExceeded);
+        return;
+    }
+    // InTransit (KV on the wire, or backoff pending): the landing and
+    // retry guards enforce the expiry when the request next touches
+    // ground, so nothing rips state out from under the transfer.
+}
+
+bool
+Cluster::interceptExpired(workload::Request* req)
+{
+    if (!classesOn || !req->deadlineExpired ||
+        req->exec == workload::ExecState::Done) {
+        return false;
+    }
+    if (cfg.sloClasses.of(req->spec().sloClass).demoteOnExpiry)
+        return false;
+    failTerminally(req, workload::FailReason::DeadlineExceeded);
+    return true;
 }
 
 void
@@ -528,6 +748,11 @@ void
 Cluster::requeueRequest(workload::Request* req)
 {
     using workload::ExecState;
+    // An expired fail-policy request re-entering the retry loop (crash
+    // orphan, aborted transfer, no-capacity arrival) fails here rather
+    // than burning backoff cycles it can never use.
+    if (interceptExpired(req))
+        return;
     if (req->exec == ExecState::Unassigned) {
         // Never admitted anywhere (placement found no live target):
         // start the wait clock; the interval books Blocked on the
@@ -555,6 +780,10 @@ Cluster::requeueRequest(workload::Request* req)
 void
 Cluster::retryPlace(workload::Request* req)
 {
+    // The deadline can expire mid-backoff (the request is InTransit,
+    // owned by nobody); enforcement waits here, at the wakeup.
+    if (interceptExpired(req))
+        return;
     const core::ClusterView& v = buildView(sim.now());
     InstanceId target = placement->placeNew(v, *req);
     if (target == kNoInstance) {
@@ -616,6 +845,15 @@ Cluster::restoreKv(workload::Request* req, InstanceId to)
                 requeueRequest(req);
                 return;
             }
+            if (req->deadlineExpired && interceptExpired(req)) {
+                if (trace != nullptr) {
+                    trace->asyncEnd(
+                        obs::TraceCat::Migration,
+                        obs::TraceName::KvTransfer, to, sim.now(),
+                        static_cast<std::uint64_t>(req->id()));
+                }
+                return;
+            }
             req->kvTransferLatencies.push_back(sim.now() - start);
             if (trace != nullptr) {
                 trace->asyncEnd(obs::TraceCat::Migration,
@@ -639,6 +877,20 @@ Cluster::failTerminally(workload::Request* req,
     req->failReason = reason;
     req->exec = ExecState::Done;
     ++terminalFailuresCount;
+    if (classesOn) {
+        auto ci = workload::sloClassIndex(req->spec().sloClass);
+        switch (reason) {
+          case workload::FailReason::Shed:
+            ++classShedCount[ci];
+            break;
+          case workload::FailReason::DeadlineExceeded:
+            ++classDeadlineFailedCount[ci];
+            break;
+          default:
+            ++classRetryFailedCount[ci];
+            break;
+        }
+    }
     if (trace != nullptr) {
         trace->instant(obs::TraceCat::Retry,
                        reason == workload::FailReason::Shed
@@ -678,7 +930,7 @@ Cluster::collectMetrics() const
                 req.exec != workload::ExecState::Done) {
                 req.settleAccrual(now);
             }
-            out.push_back(qoe::computeRequestMetrics(req, cfg.slo));
+            out.push_back(qoe::computeRequestMetrics(req, cfg.slo, &cfg.sloClasses));
         }
     }
     return out;
@@ -769,7 +1021,7 @@ Cluster::finalStreamingMetrics() const
                 req.exec != workload::ExecState::Done) {
                 req.settleAccrual(now);
             }
-            snap->fold(qoe::computeRequestMetrics(req, cfg.slo));
+            snap->fold(qoe::computeRequestMetrics(req, cfg.slo, &cfg.sloClasses));
         }
     }
     return snap;

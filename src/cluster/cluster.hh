@@ -12,6 +12,7 @@
 #ifndef PASCAL_CLUSTER_CLUSTER_HH
 #define PASCAL_CLUSTER_CLUSTER_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -147,13 +148,44 @@ class Cluster
     std::uint64_t numLinkFailures() const { return linkFailuresCount; }
     std::uint64_t numRetries() const { return retriesCount; }
     std::uint64_t numShed() const { return shedCount; }
-    /** All terminal failures (retry-budget exhaustion + shed). */
+    /** All terminal failures (retry-budget exhaustion + shed +
+     *  deadline expiry). */
     std::uint64_t numTerminalFailures() const
     {
         return terminalFailuresCount;
     }
     /** @} */
 
+    /** @} */
+
+    /** @name SLO-class accounting (all-zero when cfg.sloClasses is
+     *  disabled; per-class goodput invariant: submitted == completed
+     *  + shed + deadline_failed + retry_failed + still-live). */
+    /** @{ */
+    std::uint64_t numClassSubmitted(workload::SloClass c) const
+    {
+        return classSubmittedCount[workload::sloClassIndex(c)];
+    }
+    std::uint64_t numClassCompleted(workload::SloClass c) const
+    {
+        return classCompletedCount[workload::sloClassIndex(c)];
+    }
+    std::uint64_t numClassShed(workload::SloClass c) const
+    {
+        return classShedCount[workload::sloClassIndex(c)];
+    }
+    std::uint64_t numClassDeadlineFailed(workload::SloClass c) const
+    {
+        return classDeadlineFailedCount[workload::sloClassIndex(c)];
+    }
+    std::uint64_t numClassRetryFailed(workload::SloClass c) const
+    {
+        return classRetryFailedCount[workload::sloClassIndex(c)];
+    }
+    std::uint64_t numClassDemoted(workload::SloClass c) const
+    {
+        return classDemotedCount[workload::sloClassIndex(c)];
+    }
     /** @} */
 
     /** The shared length predictor (nullptr when cfg.predictor is
@@ -282,6 +314,36 @@ class Cluster
 
     /** @} */
 
+    /** @name SLO-class internals (tentpole: deadline-aware admission,
+     *  request timeouts, graceful degradation) */
+    /** @{ */
+
+    /** Class-aware admission: shed the arrival when its class's
+     *  overload floors or the deadline-slack bound say the cluster
+     *  cannot serve it. @return true when the request was shed. */
+    bool classAdmissionShed(workload::Request* req);
+
+    /** Arm the per-request deadline timeout (no-op when the class has
+     *  no relative deadline or enforcement is off). */
+    void armDeadline(workload::Request* req);
+
+    /** The deadline event fired: mark expiry and enforce it. */
+    void onDeadlineFire(workload::Request* req);
+
+    /** Enforce an expiry per the class policy: demote to best-effort
+     *  or terminally fail (also the iteration-boundary callback for
+     *  expiries deferred while a step was in flight). */
+    void enforceExpiry(workload::Request* req);
+
+    /** Terminal-fail an expired request on a failover/landing path.
+     *  @return true when it consumed the request. */
+    bool interceptExpired(workload::Request* req);
+
+    /** Free GPU KV across routable instances as a capacity fraction. */
+    double freeGpuKvFraction() const;
+
+    /** @} */
+
     /**
      * The placement algorithms' cluster view. The cluster keeps one
      * persistent core::ClusterView and refreshes only the snapshots
@@ -374,6 +436,28 @@ class Cluster
     std::uint64_t retriesCount = 0;
     std::uint64_t shedCount = 0;
     std::uint64_t terminalFailuresCount = 0;
+    /** @} */
+
+    /** @name SLO-class state */
+    /** @{ */
+
+    /** Cached cfg.sloClasses.enabled: the single gate every class
+     *  branch on a hot path checks, so classes-off runs take the
+     *  exact pre-class code. */
+    bool classesOn = false;
+
+    std::array<std::uint64_t, workload::kNumSloClasses>
+        classSubmittedCount{};
+    std::array<std::uint64_t, workload::kNumSloClasses>
+        classCompletedCount{};
+    std::array<std::uint64_t, workload::kNumSloClasses>
+        classShedCount{};
+    std::array<std::uint64_t, workload::kNumSloClasses>
+        classDeadlineFailedCount{};
+    std::array<std::uint64_t, workload::kNumSloClasses>
+        classRetryFailedCount{};
+    std::array<std::uint64_t, workload::kNumSloClasses>
+        classDemotedCount{};
     /** @} */
 };
 

@@ -183,9 +183,76 @@ Instance::detach(Request* req)
 }
 
 void
+Instance::demoteBestEffort(Request* req)
+{
+    if (req->home != instanceId)
+        panic("demoteBestEffort: request " + std::to_string(req->id()) +
+              " not homed here");
+    // Re-key through the scheduler's remove/add path: the class rank
+    // is the leading comparator level in every policy's order, so the
+    // queues must observe it as a key change. add() re-links material
+    // (KV-holding) requests via noteResidency, the same path a
+    // migration landing takes.
+    sched->remove(req);
+    req->bestEffort = true;
+    req->schedClassRank = workload::kBestEffortClassRank;
+    sched->add(req);
+    // The pacing targets just relaxed to the Batch class's: the SLO
+    // monitor key must move with them.
+    sloHeapFix(req);
+    sloNoteExact(req);
+    markViewDirty();
+}
+
+void
+Instance::noteDeadlineExpired(Request* req)
+{
+    // Deadline events that fire while a step is executing must not
+    // mutate the in-flight plan's membership (completeIteration still
+    // walks its vectors); park the request until the iteration
+    // boundary and let the cluster's policy run there.
+    deadlineDeferred.push_back(req);
+}
+
+void
+Instance::drainDeadlineDeferred()
+{
+    // The cluster's handler kicks after each enforcement; a step
+    // started mid-drain would make the hosted-expiry check re-park
+    // every later entry into the vector being walked (unbounded
+    // growth). Suppress kick() for the drain — completeIteration()
+    // starts the next iteration right after, with every expiry
+    // settled and the freed KV visible to the plan build.
+    drainingDeadlines = true;
+    // Index loop: the cluster's handler can re-enter (detach, fail,
+    // demote) but never appends here while stepInFlight is false.
+    for (std::size_t i = 0; i < deadlineDeferred.size(); ++i) {
+        Request* r = deadlineDeferred[i];
+        // Re-check liveness: the step that deferred this expiry may
+        // have finished the request, or a crash may have orphaned it
+        // off this instance in the meantime.
+        if (r->finished() || r->exec == ExecState::Done)
+            continue;
+        if (r->home != instanceId)
+            continue;
+        if (r->exec != ExecState::WaitingNew &&
+            r->exec != ExecState::ResidentGpu &&
+            r->exec != ExecState::SwappedCpu) {
+            continue;
+        }
+        if (!r->deadlineExpired)
+            continue;
+        if (callbacks.onDeadlineExpired)
+            callbacks.onDeadlineExpired(r, instanceId);
+    }
+    deadlineDeferred.clear();
+    drainingDeadlines = false;
+}
+
+void
 Instance::kick()
 {
-    if (!stepInFlight)
+    if (!stepInFlight && !drainingDeadlines)
         startIteration();
 }
 
@@ -369,6 +436,9 @@ Instance::crash(bool preserve_cpu_kv,
     ++crashGen; // Invalidate the in-flight step's completion event.
     stepInFlight = false;
     kickPending = false;
+    // Deferred deadline expiries die with the step: the orphans
+    // re-enter the retry path, whose guards enforce expiry there.
+    deadlineDeferred.clear();
     // detach() mutates the scheduler's hosted set; walk a copy. The
     // hosted order is deterministic (insertion order via swap-pop
     // vector), so the orphan list — and every retry placement made
@@ -524,7 +594,32 @@ Instance::completeIteration(Time step_start)
         handle(r);
 
     stepInFlight = false;
+    // Deadlines that fired mid-step were parked; enforce them now that
+    // the plan's vectors are no longer live, before the next boundary
+    // builds a plan that could include the expired requests.
+    if (!deadlineDeferred.empty())
+        drainDeadlineDeferred();
     startIteration();
+}
+
+Time
+Instance::tpotOf(const Request* r) const
+{
+    // Per-class pacing target when classes are on; the global SLO
+    // otherwise. Best-effort demotion relaxes to the Batch targets.
+    if (classCfg.enabled)
+        return classCfg.effective(r->spec().sloClass, r->bestEffort)
+            .tpotTarget;
+    return slo.tpotTarget;
+}
+
+Time
+Instance::ttfatOf(const Request* r) const
+{
+    if (classCfg.enabled)
+        return classCfg.effective(r->spec().sloClass, r->bestEffort)
+            .ttfatTarget;
+    return slo.ttfatTarget;
 }
 
 double
@@ -537,13 +632,13 @@ Instance::sloKeyOf(const Request* r) const
         // floor-based check in sloViolated().
         double flip_tokens = static_cast<double>(
             r->answerGenerated() - slo.monitorBufferMarginTokens - 1);
-        return r->firstAnswer + flip_tokens * slo.tpotTarget;
+        return r->firstAnswer + flip_tokens * tpotOf(r);
     }
     // Transitioned but no first answering token yet: the verdict
     // flips exactly when the TTFAT budget runs out; one tpot of
     // slack absorbs any rounding disagreement with the subtraction
     // in the exact check.
-    return r->reasoningEnd + slo.ttfatTarget - slo.tpotTarget;
+    return r->reasoningEnd + ttfatOf(r) - tpotOf(r);
 }
 
 bool
@@ -555,13 +650,13 @@ Instance::sloViolated(const Request* r, Time now) const
         // pacer buffer (generated minus digested) runs below the
         // early-warning margin.
         auto expected = static_cast<TokenCount>(
-            std::floor((now - r->firstAnswer) / slo.tpotTarget)) + 1;
+            std::floor((now - r->firstAnswer) / tpotOf(r))) + 1;
         expected = std::min(expected + slo.monitorBufferMarginTokens,
                             r->spec().answerTokens);
         return r->answerGenerated() < expected;
     }
     // Failing once the TTFAT budget is exhausted.
-    return now - r->reasoningEnd > slo.ttfatTarget;
+    return now - r->reasoningEnd > ttfatOf(r);
 }
 
 void
@@ -671,12 +766,16 @@ Instance::sloHeapAdvance()
             if (r->sloHeapPos >= 0)
                 ++exact_live;
         }
-        if (sloAdvanced + exact_live == sloHeap.size()) {
+        if (!classCfg.enabled &&
+            sloAdvanced + exact_live == sloHeap.size()) {
             // Every heap member either advanced one answer token
             // (flip bound moves by exactly one tpot) or was re-keyed
             // exactly this iteration: advance the shared offset once
             // and compensate the exact re-keys, so the steady batch
             // pays O(1) instead of one sift per member per token.
+            // With SLO classes on the per-request tpot targets are
+            // mixed, so a single shared bump is unsound and the Floyd
+            // rebuild below handles every advance exactly.
             sloOffset += slo.tpotTarget;
             ++sloRekeys;
             for (auto* r : sloExactScratch) {
@@ -793,8 +892,8 @@ Instance::verifySloHeap(Time now) const
         // advances; the drift is bounded by summation rounding, far
         // inside the key's built-in one-tpot conservatism.
         double drift = (r->sloKey + sloOffset) - sloKeyOf(r);
-        if (drift > 0.25 * slo.tpotTarget ||
-            drift < -0.25 * slo.tpotTarget) {
+        if (drift > 0.25 * tpotOf(r) ||
+            drift < -0.25 * tpotOf(r)) {
             panic("SLO heap key stale for request " +
                   std::to_string(r->id()) + " on instance " +
                   std::to_string(instanceId) + " (drift " +

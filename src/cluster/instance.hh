@@ -45,6 +45,14 @@ struct InstanceCallbacks
 
     /** The request generated all its tokens and released its KV. */
     std::function<void(workload::Request*, InstanceId)> onFinished;
+
+    /**
+     * A hosted request whose deadline expired mid-step reached the
+     * safe enforcement point (the iteration boundary): the cluster's
+     * deadline policy (fail or demote) runs now. May be empty (the
+     * deferred expiry is then dropped; standalone instances).
+     */
+    std::function<void(workload::Request*, InstanceId)> onDeadlineExpired;
 };
 
 /** Continuous-batching serving instance. */
@@ -156,6 +164,43 @@ class Instance
 
     /** Ensure an iteration is scheduled if there is runnable work. */
     void kick();
+
+    /** A step is executing right now. Deadline enforcement must not
+     *  detach batch members mid-step; the cluster checks this and
+     *  defers through noteDeadlineExpired(). */
+    bool hasStepInFlight() const { return stepInFlight; }
+
+    /** @name SLO classes (ROADMAP item 4) */
+    /** @{ */
+
+    /**
+     * Wire the cluster's SLO-class config (copied; call before any
+     * request is added). With the default disabled config every
+     * per-class path collapses to the global SloConfig targets.
+     */
+    void setSloClassConfig(const qoe::SloClassConfig& c)
+    {
+        classCfg = c;
+    }
+
+    /**
+     * Demote a hosted request to best-effort after a deadline expiry:
+     * re-rank it behind every real class (remove/re-add re-seeds the
+     * scheduler queues) and re-key its SLO-heap entry against Batch
+     * targets. Only valid at a safe boundary (no step in flight).
+     */
+    void demoteBestEffort(workload::Request* req);
+
+    /**
+     * A hosted request's deadline fired while a step is in flight:
+     * record it for enforcement at the iteration boundary, where
+     * detaching cannot corrupt the executing batch. The boundary
+     * re-checks liveness/residency and then invokes
+     * callbacks.onDeadlineExpired.
+     */
+    void noteDeadlineExpired(workload::Request* req);
+
+    /** @} */
 
     /**
      * Paper t_i: all answering requests are keeping the user's
@@ -308,6 +353,11 @@ class Instance
     std::unique_ptr<core::IntraScheduler> sched;
     model::KvPool kvPool;
     qoe::SloConfig slo;
+
+    /** Per-class SLO targets (disabled by default: every per-request
+     *  target collapses to the global SloConfig). */
+    qoe::SloClassConfig classCfg;
+
     InstanceCallbacks callbacks;
     model::Link pcie;
     const predict::LengthPredictor* predictor = nullptr;
@@ -400,6 +450,13 @@ class Instance
      */
     /** @{ */
 
+    /** Effective per-request TPOT target: the class's (Batch's for
+     *  best-effort) when classes are on, the global otherwise. */
+    Time tpotOf(const workload::Request* r) const;
+
+    /** Effective per-request TTFAT target (same selection rule). */
+    Time ttfatOf(const workload::Request* r) const;
+
     /** Conservative flip-time key for an answering request (exact
      *  formula shared with the reference walk). */
     double sloKeyOf(const workload::Request* r) const;
@@ -460,6 +517,23 @@ class Instance
     std::uint64_t sloRekeys = 0;
 
     /** @} */
+
+    /** Run the deferred-deadline list through the cluster's policy at
+     *  the iteration boundary (completeIteration, after the step's
+     *  effects settle and stepInFlight clears). */
+    void drainDeadlineDeferred();
+
+    /** Hosted requests whose deadline fired mid-step, awaiting the
+     *  boundary (cleared by crash(): orphans re-enter through the
+     *  retry guards instead). */
+    std::vector<workload::Request*> deadlineDeferred;
+
+    /** True while drainDeadlineDeferred() walks the parked list.
+     *  Suppresses kick(): a step started mid-drain would force the
+     *  remaining entries to re-park into the vector being walked
+     *  (unbounded growth); completeIteration() starts the next
+     *  iteration itself once every expiry has settled. */
+    bool drainingDeadlines = false;
 };
 
 } // namespace cluster

@@ -66,6 +66,23 @@ RunContext::result() const
     result.numRetries = clusterPtr->numRetries();
     result.numShed = clusterPtr->numShed();
     result.numTerminalFailures = clusterPtr->numTerminalFailures();
+    for (std::size_t c = 0; c < workload::kNumSloClasses; ++c) {
+        auto cls = static_cast<workload::SloClass>(c);
+        RunResult::ClassOutcome& out = result.perClass[c];
+        out.submitted = clusterPtr->numClassSubmitted(cls);
+        out.completed = clusterPtr->numClassCompleted(cls);
+        out.shed = clusterPtr->numClassShed(cls);
+        out.deadlineFailed = clusterPtr->numClassDeadlineFailed(cls);
+        out.retryFailed = clusterPtr->numClassRetryFailed(cls);
+        out.demoted = clusterPtr->numClassDemoted(cls);
+        out.goodputFraction =
+            out.submitted == 0
+                ? 1.0
+                : static_cast<double>(out.completed) /
+                      static_cast<double>(out.submitted);
+    }
+    if (!result.perRequest.empty())
+        result.classAggregates = qoe::aggregateByClass(result.perRequest);
     result.goodputFraction =
         result.aggregate.numRequests == 0
             ? 1.0

@@ -11,6 +11,7 @@
 #ifndef PASCAL_CLUSTER_SERVING_SYSTEM_HH
 #define PASCAL_CLUSTER_SERVING_SYSTEM_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -50,11 +51,58 @@ struct RunResult
     std::uint64_t numCrashes = 0;
     std::uint64_t numRetries = 0;
     std::uint64_t numShed = 0;
-    /** All terminal failures (retry-budget exhaustion + shed). */
+    /** All terminal failures (retry-budget exhaustion + shed +
+     *  deadline expiry). */
     std::uint64_t numTerminalFailures = 0;
-    /** Fraction of submitted requests that completed (finished all
-     *  tokens): numFinished / numRequests, 1.0 for an empty trace. */
+    /**
+     * Fraction of submitted requests that completed (emitted every
+     * token): numFinished / numRequests, 1.0 for an empty trace.
+     *
+     * Denominator semantics (pinned by the GoodputSemantics tests in
+     * tests/test_slo_classes.cc):
+     *  - The denominator counts every submitted request — including
+     *    requests shed at admission (global fault-layer floor or
+     *    class-aware overload control), requests terminally failed
+     *    (retry budget or deadline expiry), and requests still live
+     *    when the run stopped.
+     *  - The numerator counts only fully-completed requests. A shed
+     *    or terminally-failed request is Done for lifecycle purposes
+     *    but never counts as finished; a demoted best-effort request
+     *    that completes DOES count.
+     * So goodputFraction + numUnfinished/numRequests == 1 exactly,
+     * and numUnfinished == numTerminalFailures when nothing was cut
+     * off by the horizon (numShed is a subset of terminal failures,
+     * not an extra term).
+     */
     double goodputFraction = 1.0;
+    /** @} */
+
+    /** @name SLO-class outcomes (tentpole; all rows zero — and
+     *  per-class goodput 1.0 — when cfg.sloClasses is disabled) */
+    /** @{ */
+
+    /** Lifecycle counts for one service class. Totality invariant
+     *  (checked by bench_chaos_goodput --check-invariants):
+     *  submitted == completed + shed + deadlineFailed + retryFailed
+     *  + still-live-at-horizon. demoted tracks demote-on-expiry
+     *  transitions and overlaps the other outcome buckets. */
+    struct ClassOutcome
+    {
+        std::uint64_t submitted = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t shed = 0;
+        std::uint64_t deadlineFailed = 0;
+        std::uint64_t retryFailed = 0;
+        std::uint64_t demoted = 0;
+        /** completed / submitted; 1.0 when the class saw no work. */
+        double goodputFraction = 1.0;
+    };
+    std::array<ClassOutcome, workload::kNumSloClasses> perClass{};
+
+    /** Per-class latency/QoE rollups over perRequest (left
+     *  zero-initialized in streaming mode, which keeps no rows). */
+    std::array<qoe::ClassAggregate, workload::kNumSloClasses>
+        classAggregates{};
     /** @} */
 
     /** Plan boundaries satisfied by the O(delta) repair patch instead

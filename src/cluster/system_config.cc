@@ -22,6 +22,7 @@ SystemConfig::validate() const
     hardware.validate();
     limits.validate();
     slo.validate();
+    sloClasses.validate();
     predictor.validate();
     fault.validate();
     if (numInstances <= 0)

@@ -62,6 +62,17 @@ struct SystemConfig
     qoe::SloConfig slo;
 
     /**
+     * Multi-tenant SLO-class layer (src/qoe/slo.hh): per-class
+     * TTFT/TPOT/TTFAT targets, relative deadlines enforced as real
+     * timeouts, and class-aware admission/overload control. Disabled
+     * by default; a disabled class layer leaves RunResults
+     * byte-identical to a build without it (every per-request class
+     * field stays at its zero default, so each scheduler's class-rank
+     * comparator level is inert).
+     */
+    qoe::SloClassConfig sloClasses;
+
+    /**
      * Length-prediction knobs (src/predict/). Default: None — the
      * paper's reactive behaviour. Required (validate() enforces it)
      * whenever the scheduler is Srpt/PascalSpec or the placement is

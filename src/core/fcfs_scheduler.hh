@@ -28,13 +28,16 @@ namespace pascal
 namespace core
 {
 
-/** Strict arrival order (immutable key). */
+/** Strict arrival order (immutable key), after the SLO-class rank
+ *  (all-zero with classes off, so the rank level is inert). */
 struct FcfsOrder
 {
     bool
     operator()(const workload::Request* a,
                const workload::Request* b) const
     {
+        if (a->schedClassRank != b->schedClassRank)
+            return a->schedClassRank < b->schedClassRank;
         if (a->spec().arrival != b->spec().arrival)
             return a->spec().arrival < b->spec().arrival;
         return a->id() < b->id();

@@ -73,15 +73,16 @@ namespace core
  * Priority order of GPU residents across every shipped policy,
  * used to restore walk order over the residents an early-exited
  * greedy walk never visited, before evicting from the back. The
- * queue tag ranks PASCAL's high queue above its low queue; within a
- * queue every policy orders by (quanta, cached score, arrival, id) —
- * policies that freeze a level (FCFS/SRPT never consume quanta,
- * reactive policies keep score 0) degenerate to exactly their own
- * comparator. A policy whose order is NOT expressible in these five
- * fields must not rely on the early-exit tail (or must extend this
- * comparator) — the eviction-storm invariance test runs every
- * shipped policy against recompute mode to keep the equivalence
- * honest.
+ * queue tag ranks PASCAL's high queue above its low queue; the SLO
+ * class rank (all zero with classes off) ranks tenant classes within
+ * a queue; below those every policy orders by (quanta, cached score,
+ * arrival, id) — policies that freeze a level (FCFS/SRPT never
+ * consume quanta, reactive policies keep score 0) degenerate to
+ * exactly their own comparator. A policy whose order is NOT
+ * expressible in these six fields must not rely on the early-exit
+ * tail (or must extend this comparator) — the eviction-storm
+ * invariance test runs every shipped policy against recompute mode to
+ * keep the equivalence honest.
  */
 struct ResidentEvictOrder
 {
@@ -91,6 +92,8 @@ struct ResidentEvictOrder
     {
         if (a->schedQueueTag != b->schedQueueTag)
             return a->schedQueueTag < b->schedQueueTag;
+        if (a->schedClassRank != b->schedClassRank)
+            return a->schedClassRank < b->schedClassRank;
         if (a->quantaConsumed != b->quantaConsumed)
             return a->quantaConsumed < b->quantaConsumed;
         if (a->schedScore != b->schedScore)

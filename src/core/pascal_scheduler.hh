@@ -39,8 +39,10 @@ namespace core
  * Within-queue strict total order shared by the reactive and
  * speculative PASCAL variants (and by both the incremental repair and
  * the recompute-mode full sort, so the two modes cannot diverge):
- * fewest quanta consumed, then cached rank score (always 0 for the
- * reactive policy, making the level a no-op), then arrival, then id.
+ * SLO-class rank first (all zero with classes off, so the level is
+ * inert), then fewest quanta consumed, then cached rank score (always
+ * 0 for the reactive policy, making the level a no-op), then arrival,
+ * then id.
  */
 struct PascalQueueOrder
 {
@@ -48,6 +50,8 @@ struct PascalQueueOrder
     operator()(const workload::Request* a,
                const workload::Request* b) const
     {
+        if (a->schedClassRank != b->schedClassRank)
+            return a->schedClassRank < b->schedClassRank;
         if (a->quantaConsumed != b->quantaConsumed)
             return a->quantaConsumed < b->quantaConsumed;
         if (a->schedScore != b->schedScore)

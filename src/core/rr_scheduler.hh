@@ -29,13 +29,16 @@ namespace pascal
 namespace core
 {
 
-/** Classic RR priority: fewest quanta, then arrival order. */
+/** Classic RR priority: fewest quanta, then arrival order, below the
+ *  SLO-class rank (inert all-zero level with classes off). */
 struct RrOrder
 {
     bool
     operator()(const workload::Request* a,
                const workload::Request* b) const
     {
+        if (a->schedClassRank != b->schedClassRank)
+            return a->schedClassRank < b->schedClassRank;
         if (a->quantaConsumed != b->quantaConsumed)
             return a->quantaConsumed < b->quantaConsumed;
         if (a->spec().arrival != b->spec().arrival)

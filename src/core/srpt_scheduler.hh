@@ -35,13 +35,16 @@ namespace pascal
 namespace core
 {
 
-/** Shortest cached rank score, arrival/id tie-broken. */
+/** Shortest cached rank score, arrival/id tie-broken, below the
+ *  SLO-class rank (inert all-zero level with classes off). */
 struct SrptOrder
 {
     bool
     operator()(const workload::Request* a,
                const workload::Request* b) const
     {
+        if (a->schedClassRank != b->schedClassRank)
+            return a->schedClassRank < b->schedClassRank;
         if (a->schedScore != b->schedScore)
             return a->schedScore < b->schedScore;
         if (a->spec().arrival != b->spec().arrival)

@@ -81,6 +81,12 @@ traceNameStr(TraceName name)
         return "shed";
       case TraceName::TerminalFail:
         return "terminal_fail";
+      case TraceName::ClassShed:
+        return "class_shed";
+      case TraceName::DeadlineExceeded:
+        return "deadline_exceeded";
+      case TraceName::Demoted:
+        return "demoted";
     }
     return "unknown";
 }

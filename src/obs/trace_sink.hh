@@ -103,6 +103,9 @@ enum class TraceName : std::uint8_t
     RetryScheduled,
     Shed,
     TerminalFail,
+    ClassShed,         //!< SLO-class admission rejected the arrival.
+    DeadlineExceeded,  //!< Per-request deadline timeout fired.
+    Demoted,           //!< Expired request demoted to best-effort.
 };
 
 /** Key under which an event's numeric argument is rendered. */

@@ -11,9 +11,22 @@ namespace qoe
 {
 
 RequestMetrics
-computeRequestMetrics(const workload::Request& req, const SloConfig& slo)
+computeRequestMetrics(const workload::Request& req, const SloConfig& slo,
+                      const SloClassConfig* classes)
 {
     slo.validate();
+
+    // Per-class targets override the global ones when the class
+    // subsystem is on; everything else (threshold, anchoring mode)
+    // stays global.
+    Time tpot_target = slo.tpotTarget;
+    Time ttfat_target = slo.ttfatTarget;
+    if (classes != nullptr && classes->enabled) {
+        const SloClassParams& p =
+            classes->effective(req.spec().sloClass, req.bestEffort);
+        tpot_target = p.tpotTarget;
+        ttfat_target = p.ttfatTarget;
+    }
 
     const auto& spec = req.spec();
     RequestMetrics m;
@@ -30,6 +43,9 @@ computeRequestMetrics(const workload::Request& req, const SloConfig& slo)
     m.finished = req.finished();
     m.failReason = req.failReason;
     m.failed = m.failReason != workload::FailReason::None;
+    m.sloClass = spec.sloClass;
+    m.deadlineExpired = req.deadlineExpired;
+    m.bestEffort = req.bestEffort;
 
     if (req.reasoningEnd >= 0.0)
         m.reasoningLatency = req.reasoningEnd - spec.arrival;
@@ -56,8 +72,8 @@ computeRequestMetrics(const workload::Request& req, const SloConfig& slo)
 
     Time expected_start = slo.qoeFromFirstToken
                               ? req.firstAnswer
-                              : req.reasoningEnd + slo.ttfatTarget;
-    m.qoe = computeQoe(emits, expected_start, slo.tpotTarget);
+                              : req.reasoningEnd + ttfat_target;
+    m.qoe = computeQoe(emits, expected_start, tpot_target);
     m.sloViolated = m.qoe < slo.qoeThreshold;
     return m;
 }
@@ -141,6 +157,46 @@ aggregateMetrics(const std::vector<RequestMetrics>& requests)
     agg.sloViolationRate = static_cast<double>(violations) /
                            static_cast<double>(agg.numFinished);
     return agg;
+}
+
+std::array<ClassAggregate, workload::kNumSloClasses>
+aggregateByClass(const std::vector<RequestMetrics>& requests)
+{
+    std::array<ClassAggregate, workload::kNumSloClasses> out{};
+    std::array<std::vector<double>, workload::kNumSloClasses> ttfts;
+    std::array<stats::Summary, workload::kNumSloClasses> ttft_sums;
+    std::array<stats::Summary, workload::kNumSloClasses> e2e_sums;
+    std::array<stats::Summary, workload::kNumSloClasses> qoe_sums;
+    std::array<std::size_t, workload::kNumSloClasses> violations{};
+
+    for (const auto& m : requests) {
+        std::size_t i = workload::sloClassIndex(m.sloClass);
+        ++out[i].numRequests;
+        if (!m.finished)
+            continue;
+        ++out[i].numFinished;
+        ttft_sums[i].add(m.ttft);
+        ttfts[i].push_back(m.ttft);
+        e2e_sums[i].add(m.e2eLatency);
+        qoe_sums[i].add(m.qoe);
+        if (m.sloViolated)
+            ++violations[i];
+    }
+
+    for (std::size_t i = 0; i < workload::kNumSloClasses; ++i) {
+        if (out[i].numFinished == 0)
+            continue;
+        std::sort(ttfts[i].begin(), ttfts[i].end());
+        out[i].meanTtft = ttft_sums[i].mean();
+        out[i].p50Ttft = stats::percentileOfSorted(ttfts[i], 50.0);
+        out[i].p99Ttft = stats::percentileOfSorted(ttfts[i], 99.0);
+        out[i].meanE2eLatency = e2e_sums[i].mean();
+        out[i].meanQoe = qoe_sums[i].mean();
+        out[i].sloViolationRate =
+            static_cast<double>(violations[i]) /
+            static_cast<double>(out[i].numFinished);
+    }
+    return out;
 }
 
 } // namespace qoe

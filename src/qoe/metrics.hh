@@ -13,6 +13,7 @@
 #ifndef PASCAL_QOE_METRICS_HH
 #define PASCAL_QOE_METRICS_HH
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,15 @@ struct RequestMetrics
      *  !finished); why is in failReason. */
     bool failed = false;
     workload::FailReason failReason = workload::FailReason::None;
+
+    /** Service class from the spec (Standard when classes are off). */
+    workload::SloClass sloClass = workload::SloClass::Standard;
+
+    /** The armed relative deadline expired before completion. */
+    bool deadlineExpired = false;
+
+    /** Finished as best-effort after a demote-on-expiry. */
+    bool bestEffort = false;
 
     /** Submission to first answering token (the paper's TTFT). */
     double ttft = 0.0;
@@ -73,11 +83,17 @@ struct RequestMetrics
 /**
  * Score one simulated request against @p slo.
  *
+ * When @p classes is non-null and enabled, the class's TPOT/TTFAT
+ * targets (Batch's for best-effort requests) replace the global ones
+ * for QoE scoring; every other SloConfig knob still comes from
+ * @p slo.
+ *
  * @pre The request finished (metrics of unfinished requests have
  *      finished == false and only the fields known so far).
  */
-RequestMetrics computeRequestMetrics(const workload::Request& req,
-                                     const SloConfig& slo);
+RequestMetrics computeRequestMetrics(
+    const workload::Request& req, const SloConfig& slo,
+    const SloClassConfig* classes = nullptr);
 
 /** Cluster-level rollup of a run. */
 struct AggregateMetrics
@@ -106,6 +122,25 @@ struct AggregateMetrics
 /** Roll up a set of per-request metrics. */
 AggregateMetrics aggregateMetrics(
     const std::vector<RequestMetrics>& requests);
+
+/** Per-class rollup (subset of AggregateMetrics that is meaningful
+ *  per tenant class). Latency stats cover finished requests only. */
+struct ClassAggregate
+{
+    std::size_t numRequests = 0;
+    std::size_t numFinished = 0;
+    double meanTtft = 0.0;
+    double p50Ttft = 0.0;
+    double p99Ttft = 0.0;
+    double meanE2eLatency = 0.0;
+    double meanQoe = 0.0;
+    double sloViolationRate = 0.0;
+};
+
+/** Roll up @p requests per SLO class (demoted best-effort requests
+ *  count against their nominal class). */
+std::array<ClassAggregate, workload::kNumSloClasses>
+aggregateByClass(const std::vector<RequestMetrics>& requests);
 
 } // namespace qoe
 } // namespace pascal

@@ -168,5 +168,39 @@ generateAnsweringCharacterization(
     return trace;
 }
 
+void
+SloMix::validate() const
+{
+    if (interactiveFraction < 0.0 || batchFraction < 0.0 ||
+        interactiveFraction + batchFraction > 1.0) {
+        fatal("SloMix: fractions must be non-negative and sum to "
+              "<= 1");
+    }
+}
+
+void
+assignSloClasses(Trace& trace, const SloMix& mix)
+{
+    mix.validate();
+    for (auto& s : trace.requests) {
+        // splitmix64 of (seed ^ id): a fixed per-request coin that is
+        // independent of trace order and of the workload RNG.
+        std::uint64_t z =
+            (mix.seed ^ static_cast<std::uint64_t>(s.id)) +
+            0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        z ^= z >> 31;
+        double u = static_cast<double>(z >> 11) *
+                   (1.0 / 9007199254740992.0); // 2^-53
+        if (u < mix.interactiveFraction)
+            s.sloClass = SloClass::Interactive;
+        else if (u < mix.interactiveFraction + mix.batchFraction)
+            s.sloClass = SloClass::Batch;
+        else
+            s.sloClass = SloClass::Standard;
+    }
+}
+
 } // namespace workload
 } // namespace pascal

@@ -66,6 +66,29 @@ Trace generateAnsweringCharacterization(
     const std::vector<TokenCount>& answer_choices = {128, 256, 512,
                                                      1024, 2048});
 
+/** Target class mix for assignSloClasses (fractions sum to <= 1;
+ *  the remainder lands in Standard). */
+struct SloMix
+{
+    double interactiveFraction = 0.3;
+    double batchFraction = 0.3;
+    /** Salt mixed into the per-request hash; independent of the
+     *  workload RNG. */
+    std::uint64_t seed = 0x510c1a55;
+
+    void validate() const;
+};
+
+/**
+ * Deterministically assign an SLO class to every request in @p trace
+ * per the @p mix fractions. The assignment hashes (mix.seed,
+ * request id) — it draws nothing from the workload RNG stream, so
+ * annotating an existing trace never perturbs the sampled arrivals or
+ * token counts, and re-generating the same trace with or without
+ * classes yields byte-identical specs apart from the class column.
+ */
+void assignSloClasses(Trace& trace, const SloMix& mix = {});
+
 } // namespace workload
 } // namespace pascal
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/common/types.hh"
+#include "src/workload/slo_class.hh"
 
 namespace pascal
 {
@@ -53,6 +54,8 @@ enum class FailReason : std::uint8_t
     RetryBudget, //!< Crash/link-failure retries exhausted the budget.
     Shed,        //!< Rejected at admission while capacity was below
                  //!< the configured shed floor.
+    DeadlineExceeded, //!< The request's per-class relative deadline
+                      //!< expired before completion (SLO classes).
 };
 
 /** Immutable description of one request, as read from a trace. */
@@ -73,6 +76,9 @@ struct RequestSpec
     bool startInAnswering = false;
 
     std::string dataset; //!< Source dataset label (diagnostic).
+
+    /** Service class (inert unless SloClassConfig::enabled). */
+    SloClass sloClass = SloClass::Standard;
 
     /** Sanity-check the spec; calls fatal() on malformed entries. */
     void validate() const;
@@ -239,6 +245,32 @@ class Request
     /** Reset quantum accounting (PASCAL does this when a request
      *  changes queues at the phase boundary). */
     void resetQuantum();
+
+    /** @name SLO-class state (owned by the Cluster's class layer)
+     *
+     * All fields stay at their zero defaults while the class
+     * subsystem is disabled, so every comparator that reads
+     * schedClassRank falls through to the policy's own key and runs
+     * are byte-identical to a classless build.
+     */
+    /** @{ */
+
+    /** Scheduler class rank: sloClassIndex(spec().sloClass) when
+     *  classes are enabled, kBestEffortClassRank after a
+     *  demote-on-expiry, 0 otherwise. Lower runs earlier; the FIRST
+     *  comparison of every shipped policy order. */
+    std::uint8_t schedClassRank = 0;
+
+    /** The armed relative deadline fired before completion. */
+    bool deadlineExpired = false;
+
+    /** Demoted to best-effort after a deadline expiry: scheduled
+     *  behind every real class and scored against Batch targets. */
+    bool bestEffort = false;
+
+    /** Pending deadline event on the cluster's simulator
+     *  (sim::kNoEvent when none armed). */
+    std::uint64_t deadlineEventId = 0;
 
     /** @} */
 

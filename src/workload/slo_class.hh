@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Multi-tenant SLO classes (ROADMAP item 4).
+ *
+ * Every request carries one of three service classes. The class is
+ * part of the immutable RequestSpec (synthesized deterministically by
+ * the trace generators or read from the trace CSV) and selects the
+ * per-class SLO targets, relative deadline, and shed priority defined
+ * in qoe::SloClassConfig. With the class subsystem disabled (the
+ * default) the field is inert: every comparator rank derived from it
+ * stays 0 and runs are byte-identical to a build without classes.
+ */
+
+#ifndef PASCAL_WORKLOAD_SLO_CLASS_HH
+#define PASCAL_WORKLOAD_SLO_CLASS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pascal
+{
+namespace workload
+{
+
+/**
+ * Service class of a request, ordered by protection priority:
+ * Interactive is shed last and scheduled first; Batch is shed first
+ * and scheduled last. The numeric value doubles as the scheduler
+ * class rank (lower runs earlier), so the order of the enumerators is
+ * load-bearing.
+ */
+enum class SloClass : std::uint8_t
+{
+    Interactive = 0, //!< Latency-critical chat traffic.
+    Standard = 1,    //!< Default tier (matches the global SloConfig).
+    Batch = 2,       //!< Throughput-oriented background work.
+};
+
+/** Number of service classes. */
+inline constexpr std::size_t kNumSloClasses = 3;
+
+/** Scheduler class rank of a request demoted to best-effort after a
+ *  deadline expiry: strictly below every real class. */
+inline constexpr std::uint8_t kBestEffortClassRank =
+    static_cast<std::uint8_t>(kNumSloClasses);
+
+/** Stable lowercase name (stat keys, trace args, CSV column). */
+inline const char*
+sloClassName(SloClass c)
+{
+    switch (c) {
+      case SloClass::Interactive:
+        return "interactive";
+      case SloClass::Standard:
+        return "standard";
+      case SloClass::Batch:
+        return "batch";
+    }
+    return "unknown";
+}
+
+/** Index form of @p c for per-class arrays. */
+inline std::size_t
+sloClassIndex(SloClass c)
+{
+    return static_cast<std::size_t>(c);
+}
+
+} // namespace workload
+} // namespace pascal
+
+#endif // PASCAL_WORKLOAD_SLO_CLASS_HH

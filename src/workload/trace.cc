@@ -67,11 +67,12 @@ Trace::toCsv(const std::string& path) const
     if (!out)
         fatal("Trace::toCsv: cannot open '" + path + "' for writing");
     out << "id,arrival,prompt,reasoning,answer,start_in_answering,"
-           "dataset\n";
+           "dataset,slo_class\n";
     for (const auto& s : requests) {
         out << s.id << ',' << s.arrival << ',' << s.promptTokens << ','
             << s.reasoningTokens << ',' << s.answerTokens << ','
-            << (s.startInAnswering ? 1 : 0) << ',' << s.dataset << '\n';
+            << (s.startInAnswering ? 1 : 0) << ',' << s.dataset << ','
+            << static_cast<int>(s.sloClass) << '\n';
     }
 }
 
@@ -110,6 +111,18 @@ Trace::fromCsv(const std::string& path)
             s.startInAnswering = std::stoi(field) != 0;
             std::getline(ss, field, ',');
             s.dataset = field;
+            // Optional trailing slo_class column; legacy 7-column
+            // traces default to Standard.
+            if (std::getline(ss, field, ',')) {
+                int cls = std::stoi(field);
+                if (cls < 0 ||
+                    cls >= static_cast<int>(kNumSloClasses)) {
+                    fatal("Trace::fromCsv: bad slo_class on line " +
+                          std::to_string(line_no) + " in '" + path +
+                          "'");
+                }
+                s.sloClass = static_cast<SloClass>(cls);
+            }
         } catch (const std::exception&) {
             fatal("Trace::fromCsv: malformed line " +
                   std::to_string(line_no) + " in '" + path + "'");

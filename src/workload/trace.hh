@@ -63,11 +63,14 @@ struct Trace
 
     /**
      * Write as CSV with header
-     * `id,arrival,prompt,reasoning,answer,start_in_answering,dataset`.
+     * `id,arrival,prompt,reasoning,answer,start_in_answering,dataset,
+     * slo_class`.
      */
     void toCsv(const std::string& path) const;
 
-    /** Parse the CSV format written by toCsv(). */
+    /** Parse the CSV format written by toCsv(). The trailing
+     *  `slo_class` column is optional; legacy 7-column traces parse
+     *  with every request in the Standard class. */
     static Trace fromCsv(const std::string& path);
 
     /** Concatenate and re-sort two traces (ids must stay unique). */

@@ -43,6 +43,9 @@ expectIdentical(const cluster::RunResult& a, const cluster::RunResult& b)
         EXPECT_EQ(ra.finished, rb.finished);
         EXPECT_EQ(ra.failed, rb.failed);
         EXPECT_EQ(ra.failReason, rb.failReason);
+        EXPECT_EQ(ra.sloClass, rb.sloClass);
+        EXPECT_EQ(ra.deadlineExpired, rb.deadlineExpired);
+        EXPECT_EQ(ra.bestEffort, rb.bestEffort);
         EXPECT_EQ(ra.ttft, rb.ttft);
         EXPECT_EQ(ra.ttfat, rb.ttfat);
         EXPECT_EQ(ra.reasoningLatency, rb.reasoningLatency);
@@ -94,6 +97,27 @@ expectIdentical(const cluster::RunResult& a, const cluster::RunResult& b)
     EXPECT_EQ(a.numShed, b.numShed);
     EXPECT_EQ(a.numTerminalFailures, b.numTerminalFailures);
     EXPECT_EQ(a.goodputFraction, b.goodputFraction);
+    for (std::size_t c = 0; c < workload::kNumSloClasses; ++c) {
+        const auto& ca = a.perClass[c];
+        const auto& cb = b.perClass[c];
+        EXPECT_EQ(ca.submitted, cb.submitted);
+        EXPECT_EQ(ca.completed, cb.completed);
+        EXPECT_EQ(ca.shed, cb.shed);
+        EXPECT_EQ(ca.deadlineFailed, cb.deadlineFailed);
+        EXPECT_EQ(ca.retryFailed, cb.retryFailed);
+        EXPECT_EQ(ca.demoted, cb.demoted);
+        EXPECT_EQ(ca.goodputFraction, cb.goodputFraction);
+        EXPECT_EQ(a.classAggregates[c].numRequests,
+                  b.classAggregates[c].numRequests);
+        EXPECT_EQ(a.classAggregates[c].numFinished,
+                  b.classAggregates[c].numFinished);
+        EXPECT_EQ(a.classAggregates[c].meanTtft,
+                  b.classAggregates[c].meanTtft);
+        EXPECT_EQ(a.classAggregates[c].p99Ttft,
+                  b.classAggregates[c].p99Ttft);
+        EXPECT_EQ(a.classAggregates[c].meanQoe,
+                  b.classAggregates[c].meanQoe);
+    }
     EXPECT_EQ(a.kvTransferLatencies, b.kvTransferLatencies);
     EXPECT_EQ(a.schedulerName, b.schedulerName);
     EXPECT_EQ(a.placementName, b.placementName);

@@ -83,6 +83,8 @@ TEST(Trace, CsvRoundTrip)
     t.requests = {spec(0, 0.5), spec(1, 1.25)};
     t.requests[1].startInAnswering = true;
     t.requests[1].reasoningTokens = 0;
+    t.requests[0].sloClass = workload::SloClass::Interactive;
+    t.requests[1].sloClass = workload::SloClass::Batch;
 
     std::string path = testing::TempDir() + "pascal_trace_test.csv";
     t.toCsv(path);
@@ -98,6 +100,29 @@ TEST(Trace, CsvRoundTrip)
     EXPECT_FALSE(back.requests[0].startInAnswering);
     EXPECT_EQ(back.requests[0].dataset, "unit");
     EXPECT_TRUE(back.requests[1].startInAnswering);
+    EXPECT_EQ(back.requests[0].sloClass,
+              workload::SloClass::Interactive);
+    EXPECT_EQ(back.requests[1].sloClass, workload::SloClass::Batch);
+}
+
+TEST(Trace, LegacyCsvWithoutClassColumnDefaultsToStandard)
+{
+    // Pre-class 7-column CSVs must keep loading, with every request
+    // landing in the Standard class.
+    std::string path = testing::TempDir() + "pascal_trace_legacy.csv";
+    {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        ASSERT_NE(f, nullptr);
+        std::fputs("id,arrival,prompt_tokens,reasoning_tokens,"
+                   "answer_tokens,start_in_answering,dataset\n",
+                   f);
+        std::fputs("0,0.5,128,100,50,0,unit\n", f);
+        std::fclose(f);
+    }
+    Trace back = Trace::fromCsv(path);
+    std::remove(path.c_str());
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back.requests[0].sloClass, workload::SloClass::Standard);
 }
 
 TEST(Trace, FromCsvMissingFileIsFatal)
